@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the Reed-Solomon erasure-coding
+//! substrate: the encode/rebuild costs the paper reports as ~2.3 ms per
+//! entry (Fig. 11 discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use massbft_codec::chunker::EntryCodec;
+use massbft_codec::gf256;
+
+fn entry(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_encode");
+    for (n_data, n_total, label) in [(13, 28, "4to7"), (3, 7, "7to7"), (14, 40, "40to40")] {
+        let codec = EntryCodec::new(n_data, n_total).unwrap();
+        let data = entry(100 * 1024);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("100KiB", label), &data, |b, data| {
+            b.iter(|| codec.encode(data).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_decode");
+    for (n_data, n_total, label) in [(13, 28, "4to7"), (3, 7, "7to7")] {
+        let codec = EntryCodec::new(n_data, n_total).unwrap();
+        let data = entry(100 * 1024);
+        let chunks = codec.encode(&data).unwrap();
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("worst_case_loss", label), &chunks, |b, chunks| {
+            b.iter(|| {
+                let mut received: Vec<Option<Vec<u8>>> =
+                    chunks.iter().cloned().map(Some).collect();
+                // Drop the first n_total - n_data chunks: forces matrix
+                // inversion (no systematic fast path).
+                for slot in received.iter_mut().take(n_total - n_data) {
+                    *slot = None;
+                }
+                codec.decode(&mut received).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gf_mul_slice(c: &mut Criterion) {
+    let src = entry(64 * 1024);
+    let mut dst = vec![0u8; src.len()];
+    let mut g = c.benchmark_group("gf256");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("mul_acc_slice_64KiB", |b| {
+        b.iter(|| gf256::mul_acc_slice(&mut dst, &src, 0x1d))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_gf_mul_slice);
+criterion_main!(benches);

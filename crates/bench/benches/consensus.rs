@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the consensus substrates: one full
+//! PBFT instance over an in-memory bus, and Raft replication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use massbft_consensus::pbft::{PbftConfig, PbftMsg, PbftOutput, PbftReplica};
+use massbft_consensus::raft::{RaftConfig, RaftMsg, RaftNode, RaftOutput};
+use massbft_crypto::KeyRegistry;
+use std::collections::VecDeque;
+
+fn pbft_commit_one(n: usize, registry: &KeyRegistry, payload: &[u8]) -> usize {
+    let mut replicas: Vec<PbftReplica> = (0..n)
+        .map(|i| {
+            PbftReplica::new(
+                PbftConfig {
+                    group: 0,
+                    n,
+                    node: i as u32,
+                    skip_prepare: false,
+                    checkpoint_interval: 0,
+                },
+                registry.clone(),
+            )
+        })
+        .collect();
+    let mut queue: VecDeque<(u32, u32, PbftMsg)> = VecDeque::new();
+    let mut committed = 0usize;
+    let mut absorb = |from: u32, outs: Vec<PbftOutput>, queue: &mut VecDeque<(u32, u32, PbftMsg)>, committed: &mut usize| {
+        for o in outs {
+            match o {
+                PbftOutput::Send { to, msg } => queue.push_back((from, to, msg)),
+                PbftOutput::Broadcast(msg) => {
+                    for to in 0..n as u32 {
+                        if to != from {
+                            queue.push_back((from, to, msg.clone()));
+                        }
+                    }
+                }
+                PbftOutput::Committed { .. } => *committed += 1,
+                _ => {}
+            }
+        }
+    };
+    let outs = replicas[0].propose(payload.to_vec());
+    absorb(0, outs, &mut queue, &mut committed);
+    while let Some((from, to, msg)) = queue.pop_front() {
+        let outs = replicas[to as usize].on_message(from, msg);
+        absorb(to, outs, &mut queue, &mut committed);
+    }
+    committed
+}
+
+fn bench_pbft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pbft_full_instance");
+    for n in [4usize, 7, 13] {
+        let registry = KeyRegistry::generate(1, &[n]);
+        let payload = vec![0xabu8; 10 * 1024];
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let done = pbft_commit_one(n, &registry, &payload);
+                assert_eq!(done, n);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_raft_replication(c: &mut Criterion) {
+    c.bench_function("raft_commit_100_entries_3_members", |b| {
+        b.iter(|| {
+            let members = vec![0u32, 1, 2];
+            let mut nodes: Vec<RaftNode<u64>> = members
+                .iter()
+                .map(|&m| {
+                    RaftNode::new(RaftConfig {
+                        me: m,
+                        members: members.clone(),
+                        initial_leader: Some(0),
+                    })
+                })
+                .collect();
+            let mut queue: VecDeque<(u32, u32, RaftMsg<u64>)> = VecDeque::new();
+            let mut committed = 0u64;
+            for i in 0..100u64 {
+                let (_, outs) = nodes[0].propose(i).unwrap();
+                for o in outs {
+                    match o {
+                        RaftOutput::Send { to, msg } => queue.push_back((0, to, msg)),
+                        RaftOutput::Committed { .. } => committed += 1,
+                        _ => {}
+                    }
+                }
+                while let Some((from, to, msg)) = queue.pop_front() {
+                    for o in nodes[to as usize].step(from, msg) {
+                        match o {
+                            RaftOutput::Send { to: t2, msg } => queue.push_back((to, t2, msg)),
+                            RaftOutput::Committed { .. } => {
+                                if to == 0 {
+                                    committed += 1;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            assert_eq!(committed, 100);
+        })
+    });
+}
+
+criterion_group!(benches, bench_pbft, bench_raft_replication);
+criterion_main!(benches);

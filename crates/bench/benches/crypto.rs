@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the crypto substrate: SHA-256, HMAC
+//! signatures, and the Merkle trees/proofs of the optimistic rebuild.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use massbft_crypto::{sha256::sha256, KeyRegistry, MerkleTree};
+use massbft_crypto::keys::NodeId;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [256usize, 4096, 65536] {
+        let data: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha256(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let reg = KeyRegistry::generate(1, &[7]);
+    let key = reg.key_of(NodeId::new(0, 0)).unwrap();
+    let msg = b"a 201-byte YCSB-A transaction payload ........................\
+                ...............................................................\
+                ......................................................";
+    c.bench_function("hmac_sign", |b| b.iter(|| key.sign(msg)));
+    let sig = key.sign(msg);
+    c.bench_function("hmac_verify", |b| b.iter(|| reg.verify(msg, &sig)));
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    // 28 chunks of ~7.7 KiB: the Fig. 5b geometry on a 100 KiB entry.
+    let chunks: Vec<Vec<u8>> =
+        (0..28).map(|i| vec![i as u8; 100 * 1024 / 13]).collect();
+    c.bench_function("merkle_build_28x8KiB", |b| {
+        b.iter(|| MerkleTree::build(&chunks))
+    });
+    let tree = MerkleTree::build(&chunks);
+    c.bench_function("merkle_prove", |b| b.iter(|| tree.prove(13)));
+    let proof = tree.prove(13);
+    let root = tree.root();
+    c.bench_function("merkle_verify", |b| {
+        b.iter(|| proof.verify(&root, &chunks[13]))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_sign_verify, bench_merkle);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks for the deterministic ordering engines:
+//! Algorithm 2 (VTS) versus the round-based strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use massbft_core::entry::EntryId;
+use massbft_core::ordering::OrderingEngine;
+use massbft_core::round::RoundOrdering;
+
+/// A synchronized stamp history: ng groups, round-robin commits.
+fn history(ng: usize, per_group: u64) -> Vec<(Option<EntryId>, Option<(u32, EntryId, u64)>)> {
+    let mut clk = vec![0u64; ng];
+    let mut events = Vec::new();
+    for seq in 1..=per_group {
+        for g in 0..ng as u32 {
+            let id = EntryId::new(g, seq);
+            clk[g as usize] = seq;
+            events.push((Some(id), None));
+            for j in 0..ng as u32 {
+                if j != g {
+                    events.push((None, Some((j, id, clk[j as usize]))));
+                }
+            }
+        }
+    }
+    events
+}
+
+fn bench_vts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordering_vts");
+    for ng in [3usize, 5, 7] {
+        let events = history(ng, 500);
+        g.throughput(Throughput::Elements(ng as u64 * 500));
+        g.bench_with_input(BenchmarkId::from_parameter(ng), &events, |b, events| {
+            b.iter(|| {
+                let mut eng = OrderingEngine::new(ng);
+                let mut n = 0u64;
+                for (commit, stamp) in events {
+                    if let Some(id) = commit {
+                        eng.on_entry_committed(*id);
+                    }
+                    if let Some((s, id, ts)) = stamp {
+                        eng.on_timestamp(*s, *id, *ts);
+                    }
+                    while eng.pop_ready().is_some() {
+                        n += 1;
+                    }
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordering_round");
+    for ng in [3usize, 7] {
+        g.throughput(Throughput::Elements(ng as u64 * 500));
+        g.bench_with_input(BenchmarkId::from_parameter(ng), &ng, |b, &ng| {
+            b.iter(|| {
+                let mut r = RoundOrdering::new(ng);
+                let mut n = 0u64;
+                for seq in 1..=500u64 {
+                    for gid in 0..ng as u32 {
+                        r.on_entry(EntryId::new(gid, seq));
+                    }
+                    while r.pop_ready().is_some() {
+                        n += 1;
+                    }
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vts, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,476 @@
+//! Experiment harness regenerating every table and figure of the MassBFT
+//! paper's evaluation (§VI).
+//!
+//! Each `figN` function runs the corresponding experiment on the
+//! deterministic simulator and returns the series the paper plots; the
+//! `figures` binary formats them as tables. [`Scale::Quick`] shrinks
+//! cluster sizes and windows for CI smoke runs; [`Scale::Full`] follows
+//! the paper's setup (3 groups × 7 nodes nationwide/worldwide, 20 Mbps
+//! uplinks, 20 ms batch timeout).
+//!
+//! Absolute numbers are simulator numbers, not Aliyun numbers; the *shape*
+//! (who wins, by what factor, where crossovers fall) is what EXPERIMENTS.md
+//! validates against the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use massbft_core::cluster::{Cluster, ClusterConfig, Report};
+use massbft_core::protocol::{PhaseBreakdown, Protocol};
+use massbft_sim_net::{NodeId, SECOND};
+use massbft_workloads::WorkloadKind;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny clusters, 1–2 s windows — smoke/CI.
+    Quick,
+    /// Paper-sized clusters, multi-second windows.
+    Full,
+}
+
+impl Scale {
+    fn groups7(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![4, 4, 4],
+            Scale::Full => vec![7, 7, 7],
+        }
+    }
+
+    fn secs(&self) -> u64 {
+        match self {
+            Scale::Quick => 2,
+            Scale::Full => 4,
+        }
+    }
+}
+
+/// One protocol × workload measurement (Figs. 8 and 9).
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Workload driven.
+    pub workload: WorkloadKind,
+    /// Throughput in ktps.
+    pub ktps: f64,
+    /// Mean entry latency, ms.
+    pub latency_ms: f64,
+}
+
+/// The protocols compared in the overall-performance figures.
+pub const COMPETITORS: [Protocol; 5] = [
+    Protocol::Steward,
+    Protocol::Iss,
+    Protocol::GeoBft,
+    Protocol::Baseline,
+    Protocol::MassBft,
+];
+
+/// The paper's four workloads.
+pub const WORKLOADS: [WorkloadKind; 4] = [
+    WorkloadKind::YcsbA,
+    WorkloadKind::YcsbB,
+    WorkloadKind::SmallBank,
+    WorkloadKind::TpcC,
+];
+
+fn measure(cfg: ClusterConfig, secs: u64) -> Report {
+    let mut c = Cluster::new(cfg);
+    c.run_secs(secs)
+}
+
+/// Latency is measured in a separate light-load run (1k tps per group):
+/// under saturation the pipeline-window queueing delay swamps the
+/// protocol-path latency and the comparison degenerates into Little's
+/// law. The paper's closed-loop clients have the same effect of keeping
+/// queues short at the latency operating point (its Baseline batches are
+/// 37 txns vs MassBFT's 270 under the same 20 ms timeout, §VI-A).
+fn measure_latency_ms(cfg: ClusterConfig, secs: u64) -> f64 {
+    let light = cfg.arrival_tps(1_000.0).max_batch(100);
+    let mut c = Cluster::new(light);
+    c.run_secs(secs).mean_latency_ms
+}
+
+/// Fig. 1b — GeoBFT-style leader replication throughput collapsing as
+/// the group size grows (3 data centers, 4–19 nodes per group, 20 Mbps
+/// WAN per node).
+pub fn fig1b(scale: Scale) -> Vec<(usize, f64)> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![4, 7],
+        Scale::Full => vec![4, 7, 10, 13, 16, 19],
+    };
+    sizes
+        .into_iter()
+        .map(|n| {
+            let cfg = ClusterConfig::nationwide(&[n, n, n], Protocol::GeoBft)
+                .workload(WorkloadKind::YcsbA)
+                .seed(1);
+            let r = measure(cfg, scale.secs());
+            (n, r.throughput.ktps())
+        })
+        .collect()
+}
+
+/// Figs. 8 (nationwide) and 9 (worldwide) — overall performance across
+/// all workloads and competitor protocols.
+pub fn fig8_9(scale: Scale, worldwide: bool) -> Vec<PerfRow> {
+    let groups = scale.groups7();
+    let workloads: &[WorkloadKind] =
+        if scale == Scale::Quick { &WORKLOADS[..1] } else { &WORKLOADS };
+    let mut rows = Vec::new();
+    for &w in workloads {
+        for p in COMPETITORS {
+            let cfg = if worldwide {
+                ClusterConfig::worldwide(&groups, p)
+            } else {
+                ClusterConfig::nationwide(&groups, p)
+            };
+            // ISS needs the longer epoch on the worldwide cluster, exactly
+            // as the paper extends it from 0.1 s to 0.5 s (§VI-A).
+            let cfg = if p == Protocol::Iss && worldwide {
+                cfg.epoch_us(500_000)
+            } else {
+                cfg
+            };
+            let cfg = cfg.workload(w).seed(1);
+            let r = measure(cfg.clone(), scale.secs());
+            let latency_ms = measure_latency_ms(cfg, scale.secs());
+            rows.push(PerfRow {
+                protocol: p,
+                workload: w,
+                ktps: r.throughput.ktps(),
+                latency_ms,
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 10 — WAN traffic per replicated entry versus batch size,
+/// MassBFT vs Baseline. Returns `(batch_txns, massbft_kb, baseline_kb)`.
+pub fn fig10(scale: Scale) -> Vec<(usize, f64, f64)> {
+    // Always the paper's 7-node groups: with 4-node groups the code's
+    // amplification (n/(n-2f) = 2.0) coincidentally equals Baseline's
+    // f+1 = 2 copies and the gap the figure demonstrates vanishes.
+    let groups = vec![7, 7, 7];
+    let batches: Vec<usize> = match scale {
+        Scale::Quick => vec![50, 200],
+        Scale::Full => vec![50, 100, 200, 400, 800],
+    };
+    batches
+        .into_iter()
+        .map(|b| {
+            let per_entry_kb = |p: Protocol| {
+                let cfg = ClusterConfig::nationwide(&groups, p)
+                    .workload(WorkloadKind::YcsbA)
+                    .max_batch(b)
+                    // Keep arrivals exactly at the batch cadence so every
+                    // entry carries the full fixed batch.
+                    .arrival_tps(b as f64 * 50.0 * 2.0)
+                    .seed(1);
+                let r = measure(cfg, scale.secs());
+                if r.entries_executed == 0 {
+                    return 0.0;
+                }
+                r.wan_bytes as f64 / r.entries_executed as f64 / 1024.0
+            };
+            (b, per_entry_kb(Protocol::MassBft), per_entry_kb(Protocol::Baseline))
+        })
+        .collect()
+}
+
+/// Fig. 11 — MassBFT latency breakdown at a group representative.
+pub fn fig11(scale: Scale) -> PhaseBreakdown {
+    let groups = scale.groups7();
+    let cfg = ClusterConfig::nationwide(&groups, Protocol::MassBft)
+        .workload(WorkloadKind::YcsbA)
+        .arrival_tps(2_000.0)
+        .seed(1);
+    let mut c = Cluster::new(cfg);
+    c.run_until((scale.secs() + 1) * SECOND);
+    c.node(NodeId::new(0, 0)).phase_breakdown().unwrap_or_default()
+}
+
+/// One Fig. 12 row: protocol, per-group ktps, mean latency.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Protocol variant (Baseline / BR / EBR / MassBFT as EBR+A).
+    pub protocol: Protocol,
+    /// Throughput contributed by each group's entries, ktps.
+    pub per_group_ktps: Vec<f64>,
+    /// Mean latency, ms.
+    pub latency_ms: f64,
+}
+
+/// Fig. 12 — heterogeneous group sizes (4/7/7): throughput breakdown per
+/// group and latency for Baseline, BR, EBR, and MassBFT (EBR+A).
+pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
+    let groups: Vec<usize> = match scale {
+        Scale::Quick => vec![4, 7, 7],
+        Scale::Full => vec![4, 7, 7],
+    };
+    [
+        Protocol::Baseline,
+        Protocol::BijectiveOnly,
+        Protocol::EncodedBijective,
+        Protocol::MassBft,
+    ]
+    .into_iter()
+    .map(|p| {
+        let cfg = ClusterConfig::nationwide(&groups, p)
+            .workload(WorkloadKind::YcsbA)
+            .seed(1);
+        let r = measure(cfg.clone(), scale.secs());
+        Fig12Row {
+            protocol: p,
+            per_group_ktps: r.per_group_tps.iter().map(|t| t / 1000.0).collect(),
+            latency_ms: measure_latency_ms(cfg, scale.secs()),
+        }
+    })
+    .collect()
+}
+
+/// Fig. 13a — throughput versus nodes per group, MassBFT vs Baseline.
+/// Returns `(nodes_per_group, massbft_ktps, baseline_ktps)`.
+pub fn fig13a(scale: Scale) -> Vec<(usize, f64, f64)> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![4, 7],
+        Scale::Full => vec![4, 7, 10, 16, 22, 28, 34, 40],
+    };
+    sizes
+        .into_iter()
+        .map(|n| {
+            let run = |p: Protocol| {
+                let cfg = ClusterConfig::nationwide(&[n, n, n], p)
+                    .workload(WorkloadKind::YcsbA)
+                    .seed(1);
+                measure(cfg, scale.secs()).throughput.ktps()
+            };
+            (n, run(Protocol::MassBft), run(Protocol::Baseline))
+        })
+        .collect()
+}
+
+/// Fig. 13b — throughput versus group count (7 nodes each), MassBFT vs
+/// Baseline. Returns `(groups, massbft_ktps, baseline_ktps)`.
+pub fn fig13b(scale: Scale) -> Vec<(usize, f64, f64)> {
+    let (per_group, counts): (usize, Vec<usize>) = match scale {
+        Scale::Quick => (4, vec![3, 4]),
+        Scale::Full => (7, vec![3, 4, 5, 6, 7]),
+    };
+    counts
+        .into_iter()
+        .map(|ng| {
+            let sizes = vec![per_group; ng];
+            let run = |p: Protocol| {
+                let cfg = ClusterConfig::nationwide(&sizes, p)
+                    .workload(WorkloadKind::YcsbA)
+                    .seed(1);
+                measure(cfg, scale.secs()).throughput.ktps()
+            };
+            (ng, run(Protocol::MassBft), run(Protocol::Baseline))
+        })
+        .collect()
+}
+
+/// Fig. 14 — heterogeneous node bandwidth: all nodes start at 40 Mbps;
+/// `k` nodes per group are slowed to 20 Mbps. Returns
+/// `(slow_per_group, ktps, latency_ms)`.
+pub fn fig14(scale: Scale) -> Vec<(usize, f64, f64)> {
+    let groups = scale.groups7();
+    let n = groups[0];
+    let counts: Vec<usize> = match scale {
+        Scale::Quick => vec![0, n],
+        Scale::Full => (0..=n).collect(),
+    };
+    counts
+        .into_iter()
+        .map(|k| {
+            let mut cfg = ClusterConfig::nationwide(&groups, Protocol::MassBft)
+                .workload(WorkloadKind::YcsbA)
+                .wan_mbps(40)
+                .seed(1);
+            for g in 0..groups.len() as u32 {
+                for i in 0..k as u32 {
+                    // Slow the highest-indexed nodes first, keeping the
+                    // representative fast.
+                    let node = (n - 1 - i as usize) as u32;
+                    cfg = cfg.node_wan_mbps(NodeId::new(g, node), 20);
+                }
+            }
+            let r = measure(cfg.clone(), scale.secs());
+            (k, r.throughput.ktps(), measure_latency_ms(cfg, scale.secs()))
+        })
+        .collect()
+}
+
+/// One second of the Fig. 15 fault timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelinePoint {
+    /// Second since start.
+    pub sec: u64,
+    /// Throughput over that second, ktps.
+    pub ktps: f64,
+    /// Mean latency of entries completed in that second, ms.
+    pub latency_ms: f64,
+}
+
+/// Fig. 15 — fault timeline: Byzantine chunk tampering starts at
+/// `byz_at` seconds, group `crash_group` crashes at `crash_at` seconds.
+/// Defaults follow the paper: 20 s and 40 s over a 60 s run (scaled down
+/// for quick mode).
+pub fn fig15(scale: Scale) -> (Vec<TimelinePoint>, u64, u64) {
+    let groups = scale.groups7();
+    let (total, byz_at, crash_at) = match scale {
+        Scale::Quick => (12u64, 4u64, 8u64),
+        Scale::Full => (30, 10, 20),
+    };
+    // Two Byzantine nodes per group, highest indices (f = 2 for n = 7).
+    let byz: Vec<NodeId> = (0..groups.len() as u32)
+        .flat_map(|g| {
+            let n = groups[g as usize] as u32;
+            [NodeId::new(g, n - 1), NodeId::new(g, n - 2)]
+        })
+        .collect();
+    let cfg = ClusterConfig::nationwide(&groups, Protocol::MassBft)
+        .workload(WorkloadKind::YcsbA)
+        .byzantine(&byz, byz_at * SECOND)
+        .seed(1);
+    let mut c = Cluster::new(cfg);
+    let obs = c.observer();
+    let rep = NodeId::new(0, 0);
+    let mut points = Vec::new();
+    let mut last_txns = 0u64;
+    let mut last_lat_count = 0usize;
+    for sec in 1..=total {
+        if sec == crash_at {
+            // The crashed group must not contain the observer.
+            c.crash_group(groups.len() as u32 - 1);
+        }
+        c.run_until(sec * SECOND);
+        let txns = c.node(obs).executed_txns();
+        let lat = c.node(rep).latency();
+        let lat_ms = lat.mean_from(last_lat_count) / 1000.0;
+        last_lat_count = lat.count();
+        points.push(TimelinePoint {
+            sec,
+            ktps: (txns - last_txns) as f64 / 1000.0,
+            latency_ms: lat_ms,
+        });
+        last_txns = txns;
+    }
+    (points, byz_at, crash_at)
+}
+
+/// Ablation — overlapped (Fig. 7b) versus serial (Fig. 7a) VTS
+/// assignment: returns `(overlapped_latency_ms, serial_latency_ms)`.
+pub fn ablation_overlap(scale: Scale) -> (f64, f64) {
+    let groups = scale.groups7();
+    let run = |overlap: bool| {
+        let mut cfg = ClusterConfig::nationwide(&groups, Protocol::MassBft)
+            .workload(WorkloadKind::YcsbA)
+            .seed(1);
+        cfg.params.overlap_vts = overlap;
+        measure_latency_ms(cfg, scale.secs())
+    };
+    (run(true), run(false))
+}
+
+/// Ablation — parity overhead of the worst-case loss bound (Algorithm 1)
+/// per equal group size: `(n, n_parity, n_data, amplification)`.
+pub fn ablation_parity() -> Vec<(usize, usize, usize, f64)> {
+    [4usize, 7, 10, 16, 22, 28, 34, 40]
+        .into_iter()
+        .map(|n| {
+            let p = massbft_core::plan::TransferPlan::generate(n, n).expect("valid");
+            (n, p.n_parity, p.n_data, p.amplification())
+        })
+        .collect()
+}
+
+/// Table I / Table II — the static protocol-feature matrices, returned as
+/// preformatted rows for the binary to print.
+pub fn feature_tables() -> (Vec<[&'static str; 6]>, Vec<[&'static str; 6]>) {
+    let table1 = vec![
+        ["Protocol", "FT", "Local", "Global", "Log replication", "Ordering"],
+        ["Steward", "BFT", "PBFT", "Paxos/Raft", "One-way (leader)", "-"],
+        ["GeoBFT", "BFT", "PBFT", "-", "One-way (leader)", "Synchronous"],
+        ["Baseline", "BFT", "PBFT", "Raft", "One-way (leader)", "Synchronous"],
+        ["MassBFT", "BFT", "PBFT", "Raft", "Encoded bijective", "Asynchronous"],
+    ];
+    let table2 = vec![
+        ["System", "Multi-master", "Replication", "Consensus", "Ordering", "Coding"],
+        ["Steward", "N", "One-way", "Raft", "-", "Entire block"],
+        ["ISS", "Y", "One-way", "Raft+Epoch", "Sync.", "Entire block"],
+        ["GeoBFT", "Y", "One-way", "Broadcast", "Sync.", "Entire block"],
+        ["Baseline", "Y", "One-way", "Raft", "Sync.", "Entire block"],
+        ["MassBFT", "Y", "Bijective", "Raft", "Async.", "Erasure-coded"],
+    ];
+    (table1, table2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1b_quick_shows_declining_trend() {
+        let rows = fig1b(Scale::Quick);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].1 > 0.0);
+        // Leader-based replication: bigger groups, lower throughput.
+        assert!(
+            rows[1].1 < rows[0].1,
+            "GeoBFT should slow down with group size: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn fig10_quick_massbft_cheaper_per_entry() {
+        let rows = fig10(Scale::Quick);
+        for (b, mass, base) in rows {
+            assert!(
+                mass < base,
+                "batch {b}: MassBFT {mass:.1} KB/entry should beat Baseline {base:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig11_quick_breakdown_is_sane() {
+        let b = fig11(Scale::Quick);
+        let total =
+            b.local_consensus_ms + b.global_replication_ms + b.ordering_ms + b.execution_ms;
+        assert!(total > 10.0, "breakdown sums to {total:.1} ms");
+        // Global replication dominates (cross-datacenter RTTs).
+        assert!(b.global_replication_ms > b.execution_ms);
+    }
+
+    #[test]
+    fn fig13b_quick_has_both_series() {
+        let rows = fig13b(Scale::Quick);
+        assert_eq!(rows.len(), 2);
+        for (ng, mass, base) in rows {
+            assert!(mass > base, "{ng} groups: MassBFT {mass:.1} vs Baseline {base:.1}");
+        }
+    }
+
+    #[test]
+    fn ablation_parity_matches_algorithm1() {
+        let rows = ablation_parity();
+        let (n, parity, data, amp) = rows[1];
+        assert_eq!(n, 7);
+        assert_eq!(parity, 4);
+        assert_eq!(data, 3);
+        assert!(amp > 2.0);
+    }
+
+    #[test]
+    fn feature_tables_are_wellformed() {
+        let (t1, t2) = feature_tables();
+        assert_eq!(t1.len(), 5);
+        assert_eq!(t2.len(), 6);
+        assert!(t1.iter().all(|r| r.len() == 6));
+    }
+}

@@ -1,0 +1,107 @@
+//! Erasure-coding substrate for MassBFT.
+//!
+//! MassBFT's encoded bijective log replication (paper §IV-B) splits every
+//! log entry into `n_data` *data chunks* and `n_parity` *parity chunks* so
+//! that any `n_data` of the `n_total = n_data + n_parity` chunks suffice to
+//! rebuild the original entry. The paper uses a Reed-Solomon code for this;
+//! this crate provides a from-scratch systematic Reed-Solomon implementation
+//! over GF(2^8) using an extended Cauchy generator matrix.
+//!
+//! # Layout
+//!
+//! - [`gf256`] — arithmetic in GF(2^8) with compile-time log/exp tables.
+//! - [`matrix`] — dense matrices over GF(2^8) with Gauss-Jordan inversion.
+//! - [`rs`] — the [`rs::ReedSolomon`] encoder/decoder.
+//! - [`chunker`] — length-framed splitting of an arbitrary byte entry into
+//!   equal-size shards and the inverse rebuild.
+//!
+//! # Limits
+//!
+//! Like any GF(2^8) Reed-Solomon code, at most 256 total chunks are
+//! supported. The paper hit the same wall with `liberasurecode` (max 64
+//! chunks) and switched libraries; group sizes in the evaluation keep
+//! `n_total = lcm(n1, n2)` well under 256, and [`rs::ReedSolomon::new`]
+//! returns [`CodecError::TooManyChunks`] otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use massbft_codec::{chunker::EntryCodec, rs::ReedSolomon};
+//!
+//! // 13 data chunks + 15 parity chunks, as in the paper's Fig. 5b case
+//! // study (4-node group sending to a 7-node group).
+//! let codec = EntryCodec::new(13, 28).unwrap();
+//! let entry = b"a batch of transactions".repeat(64);
+//! let chunks = codec.encode(&entry).unwrap();
+//! assert_eq!(chunks.len(), 28);
+//!
+//! // Lose any 15 chunks: the entry still rebuilds from the other 13.
+//! let mut received: Vec<Option<Vec<u8>>> = chunks.into_iter().map(Some).collect();
+//! for lost in [0, 1, 2, 3, 4, 5, 6, 7, 10, 12, 14, 20, 21, 22, 23] {
+//!     received[lost] = None;
+//! }
+//! let rebuilt = codec.decode(&mut received).unwrap();
+//! assert_eq!(rebuilt, entry);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunker;
+pub mod gf256;
+pub mod matrix;
+pub mod rs;
+
+/// Errors produced by the erasure-coding layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// `n_data` was zero or exceeded `n_total`.
+    InvalidShardCounts {
+        /// Requested number of data chunks.
+        n_data: usize,
+        /// Requested total number of chunks.
+        n_total: usize,
+    },
+    /// More than 256 total chunks were requested (GF(2^8) limit).
+    TooManyChunks(usize),
+    /// Fewer than `n_data` chunks were present at decode time.
+    NotEnoughChunks {
+        /// Chunks available.
+        have: usize,
+        /// Chunks required.
+        need: usize,
+    },
+    /// Chunks passed to `decode` had inconsistent lengths.
+    InconsistentChunkSize,
+    /// The decoded payload failed length-frame validation, i.e. the chunk
+    /// set was internally consistent but does not frame a valid entry
+    /// (tampered input).
+    CorruptFrame,
+    /// A matrix that must be invertible was singular. With a Cauchy
+    /// generator matrix this indicates corrupted shard indices.
+    SingularMatrix,
+    /// An empty entry cannot be encoded into zero-size chunks.
+    EmptyEntry,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::InvalidShardCounts { n_data, n_total } => {
+                write!(f, "invalid shard counts: n_data={n_data}, n_total={n_total}")
+            }
+            CodecError::TooManyChunks(n) => {
+                write!(f, "{n} chunks requested but GF(2^8) supports at most 256")
+            }
+            CodecError::NotEnoughChunks { have, need } => {
+                write!(f, "not enough chunks to rebuild: have {have}, need {need}")
+            }
+            CodecError::InconsistentChunkSize => write!(f, "chunks have inconsistent sizes"),
+            CodecError::CorruptFrame => write!(f, "decoded payload fails length-frame validation"),
+            CodecError::SingularMatrix => write!(f, "decode matrix is singular"),
+            CodecError::EmptyEntry => write!(f, "cannot encode an empty entry"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,279 @@
+//! Systematic Reed-Solomon encoder/decoder over GF(2^8).
+//!
+//! The code is *systematic*: the first `n_data` output shards are the input
+//! data verbatim, and the remaining `n_parity` shards are Cauchy-coded
+//! redundancy. Any `n_data` of the `n_total` shards reconstruct the data
+//! (paper §IV-B: "any n_data out of n_total chunks can be used to rebuild
+//! the original message").
+//!
+//! Decoding caches nothing across erasure patterns; the matrices are at most
+//! 256x256 and inversion is microseconds, far below the WAN latencies the
+//! protocol hides.
+
+use crate::{matrix::Matrix, CodecError};
+
+/// A systematic Reed-Solomon code with fixed shard counts.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    n_data: usize,
+    n_total: usize,
+    /// Rows `n_data..n_total` of the generator matrix (the parity rows).
+    parity_rows: Matrix,
+    /// Full generator matrix, kept for decode-time row selection.
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a code producing `n_total` shards of which `n_data` carry
+    /// data.
+    pub fn new(n_data: usize, n_total: usize) -> Result<Self, CodecError> {
+        let generator = Matrix::systematic_cauchy(n_total, n_data)?;
+        let parity_rows = generator.select_rows(&(n_data..n_total).collect::<Vec<_>>());
+        Ok(ReedSolomon { n_data, n_total, parity_rows, generator })
+    }
+
+    /// Number of data shards.
+    pub fn n_data(&self) -> usize {
+        self.n_data
+    }
+
+    /// Total number of shards.
+    pub fn n_total(&self) -> usize {
+        self.n_total
+    }
+
+    /// Number of parity shards.
+    pub fn n_parity(&self) -> usize {
+        self.n_total - self.n_data
+    }
+
+    /// Encodes `n_data` equal-length data shards into `n_total` shards.
+    ///
+    /// The returned vector starts with the data shards (clones of the
+    /// input) followed by the computed parity shards.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodecError> {
+        if data.len() != self.n_data {
+            return Err(CodecError::InvalidShardCounts {
+                n_data: data.len(),
+                n_total: self.n_total,
+            });
+        }
+        let shard_len = data[0].len();
+        if data.iter().any(|d| d.len() != shard_len) {
+            return Err(CodecError::InconsistentChunkSize);
+        }
+        let mut out = Vec::with_capacity(self.n_total);
+        out.extend(data.iter().cloned());
+        for p in 0..self.n_parity() {
+            let mut shard = vec![0u8; shard_len];
+            for (j, d) in data.iter().enumerate() {
+                crate::gf256::mul_acc_slice(&mut shard, d, self.parity_rows.get(p, j));
+            }
+            out.push(shard);
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs the `n_data` data shards from any `n_data` surviving
+    /// shards. `shards[i]` is `Some` if shard `i` was received.
+    ///
+    /// On success the returned vector holds the data shards in order.
+    /// Missing *data* shards are recomputed; surviving ones are moved out of
+    /// the input untouched.
+    pub fn reconstruct_data(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+    ) -> Result<Vec<Vec<u8>>, CodecError> {
+        if shards.len() != self.n_total {
+            return Err(CodecError::InvalidShardCounts {
+                n_data: self.n_data,
+                n_total: shards.len(),
+            });
+        }
+        let have = shards.iter().filter(|s| s.is_some()).count();
+        if have < self.n_data {
+            return Err(CodecError::NotEnoughChunks { have, need: self.n_data });
+        }
+
+        let shard_len = shards
+            .iter()
+            .flatten()
+            .map(|s| s.len())
+            .next()
+            .ok_or(CodecError::NotEnoughChunks { have: 0, need: self.n_data })?;
+        if shards.iter().flatten().any(|s| s.len() != shard_len) {
+            return Err(CodecError::InconsistentChunkSize);
+        }
+
+        // Fast path: all data shards survived.
+        if shards[..self.n_data].iter().all(|s| s.is_some()) {
+            return Ok(shards[..self.n_data]
+                .iter_mut()
+                .map(|s| s.take().expect("checked above"))
+                .collect());
+        }
+
+        // Pick the first n_data available shard indices; invert the
+        // corresponding generator rows; multiply to recover the data.
+        let picked: Vec<usize> = (0..self.n_total)
+            .filter(|&i| shards[i].is_some())
+            .take(self.n_data)
+            .collect();
+        let decode = self.generator.select_rows(&picked).inverse()?;
+
+        let mut data = Vec::with_capacity(self.n_data);
+        for r in 0..self.n_data {
+            let mut shard = vec![0u8; shard_len];
+            for (k, &src) in picked.iter().enumerate() {
+                let c = decode.get(r, k);
+                let input = shards[src].as_ref().expect("picked only Some");
+                crate::gf256::mul_acc_slice(&mut shard, input, c);
+            }
+            data.push(shard);
+        }
+        Ok(data)
+    }
+
+    /// Verifies that a full shard set is consistent with this code: parity
+    /// shards must equal the re-encoding of the data shards. Used by tests
+    /// and by debug assertions in the replication engine.
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, CodecError> {
+        if shards.len() != self.n_total {
+            return Err(CodecError::InvalidShardCounts {
+                n_data: self.n_data,
+                n_total: shards.len(),
+            });
+        }
+        let reenc = self.encode(&shards[..self.n_data].to_vec())?;
+        Ok(reenc == shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_shards(rng: &mut StdRng, n: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| (0..len).map(|_| rng.gen()).collect()).collect()
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = ReedSolomon::new(4, 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = random_shards(&mut rng, 4, 64);
+        let shards = rs.encode(&data).unwrap();
+        assert_eq!(&shards[..4], &data[..]);
+        assert_eq!(shards.len(), 7);
+        assert!(rs.verify(&shards).unwrap());
+    }
+
+    #[test]
+    fn reconstruct_from_every_erasure_pattern() {
+        // Exhaustively drop every possible set of n_parity shards for a
+        // small code and check recovery.
+        let rs = ReedSolomon::new(3, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = random_shards(&mut rng, 3, 32);
+        let shards = rs.encode(&data).unwrap();
+
+        for mask in 0u32..(1 << 6) {
+            if mask.count_ones() != 3 {
+                continue; // keep exactly n_data shards
+            }
+            let mut received: Vec<Option<Vec<u8>>> = shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| if mask & (1 << i) != 0 { Some(s.clone()) } else { None })
+                .collect();
+            let rebuilt = rs.reconstruct_data(&mut received).unwrap();
+            assert_eq!(rebuilt, data, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn not_enough_shards_is_an_error() {
+        let rs = ReedSolomon::new(4, 7).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; 7];
+        shards[0] = Some(vec![1; 8]);
+        shards[1] = Some(vec![2; 8]);
+        shards[6] = Some(vec![3; 8]);
+        assert_eq!(
+            rs.reconstruct_data(&mut shards).unwrap_err(),
+            CodecError::NotEnoughChunks { have: 3, need: 4 }
+        );
+    }
+
+    #[test]
+    fn inconsistent_sizes_rejected() {
+        let rs = ReedSolomon::new(2, 4).unwrap();
+        assert_eq!(
+            rs.encode(&[vec![1, 2], vec![3]]).unwrap_err(),
+            CodecError::InconsistentChunkSize
+        );
+        let mut shards = vec![Some(vec![1, 2]), Some(vec![3]), None, None];
+        assert_eq!(
+            rs.reconstruct_data(&mut shards).unwrap_err(),
+            CodecError::InconsistentChunkSize
+        );
+    }
+
+    #[test]
+    fn corrupted_shard_rebuilds_wrong_data() {
+        // The paper's §IV-C relies on this: RS cannot detect corruption,
+        // only the PBFT certificate check can. A flipped byte in a used
+        // shard must produce a *different* (wrong) reconstruction.
+        let rs = ReedSolomon::new(4, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = random_shards(&mut rng, 4, 16);
+        let shards = rs.encode(&data).unwrap();
+
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        received[0] = None; // force the decode path to use parity
+        received[4].as_mut().unwrap()[0] ^= 0xff; // corrupt a parity shard
+        received[5] = None;
+        received[6] = None;
+        received[7] = None;
+        let rebuilt = rs.reconstruct_data(&mut received).unwrap();
+        assert_ne!(rebuilt, data);
+    }
+
+    #[test]
+    fn paper_case_study_dimensions() {
+        // Fig. 5b: n_total = lcm(4,7) = 28, parity = 1*7 + 2*4 = 15,
+        // data = 13 → ~2.15 entry copies of WAN traffic.
+        let rs = ReedSolomon::new(13, 28).unwrap();
+        assert_eq!(rs.n_parity(), 15);
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = random_shards(&mut rng, 13, 100);
+        let shards = rs.encode(&data).unwrap();
+
+        // Worst case: lose the 15 chunks touched by faulty nodes.
+        let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        for lost in [21, 22, 23, 24, 25, 26, 27, 0, 1, 2, 3, 8, 9, 10, 11] {
+            received[lost] = None;
+        }
+        assert_eq!(rs.reconstruct_data(&mut received).unwrap(), data);
+    }
+
+    #[test]
+    fn no_data_loss_uses_fast_path() {
+        let rs = ReedSolomon::new(4, 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = random_shards(&mut rng, 4, 10);
+        let shards = rs.encode(&data).unwrap();
+        let mut received: Vec<Option<Vec<u8>>> =
+            shards.iter().take(4).cloned().map(Some).chain([None, None, None]).collect();
+        assert_eq!(rs.reconstruct_data(&mut received).unwrap(), data);
+        // Fast path takes the shards out of the input.
+        assert!(received[..4].iter().all(|s| s.is_none()));
+    }
+
+    #[test]
+    fn single_shard_code_is_degenerate_copy() {
+        let rs = ReedSolomon::new(1, 1).unwrap();
+        let shards = rs.encode(&[vec![9, 9]]).unwrap();
+        assert_eq!(shards, vec![vec![9, 9]]);
+    }
+}

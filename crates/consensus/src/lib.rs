@@ -1,0 +1,29 @@
+//! Sans-io consensus state machines for MassBFT.
+//!
+//! Two protocols, matching the paper's hierarchical architecture (Table I):
+//!
+//! - [`pbft`] — Practical Byzantine Fault Tolerance for **local** consensus
+//!   inside a group/data center (`n ≥ 3f + 1`). Produces the quorum
+//!   certificate that protects entries during global replication. Includes
+//!   the *skip-prepare* variant used for global `accept` decisions, where
+//!   the consensus input is already certified by the sender group
+//!   (paper §II-A, citing Ziziphus).
+//! - [`raft`] — Raft for **global** replication across groups
+//!   (`n_g ≥ 2f_g + 1`), with each group acting as one logical replica.
+//!   MassBFT runs `n_g` instances in parallel, one led by each group
+//!   (paper §V-A).
+//!
+//! Both are *sans-io*: they never touch the network or a clock. Inputs are
+//! `step`/timeout calls; outputs are value-typed actions the driver (the
+//! simulator in this repo, a TCP shim in a real deployment) must perform.
+//! This is what makes the protocol cores unit-testable and lets the paper's
+//! fault scenarios be scripted deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pbft;
+pub mod raft;
+
+pub use pbft::{PbftConfig, PbftMsg, PbftOutput, PbftReplica};
+pub use raft::{RaftConfig, RaftMsg, RaftNode, RaftOutput, RaftRole};

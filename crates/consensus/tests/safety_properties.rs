@@ -1,0 +1,308 @@
+//! Property-based safety tests for the consensus substrates under
+//! adversarial delivery: random drops, duplications, and reorderings
+//! must never violate PBFT or Raft safety invariants — only liveness may
+//! suffer (and the properties don't demand progress).
+
+use massbft_consensus::pbft::{PbftConfig, PbftMsg, PbftOutput, PbftReplica};
+use massbft_consensus::raft::{RaftConfig, RaftMsg, RaftNode, RaftOutput};
+use massbft_crypto::{Digest, KeyRegistry};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+// --------------------------------------------------------------------------
+// PBFT
+// --------------------------------------------------------------------------
+
+/// Drives `n` PBFT replicas under a seeded adversarial network; returns
+/// each replica's committed `(seq, payload)` sequence.
+fn pbft_adversarial(
+    n: usize,
+    proposals: &[Vec<u8>],
+    seed: u64,
+    drop_pct: u32,
+    dup_pct: u32,
+) -> Vec<Vec<(u64, Vec<u8>)>> {
+    let registry = KeyRegistry::generate(1, &[n]);
+    let mut replicas: Vec<PbftReplica> = (0..n)
+        .map(|i| {
+            PbftReplica::new(
+                PbftConfig {
+                    group: 0,
+                    n,
+                    node: i as u32,
+                    skip_prepare: false,
+                    checkpoint_interval: 0,
+                },
+                registry.clone(),
+            )
+        })
+        .collect();
+    let mut committed: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); n];
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A pool rather than a queue: random draws model reordering.
+    let mut pool: Vec<(u32, u32, PbftMsg)> = Vec::new();
+
+    let mut absorb = |from: u32,
+                      outs: Vec<PbftOutput>,
+                      pool: &mut Vec<(u32, u32, PbftMsg)>,
+                      committed: &mut Vec<Vec<(u64, Vec<u8>)>>| {
+        for o in outs {
+            match o {
+                PbftOutput::Send { to, msg } => pool.push((from, to, msg)),
+                PbftOutput::Broadcast(msg) => {
+                    for to in 0..n as u32 {
+                        if to != from {
+                            pool.push((from, to, msg.clone()));
+                        }
+                    }
+                }
+                PbftOutput::Committed { seq, payload, .. } => {
+                    committed[from as usize].push((seq, payload));
+                }
+                _ => {}
+            }
+        }
+    };
+
+    for p in proposals {
+        let outs = replicas[0].propose(p.clone());
+        absorb(0, outs, &mut pool, &mut committed);
+    }
+    let mut steps = 0u32;
+    while !pool.is_empty() && steps < 200_000 {
+        steps += 1;
+        let idx = rng.gen_range(0..pool.len());
+        let (from, to, msg) = pool.swap_remove(idx);
+        if rng.gen_range(0..100) < drop_pct {
+            continue;
+        }
+        if rng.gen_range(0..100) < dup_pct {
+            pool.push((from, to, msg.clone()));
+        }
+        let outs = replicas[to as usize].on_message(from, msg);
+        absorb(to, outs, &mut pool, &mut committed);
+    }
+    committed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Safety: no two replicas ever commit different payloads at the same
+    /// sequence number, and each replica's committed sequence numbers are
+    /// contiguous from 1, under arbitrary reordering/drops/duplication.
+    #[test]
+    fn pbft_no_conflicting_commits(
+        n in prop::sample::select(vec![4usize, 7]),
+        n_props in 1usize..6,
+        seed in any::<u64>(),
+        drop_pct in 0u32..30,
+        dup_pct in 0u32..20,
+    ) {
+        let proposals: Vec<Vec<u8>> =
+            (0..n_props).map(|i| format!("payload-{i}").into_bytes()).collect();
+        let committed = pbft_adversarial(n, &proposals, seed, drop_pct, dup_pct);
+        let mut by_seq: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (r, log) in committed.iter().enumerate() {
+            let mut expect = 1u64;
+            for (seq, payload) in log {
+                prop_assert_eq!(*seq, expect, "replica {} commits out of order", r);
+                expect += 1;
+                match by_seq.get(seq) {
+                    Some(existing) => prop_assert_eq!(
+                        existing, payload,
+                        "replicas disagree at seq {}", seq
+                    ),
+                    None => {
+                        by_seq.insert(*seq, payload.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pbft_equivocating_primary_cannot_split_honest_replicas() {
+    // A Byzantine primary hands different payloads for the same (view,
+    // seq) to different replicas. At most one of the two can gather a
+    // prepare quorum, so honest replicas never commit conflicting values.
+    let n = 4;
+    let registry = KeyRegistry::generate(2, &[n]);
+    let mut replicas: Vec<PbftReplica> = (0..n)
+        .map(|i| {
+            PbftReplica::new(
+                PbftConfig {
+                    group: 0,
+                    n,
+                    node: i as u32,
+                    skip_prepare: false,
+                    checkpoint_interval: 0,
+                },
+                registry.clone(),
+            )
+        })
+        .collect();
+
+    let pay_a = b"value-A".to_vec();
+    let pay_b = b"value-B".to_vec();
+    let pre = |payload: &Vec<u8>| PbftMsg::PrePrepare {
+        view: 0,
+        seq: 1,
+        payload: payload.clone(),
+        digest: Digest::of(payload),
+    };
+
+    // Primary 0 equivocates: replicas 1 gets A; replicas 2 and 3 get B.
+    let mut pool: Vec<(u32, u32, PbftMsg)> = Vec::new();
+    let mut committed: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+    let mut absorb = |from: u32,
+                      outs: Vec<PbftOutput>,
+                      pool: &mut Vec<(u32, u32, PbftMsg)>,
+                      committed: &mut Vec<Vec<Vec<u8>>>| {
+        for o in outs {
+            match o {
+                PbftOutput::Send { to, msg } => pool.push((from, to, msg)),
+                PbftOutput::Broadcast(msg) => {
+                    for to in 0..n as u32 {
+                        if to != from {
+                            pool.push((from, to, msg.clone()));
+                        }
+                    }
+                }
+                PbftOutput::Committed { payload, .. } => committed[from as usize].push(payload),
+                _ => {}
+            }
+        }
+    };
+    let outs = replicas[1].on_message(0, pre(&pay_a));
+    absorb(1, outs, &mut pool, &mut committed);
+    for r in [2u32, 3] {
+        let outs = replicas[r as usize].on_message(0, pre(&pay_b));
+        absorb(r, outs, &mut pool, &mut committed);
+    }
+    // Deliver everything (the Byzantine primary stays silent otherwise).
+    while let Some((from, to, msg)) = pool.pop() {
+        if to == 0 {
+            continue; // the Byzantine primary drops its inbox
+        }
+        let outs = replicas[to as usize].on_message(from, msg);
+        absorb(to, outs, &mut pool, &mut committed);
+    }
+    // No two honest replicas committed different values at seq 1.
+    let committed_values: Vec<&Vec<u8>> =
+        committed[1..].iter().flatten().collect();
+    for w in committed_values.windows(2) {
+        assert_eq!(w[0], w[1], "equivocation split the honest replicas");
+    }
+}
+
+// --------------------------------------------------------------------------
+// Raft
+// --------------------------------------------------------------------------
+
+/// Drives a Raft trio under adversarial delivery with scripted leader
+/// proposals and random election timeouts; returns committed logs.
+fn raft_adversarial(seed: u64, drop_pct: u32, timeouts: u32) -> Vec<Vec<(u64, u64)>> {
+    let members = vec![0u32, 1, 2];
+    let mut nodes: Vec<RaftNode<u64>> = members
+        .iter()
+        .map(|&m| {
+            RaftNode::new(RaftConfig { me: m, members: members.clone(), initial_leader: Some(0) })
+        })
+        .collect();
+    let mut committed: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 3];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<(u32, u32, RaftMsg<u64>)> = Vec::new();
+
+    let mut absorb = |from: u32,
+                      outs: Vec<RaftOutput<u64>>,
+                      pool: &mut Vec<(u32, u32, RaftMsg<u64>)>,
+                      committed: &mut Vec<Vec<(u64, u64)>>| {
+        for o in outs {
+            match o {
+                RaftOutput::Send { to, msg } => pool.push((from, to, msg)),
+                RaftOutput::Committed { index, data, .. } => {
+                    committed[from as usize].push((index, data))
+                }
+                _ => {}
+            }
+        }
+    };
+
+    let mut next_value = 0u64;
+    for round in 0..40u32 {
+        // Whoever believes it is leader proposes.
+        for m in 0..3usize {
+            if nodes[m].is_leader() {
+                if let Some((_, outs)) = nodes[m].propose(next_value) {
+                    next_value += 1;
+                    absorb(m as u32, outs, &mut pool, &mut committed);
+                }
+            }
+        }
+        // Random election timeouts sprinkle leadership churn.
+        if timeouts > 0 && round % (41 - timeouts) == 0 {
+            let victim = rng.gen_range(0..3usize);
+            let outs = nodes[victim].on_election_timeout();
+            absorb(victim as u32, outs, &mut pool, &mut committed);
+        }
+        // Deliver a random batch with drops.
+        for _ in 0..40 {
+            if pool.is_empty() {
+                break;
+            }
+            let idx = rng.gen_range(0..pool.len());
+            let (from, to, msg) = pool.swap_remove(idx);
+            if rng.gen_range(0..100) < drop_pct {
+                continue;
+            }
+            let outs = nodes[to as usize].step(from, msg);
+            absorb(to, outs, &mut pool, &mut committed);
+        }
+    }
+    // Final full drain without drops so logs converge where possible.
+    let mut steps = 0;
+    while !pool.is_empty() && steps < 100_000 {
+        steps += 1;
+        let idx = rng.gen_range(0..pool.len());
+        let (from, to, msg) = pool.swap_remove(idx);
+        let outs = nodes[to as usize].step(from, msg);
+        absorb(to, outs, &mut pool, &mut committed);
+    }
+    committed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Raft State-Machine-Safety: no two members apply different commands
+    /// at the same log index, and every member applies indices
+    /// contiguously, under drops, reordering, and leadership churn.
+    #[test]
+    fn raft_state_machine_safety(
+        seed in any::<u64>(),
+        drop_pct in 0u32..35,
+        timeouts in 0u32..30,
+    ) {
+        let committed = raft_adversarial(seed, drop_pct, timeouts);
+        let mut by_index: BTreeMap<u64, u64> = BTreeMap::new();
+        for (m, log) in committed.iter().enumerate() {
+            let mut expect = 1u64;
+            for &(index, data) in log {
+                prop_assert_eq!(index, expect, "member {} applied out of order", m);
+                expect += 1;
+                match by_index.get(&index) {
+                    Some(&existing) => prop_assert_eq!(
+                        existing, data,
+                        "members disagree at index {}", index
+                    ),
+                    None => {
+                        by_index.insert(index, data);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The experiment harness: build a geo-cluster, drive a workload, inject
+//! faults, and measure — the programmatic equivalent of the paper's Aliyun
+//! deployments (§VI).
+//!
+//! A [`Cluster`] owns a [`Simulation`] of [`Node`] actors over a
+//! [`Topology`]. Throughput and latency are measured in virtual time, so
+//! every number is deterministic given the seed.
+
+use crate::{
+    protocol::{Node, Protocol, ProtocolParams},
+    stats::Throughput,
+};
+use massbft_crypto::KeyRegistry;
+use massbft_sim_net::{NodeId, Simulation, Time, Topology, TopologyBuilder, SECOND};
+use massbft_workloads::WorkloadKind;
+
+/// Which latency/RTT preset to build the topology from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Zhangjiakou / Chengdu / Hangzhou (+ 4 more), RTT 26.7–43.4 ms.
+    Nationwide,
+    /// Hong Kong / London / Silicon Valley, RTT 156–206 ms.
+    Worldwide,
+}
+
+/// Everything needed to stand up one experiment.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Protocol parameters (protocol, batching, CPU costs, faults…).
+    pub params: ProtocolParams,
+    /// Latency preset.
+    pub region: Region,
+    /// Default per-node WAN uplink, Mbps (paper default 20).
+    pub wan_mbps: u64,
+    /// Per-node WAN overrides, Mbps (Fig. 14).
+    pub node_wan_mbps: Vec<(NodeId, u64)>,
+}
+
+impl ClusterConfig {
+    /// Nationwide cluster with the given group sizes.
+    pub fn nationwide(group_sizes: &[usize], protocol: Protocol) -> Self {
+        ClusterConfig {
+            params: ProtocolParams::new(protocol, group_sizes),
+            region: Region::Nationwide,
+            wan_mbps: 20,
+            node_wan_mbps: Vec::new(),
+        }
+    }
+
+    /// Worldwide cluster with the given group sizes.
+    pub fn worldwide(group_sizes: &[usize], protocol: Protocol) -> Self {
+        ClusterConfig { region: Region::Worldwide, ..Self::nationwide(group_sizes, protocol) }
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, w: WorkloadKind) -> Self {
+        self.params.workload = w;
+        self
+    }
+
+    /// Sets the RNG/key seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Sets the per-group client arrival rate (transactions/second).
+    pub fn arrival_tps(mut self, tps: f64) -> Self {
+        self.params.arrival_tps = tps;
+        self
+    }
+
+    /// Sets the maximum batch size.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.params.max_batch = n;
+        self
+    }
+
+    /// Sets the pipeline window (in-flight entries per group).
+    pub fn pipeline_window(mut self, n: usize) -> Self {
+        self.params.pipeline_window = n;
+        self
+    }
+
+    /// Sets the default WAN uplink bandwidth in Mbps.
+    pub fn wan_mbps(mut self, mbps: u64) -> Self {
+        self.wan_mbps = mbps;
+        self
+    }
+
+    /// Overrides one node's WAN bandwidth (Fig. 14).
+    pub fn node_wan_mbps(mut self, id: NodeId, mbps: u64) -> Self {
+        self.node_wan_mbps.push((id, mbps));
+        self
+    }
+
+    /// Sets the per-transaction signature verification CPU cost.
+    pub fn sig_verify_us(mut self, us: Time) -> Self {
+        self.params.sig_verify_us = us;
+        self
+    }
+
+    /// Marks nodes Byzantine from `from_us` on (chunk tampering, §VI-E).
+    pub fn byzantine(mut self, nodes: &[NodeId], from_us: Time) -> Self {
+        self.params.byzantine_nodes = nodes.iter().copied().collect();
+        self.params.byzantine_from_us = from_us;
+        self
+    }
+
+    /// Sets the ISS epoch length.
+    pub fn epoch_us(mut self, us: Time) -> Self {
+        self.params.epoch_us = us;
+        self
+    }
+
+    fn build_topology(&self) -> Topology {
+        let sizes = &self.params.group_sizes;
+        let mut b = match self.region {
+            Region::Nationwide => TopologyBuilder::nationwide(sizes),
+            Region::Worldwide => TopologyBuilder::worldwide(sizes),
+        };
+        b = b.wan_bandwidth_mbps(self.wan_mbps);
+        for &(id, mbps) in &self.node_wan_mbps {
+            b = b.node_bandwidth_mbps(id, mbps);
+        }
+        b.build()
+    }
+}
+
+/// What one measurement produced.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Workload driven.
+    pub workload: WorkloadKind,
+    /// Global committed-transaction throughput over the window, measured
+    /// at the observer node.
+    pub throughput: Throughput,
+    /// Per-origin-group throughput (Fig. 12).
+    pub per_group_tps: Vec<f64>,
+    /// Mean end-to-end entry latency (batch creation → execution at the
+    /// origin representative), milliseconds.
+    pub mean_latency_ms: f64,
+    /// p99 latency, milliseconds.
+    pub p99_latency_ms: f64,
+    /// Total WAN bytes sent during the window.
+    pub wan_bytes: u64,
+    /// WAN bytes of the heaviest single sender (leader-bottleneck probe).
+    pub max_node_wan_bytes: u64,
+    /// Total LAN bytes during the window.
+    pub lan_bytes: u64,
+    /// Whether all nodes' execution logs are prefix-consistent and their
+    /// stores agree at equal prefixes.
+    pub all_nodes_consistent: bool,
+    /// Entries executed at the observer.
+    pub entries_executed: u64,
+}
+
+/// A running cluster experiment.
+pub struct Cluster {
+    sim: Simulation<Node>,
+    cfg: ClusterConfig,
+    /// Snapshot of executed txns at the start of the current window.
+    window_start_txns: u64,
+    window_start_time: Time,
+}
+
+impl Cluster {
+    /// Builds the cluster (nodes start idle; time starts at 0).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let topology = cfg.build_topology();
+        let registry = KeyRegistry::generate(cfg.params.seed, &cfg.params.group_sizes);
+        let params = cfg.params.clone();
+        let sim = Simulation::new(topology, move |id| {
+            Node::new(id, params.clone(), registry.clone())
+        });
+        Cluster { sim, cfg, window_start_txns: 0, window_start_time: 0 }
+    }
+
+    /// The observer node used for throughput accounting: a non-
+    /// representative member of group 0 when one exists (representatives
+    /// also batch and lead, but execution is identical everywhere).
+    pub fn observer(&self) -> NodeId {
+        if self.cfg.params.group_sizes[0] > 1 {
+            NodeId::new(0, 1)
+        } else {
+            NodeId::new(0, 0)
+        }
+    }
+
+    /// Direct access to the simulation (fault injection, metrics).
+    pub fn sim_mut(&mut self) -> &mut Simulation<Node> {
+        &mut self.sim
+    }
+
+    /// Reference to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.sim.actor(id)
+    }
+
+    /// Advances virtual time to `t` (absolute).
+    pub fn run_until(&mut self, t: Time) {
+        self.sim.run_until(t);
+    }
+
+    /// Crashes every node of group `g` (paper §VI-E).
+    pub fn crash_group(&mut self, g: u32) {
+        self.sim.crash_group(g);
+    }
+
+    /// Opens a measurement window at the current instant: traffic counters
+    /// reset, the observer's executed-transaction count is snapshotted.
+    pub fn open_window(&mut self) {
+        self.sim.metrics_mut().reset_traffic();
+        self.window_start_txns = self.node(self.observer()).executed_txns();
+        self.window_start_time = self.sim.now();
+    }
+
+    /// Closes the window and produces a [`Report`].
+    pub fn close_window(&mut self) -> Report {
+        let now = self.sim.now();
+        let window_us = now - self.window_start_time;
+        let obs = self.observer();
+        let txns = self.node(obs).executed_txns() - self.window_start_txns;
+        let throughput = Throughput { txns, window_us };
+
+        // Latency from every representative's samples (origin latency).
+        let ng = self.cfg.params.ng();
+        let mut all_lat: Vec<Time> = Vec::new();
+        for g in 0..ng as u32 {
+            let rep = self.cfg.params.leader_of(g);
+            // Skip crashed reps (their samples froze).
+            if self.sim.is_crashed(rep) {
+                continue;
+            }
+            // Cheap clone of samples via percentile API is awkward; gather
+            // through the public latency() accessor.
+            let l = self.node(rep).latency();
+            // mean over all samples so far — acceptable because windows in
+            // the harness start after a warmup reset is not supported for
+            // latency; experiments use fresh clusters per data point.
+            if l.count() > 0 {
+                all_lat.push(l.mean_us() as Time);
+            }
+        }
+        let mean_latency_ms = if all_lat.is_empty() {
+            0.0
+        } else {
+            all_lat.iter().sum::<u64>() as f64 / all_lat.len() as f64 / 1000.0
+        };
+        // p99 from group 0's representative (needs mutable access to
+        // sort the sample reservoir).
+        let mut p99 = 0u64;
+        let obs_rep = self.cfg.params.leader_of(0);
+        if !self.sim.is_crashed(obs_rep) {
+            p99 = self.sim.actor_mut(obs_rep).latency_mut().percentile_us(99.0);
+        }
+
+        let metrics = self.sim.metrics();
+        let wan_bytes = metrics.total_wan_bytes();
+        let max_node_wan_bytes = metrics.max_wan_sender().map(|(_, b)| b).unwrap_or(0);
+        let lan_bytes = metrics.total_lan_bytes();
+
+        let per_group_tps: Vec<f64> = {
+            let by_group = self.node(obs).executed_by_group();
+            by_group
+                .iter()
+                .map(|&t| t as f64 * 1_000_000.0 / window_us.max(1) as f64)
+                .collect()
+        };
+
+        Report {
+            protocol: self.cfg.params.protocol,
+            workload: self.cfg.params.workload,
+            throughput,
+            per_group_tps,
+            mean_latency_ms,
+            p99_latency_ms: p99 as f64 / 1000.0,
+            wan_bytes,
+            max_node_wan_bytes,
+            lan_bytes,
+            all_nodes_consistent: self.check_consistency(),
+            entries_executed: self.node(obs).executed_entries(),
+        }
+    }
+
+    /// Convenience: 1 s warmup, then measure for `secs` seconds.
+    pub fn run_secs(&mut self, secs: u64) -> Report {
+        self.run_until(SECOND);
+        self.open_window();
+        let end = self.sim.now() + secs * SECOND;
+        self.run_until(end);
+        self.close_window()
+    }
+
+    /// Prefix-consistency across every pair of nodes: one execution log
+    /// must be a prefix of the other (Agreement, Theorem V.6).
+    pub fn check_consistency(&self) -> bool {
+        let logs: Vec<&[crate::entry::EntryId]> = self
+            .sim
+            .actors()
+            .filter(|(id, _)| !self.sim.is_crashed(**id))
+            .map(|(_, n)| n.exec_log())
+            .collect();
+        for i in 0..logs.len() {
+            for j in (i + 1)..logs.len() {
+                let (a, b) = (logs[i], logs[j]);
+                let k = a.len().min(b.len());
+                if a[..k] != b[..k] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(protocol: Protocol) -> ClusterConfig {
+        ClusterConfig::nationwide(&[4, 4, 4], protocol)
+            .workload(WorkloadKind::YcsbA)
+            .seed(42)
+            .arrival_tps(3000.0)
+            .max_batch(60)
+    }
+
+    fn smoke(protocol: Protocol) -> Report {
+        let mut c = Cluster::new(small(protocol));
+        let r = c.run_secs(3);
+        assert!(
+            r.throughput.tps() > 100.0,
+            "{}: no throughput ({:.1} tps)",
+            protocol.name(),
+            r.throughput.tps()
+        );
+        assert!(r.all_nodes_consistent, "{}: replicas diverged", protocol.name());
+        assert!(r.mean_latency_ms > 1.0, "{}: implausible latency", protocol.name());
+        r
+    }
+
+    #[test]
+    fn massbft_smoke() {
+        let r = smoke(Protocol::MassBft);
+        assert!(r.wan_bytes > 0);
+    }
+
+    #[test]
+    fn baseline_smoke() {
+        smoke(Protocol::Baseline);
+    }
+
+    #[test]
+    fn geobft_smoke() {
+        smoke(Protocol::GeoBft);
+    }
+
+    #[test]
+    fn steward_smoke() {
+        smoke(Protocol::Steward);
+    }
+
+    #[test]
+    fn iss_smoke() {
+        smoke(Protocol::Iss);
+    }
+
+    #[test]
+    fn br_smoke() {
+        smoke(Protocol::BijectiveOnly);
+    }
+
+    #[test]
+    fn ebr_smoke() {
+        smoke(Protocol::EncodedBijective);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || {
+            let mut c = Cluster::new(small(Protocol::MassBft));
+            let r = c.run_secs(2);
+            (r.throughput.txns, r.wan_bytes, r.entries_executed)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn massbft_beats_baseline_under_saturation() {
+        // The headline claim, in miniature: with saturating arrivals and
+        // the paper's 20 Mbps uplinks, encoded bijective replication
+        // commits far more than leader-based replication. 7-node groups,
+        // as in the paper — at n=4 the erasure amplification (2.0×)
+        // coincides with Baseline's f+1 = 2 copies and the gap narrows.
+        let saturated = |p: Protocol| {
+            let mut c = Cluster::new(
+                ClusterConfig::nationwide(&[7, 7, 7], p)
+                    .workload(WorkloadKind::YcsbA)
+                    .seed(7)
+                    .arrival_tps(50_000.0)
+                    .max_batch(300),
+            );
+            c.run_secs(3).throughput.tps()
+        };
+        let mass = saturated(Protocol::MassBft);
+        let base = saturated(Protocol::Baseline);
+        assert!(
+            mass > base * 2.0,
+            "MassBFT {mass:.0} tps should dominate Baseline {base:.0} tps"
+        );
+    }
+
+    #[test]
+    fn massbft_flattens_wan_load_across_nodes() {
+        let mut c = Cluster::new(small(Protocol::MassBft));
+        let r = c.run_secs(2);
+        // Bijective replication: the heaviest sender carries roughly
+        // 1/n of the traffic of its group, not all of it.
+        let total = r.wan_bytes as f64;
+        let max = r.max_node_wan_bytes as f64;
+        assert!(
+            max < total * 0.25,
+            "load skew too high: max {max} of {total}"
+        );
+
+        let mut c = Cluster::new(small(Protocol::Baseline));
+        let r = c.run_secs(2);
+        let total = r.wan_bytes as f64;
+        let max = r.max_node_wan_bytes as f64;
+        // Leader-based: one node per group carries nearly everything
+        // (≥ ~1/3 of the whole cluster's WAN traffic).
+        assert!(max > total * 0.25, "baseline leader not loaded: {max} of {total}");
+    }
+
+    #[test]
+    fn group_crash_then_takeover_keeps_massbft_alive() {
+        let mut c = Cluster::new(small(Protocol::MassBft));
+        c.run_until(2 * SECOND);
+        let before = c.node(c.observer()).executed_txns();
+        assert!(before > 0);
+        // Kill group 2 (not the observer's group).
+        c.crash_group(2);
+        c.run_until(6 * SECOND);
+        let after = c.node(c.observer()).executed_txns();
+        assert!(
+            after > before,
+            "no progress after group crash: {before} → {after}"
+        );
+        assert!(c.check_consistency());
+    }
+
+    #[test]
+    fn byzantine_chunk_tampering_does_not_stop_massbft() {
+        // Two Byzantine nodes per 4-node group (f=1 exceeded? no — f=1
+        // for n=4, so use ONE per group as the paper uses 2 of 7).
+        let byz: Vec<NodeId> =
+            (0..3).map(|g| NodeId::new(g, 3)).collect();
+        let cfg = small(Protocol::MassBft).byzantine(&byz, SECOND);
+        let mut c = Cluster::new(cfg);
+        let r = c.run_secs(4);
+        assert!(r.throughput.tps() > 100.0, "tampering halted progress");
+        assert!(r.all_nodes_consistent);
+    }
+}

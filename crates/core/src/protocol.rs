@@ -1,0 +1,1893 @@
+//! The unified protocol node: MassBFT and all competitor protocols in one
+//! configurable actor.
+//!
+//! The paper implements Steward, GeoBFT, ISS and Baseline "under the same
+//! codebase with MassBFT" for a fair comparison (§VI, Table II). This
+//! module mirrors that methodology: a single [`Node`] actor whose
+//! behaviour is switched by [`Protocol`]:
+//!
+//! | preset | replication | global consensus | ordering |
+//! |---|---|---|---|
+//! | `MassBft` | erasure-coded bijective | per-group Raft | async VTS |
+//! | `EncodedBijective` (EBR) | erasure-coded bijective | per-group Raft | round-based |
+//! | `BijectiveOnly` (BR) | full-copy bijective | per-group Raft | round-based |
+//! | `Baseline` | leader → f+1 copies | per-group Raft | round-based |
+//! | `GeoBft` | leader → f+1 copies | none (direct broadcast) | round-based |
+//! | `Iss` | leader → f+1 copies | per-group Raft | round-based + epochs |
+//! | `Steward` | single leader → f+1 copies | single Raft instance | Raft log order |
+//!
+//! Structure of one node (group `g`, index `i`):
+//!
+//! - a local [`PbftReplica`] certifying the group's own entries;
+//! - per-origin-group [`ChunkAssembler`]s (chunked modes) or copy buffers;
+//! - the group representative (node 0) additionally runs the global Raft
+//!   endpoints, the client batcher, and broadcasts committed ordering
+//!   events to its group over LAN ([`Msg::Feed`]);
+//! - an ordering engine (VTS / round / log) feeding the deterministic
+//!   Aria executor.
+//!
+//! Modelling notes (see DESIGN.md §5): the intra-group agreement on
+//! global-consensus decisions (the paper's skip-prepare accept PBFT) is
+//! modelled as a fixed LAN-round delay on `accept` replies; transaction
+//! signature verification and execution charge per-transaction virtual CPU
+//! time, which produces the paper's CPU plateau (Fig. 13a).
+
+use crate::{
+    entry::{decode_batch, encode_batch, entry_digest, EntryId},
+    ledger::Ledger,
+    ordering::OrderingEngine,
+    plan::TransferPlan,
+    replication::{ChunkAssembler, ChunkMsg, ChunkOutcome, ChunkSender},
+    round::RoundOrdering,
+    stats::LatencyStats,
+};
+use massbft_consensus::{
+    pbft::{PbftConfig, PbftMsg, PbftOutput, PbftReplica},
+    raft::{RaftConfig, RaftMsg, RaftNode, RaftOutput},
+};
+use massbft_crypto::{cert::quorum, Digest, KeyRegistry, QuorumCert};
+use massbft_db::{AriaExecutor, KvStore};
+use massbft_sim_net::{Actor, Ctx, NodeId, SimMessage, Time, MILLISECOND};
+use massbft_workloads::{Request, WorkloadGen, WorkloadKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Protocol selector (Table II of the paper + the Fig. 12 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The paper's contribution: encoded bijective replication +
+    /// asynchronous VTS ordering.
+    MassBft,
+    /// EBR: encoded bijective replication, round-based ordering (Fig. 12).
+    EncodedBijective,
+    /// BR: full-copy bijective replication, round-based ordering (Fig. 12).
+    BijectiveOnly,
+    /// Baseline of §II-A: leader one-way replication + Raft + rounds.
+    Baseline,
+    /// GeoBFT: leader one-way replication, no global consensus.
+    GeoBft,
+    /// ISS with a Steward-like SB layer: Baseline + epoch barriers.
+    Iss,
+    /// Steward: single-master global consensus.
+    Steward,
+}
+
+impl Protocol {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::MassBft => "MassBFT",
+            Protocol::EncodedBijective => "EBR",
+            Protocol::BijectiveOnly => "BR",
+            Protocol::Baseline => "Baseline",
+            Protocol::GeoBft => "GeoBFT",
+            Protocol::Iss => "ISS",
+            Protocol::Steward => "Steward",
+        }
+    }
+
+    fn uses_chunks(&self) -> bool {
+        matches!(self, Protocol::MassBft | Protocol::EncodedBijective)
+    }
+
+    fn uses_raft(&self) -> bool {
+        !matches!(self, Protocol::GeoBft)
+    }
+
+    fn single_master(&self) -> bool {
+        matches!(self, Protocol::Steward)
+    }
+}
+
+/// Per-run protocol parameters.
+#[derive(Debug, Clone)]
+pub struct ProtocolParams {
+    /// Which protocol preset to run.
+    pub protocol: Protocol,
+    /// Nodes per group.
+    pub group_sizes: Vec<usize>,
+    /// Batch timeout (paper: fixed 20 ms for all competitors).
+    pub batch_timeout_us: Time,
+    /// Maximum transactions per entry.
+    pub max_batch: usize,
+    /// In-flight (proposed but unexecuted) entries a group allows —
+    /// the pipelining window.
+    pub pipeline_window: usize,
+    /// Client request arrival rate per group, transactions/second
+    /// (open-loop; the pending pool is capped so saturation sheds load).
+    pub arrival_tps: f64,
+    /// Per-transaction signature verification CPU (local consensus).
+    pub sig_verify_us: Time,
+    /// Per-transaction execution CPU.
+    pub exec_us: Time,
+    /// ISS epoch length.
+    pub epoch_us: Time,
+    /// Raft election timeout (global instances).
+    pub election_timeout_us: Time,
+    /// Raft heartbeat period.
+    pub heartbeat_us: Time,
+    /// Overlapped VTS assignment (Fig. 7b, 2 RTT) when true; serial
+    /// assignment after consensus (Fig. 7a, 3 RTT) when false. Ablation
+    /// knob only — MassBFT proper overlaps.
+    pub overlap_vts: bool,
+    /// Workload to generate.
+    pub workload: WorkloadKind,
+    /// Nodes behaving Byzantine (chunk tampering) once activated.
+    pub byzantine_nodes: BTreeSet<NodeId>,
+    /// Virtual time at which Byzantine behaviour starts.
+    pub byzantine_from_us: Time,
+    /// RNG / key derivation seed.
+    pub seed: u64,
+}
+
+impl ProtocolParams {
+    /// Sensible defaults matching the paper's setup (§VI).
+    pub fn new(protocol: Protocol, group_sizes: &[usize]) -> Self {
+        ProtocolParams {
+            protocol,
+            group_sizes: group_sizes.to_vec(),
+            batch_timeout_us: 20 * MILLISECOND,
+            max_batch: 500,
+            // Deep pipelining (paper §VI: "we also leverage pipelining
+            // and batching to enhance performance"). The window is tuned
+            // per protocol to its bandwidth-delay product: too shallow
+            // and the window (Little's law), not the network, caps
+            // throughput; too deep and over-admission clogs the local-
+            // consensus CPU pipeline with entries that only queue.
+            pipeline_window: match protocol {
+                Protocol::MassBft => 32,
+                Protocol::EncodedBijective | Protocol::BijectiveOnly => 16,
+                Protocol::Baseline | Protocol::GeoBft | Protocol::Iss | Protocol::Steward => 8,
+            },
+            arrival_tps: 100_000.0,
+            sig_verify_us: 50,
+            exec_us: 2,
+            epoch_us: 100 * MILLISECOND,
+            election_timeout_us: 600 * MILLISECOND,
+            heartbeat_us: 100 * MILLISECOND,
+            overlap_vts: true,
+            workload: WorkloadKind::YcsbA,
+            byzantine_nodes: BTreeSet::new(),
+            byzantine_from_us: 0,
+            seed: 1,
+        }
+    }
+
+    /// Number of groups.
+    pub fn ng(&self) -> usize {
+        self.group_sizes.len()
+    }
+
+    /// The representative (leader) node of a group. The paper routes all
+    /// inter-group consensus traffic through group leaders; local PBFT
+    /// view 0 makes that node 0.
+    pub fn leader_of(&self, g: u32) -> NodeId {
+        NodeId::new(g, 0)
+    }
+
+    /// Approximate certificate wire size for group `g` (2f+1 signatures à
+    /// 72 bytes + header).
+    pub fn cert_size(&self, g: u32) -> usize {
+        quorum(self.group_sizes[g as usize]) * 72 + 40
+    }
+}
+
+/// One command in a global Raft log (instance = the group leading it).
+#[derive(Debug, Clone)]
+pub struct GlobalCmd {
+    /// Entry commitment carried by this command (instance == entry.gid),
+    /// with its digest; `None` for stamp-only flushes.
+    pub entry: Option<(EntryId, Digest)>,
+    /// Piggybacked VTS assignments by the instance leader's group:
+    /// `(target entry, clock value)` (paper §V-A).
+    pub stamps: Vec<(EntryId, u64)>,
+}
+
+impl GlobalCmd {
+    fn wire_size(&self) -> usize {
+        let entry = if self.entry.is_some() { 12 + 32 } else { 0 };
+        entry + self.stamps.len() * 20 + 24
+    }
+}
+
+/// Ordering events a group representative feeds to its members over LAN.
+#[derive(Debug, Clone)]
+pub enum FeedEvent {
+    /// Entry achieved global consensus (or, for GeoBFT, arrived).
+    Committed(EntryId),
+    /// A replicated VTS assignment.
+    Stamp {
+        /// The group whose clock produced the stamp.
+        stamper: u32,
+        /// The stamped entry.
+        target: EntryId,
+        /// Clock value.
+        ts: u64,
+    },
+}
+
+/// Wire messages of the unified protocol.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Local PBFT traffic (within a group). The payload rides inside
+    /// pre-prepare messages.
+    Pbft(PbftMsg),
+    /// An erasure-coded chunk (WAN bijective transfer or LAN re-share),
+    /// carrying the origin's certificate for optimistic validation.
+    Chunk {
+        /// The chunk with its Merkle proof.
+        chunk: ChunkMsg,
+        /// The entry's PBFT certificate.
+        cert: QuorumCert,
+    },
+    /// A full entry copy (leader-based and BR replication; also the LAN
+    /// forward after WAN receipt).
+    Entry {
+        /// Entry identity.
+        id: EntryId,
+        /// Entry bytes.
+        bytes: Vec<u8>,
+        /// The entry's PBFT certificate.
+        cert: QuorumCert,
+    },
+    /// Global Raft traffic between group representatives.
+    Raft {
+        /// Raft instance id (the owning group).
+        instance: u32,
+        /// The message.
+        rmsg: RaftMsg<GlobalCmd>,
+        /// Total certificate bytes carried (size accounting).
+        cert_bytes: usize,
+    },
+    /// Representative → group members: committed ordering events.
+    Feed {
+        /// Events in commit order.
+        events: Vec<FeedEvent>,
+    },
+    /// Pull-based entry repair (paper Lemma V.1: "it can request the
+    /// entry from G_j if group G_i crashes"): a node asks a peer for the
+    /// full bytes of a committed entry it cannot obtain otherwise.
+    EntryRequest {
+        /// The wanted entry.
+        id: EntryId,
+    },
+    /// Direct accept broadcast (§V-C, slow receiver groups): when a group
+    /// accepts entries of another instance, it also notifies every group
+    /// representative directly, outside Raft. A group that has seen
+    /// `f_g + 1` groups hold an entry may assign its vector timestamp and
+    /// treat the entry as replicated without waiting for its own copy —
+    /// "this approach avoids slowing down entry ordering of other
+    /// groups".
+    AcceptNotice {
+        /// The accepting group.
+        from_group: u32,
+        /// Entries newly accepted by that group.
+        entries: Vec<EntryId>,
+    },
+    /// ISS: a group announces it sealed `epoch`.
+    EpochClose {
+        /// Announcing group.
+        group: u32,
+        /// Sealed epoch number.
+        epoch: u64,
+    },
+}
+
+impl SimMessage for Msg {
+    fn wire_size(&self) -> usize {
+        match self {
+            Msg::Pbft(m) => match m {
+                PbftMsg::PrePrepare { payload, .. } => payload.len() + 64,
+                PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => 112,
+                PbftMsg::ViewChange { prepared, .. } => {
+                    112 + prepared.iter().map(|(_, _, p)| p.len() + 40).sum::<usize>()
+                }
+                PbftMsg::NewView { reproposals, .. } => {
+                    64 + reproposals.iter().map(|(_, p)| p.len() + 8).sum::<usize>()
+                }
+            },
+            Msg::Chunk { chunk, cert } => chunk.wire_size() + cert.signatures.len() * 72 + 40,
+            Msg::Entry { bytes, cert, .. } => bytes.len() + cert.signatures.len() * 72 + 104,
+            Msg::Raft { rmsg, cert_bytes, .. } => match rmsg {
+                RaftMsg::AppendEntries { entries, .. } => {
+                    entries.iter().map(|e| e.data.wire_size()).sum::<usize>() + cert_bytes + 64
+                }
+                _ => 64,
+            },
+            Msg::Feed { events } => events.len() * 24 + 32,
+            Msg::EntryRequest { .. } => 64,
+            Msg::AcceptNotice { entries, .. } => entries.len() * 16 + 48,
+            Msg::EpochClose { .. } => 48,
+        }
+    }
+}
+
+// Timer tokens.
+const T_BATCH: u64 = 1;
+const T_HEARTBEAT: u64 = 2;
+const T_ELECTION: u64 = 3;
+const T_STAMP_FLUSH: u64 = 4;
+const T_EPOCH: u64 = 5;
+const T_REPAIR: u64 = 6;
+
+/// State of one received-but-not-yet-executed entry.
+#[derive(Debug, Default)]
+struct EntryTracking {
+    bytes: Option<Vec<u8>>,
+    cert: Option<QuorumCert>,
+    committed: bool,
+    fed_to_round: bool,
+    executed: bool,
+}
+
+/// How ordering is decided.
+enum OrderingState {
+    Vts(OrderingEngine),
+    Round(RoundOrdering),
+    /// Steward: Raft log order (entries queue as they commit).
+    Log(VecDeque<EntryId>),
+}
+
+/// The unified protocol node.
+pub struct Node {
+    params: ProtocolParams,
+    id: NodeId,
+    registry: KeyRegistry,
+    pbft: PbftReplica,
+    /// Rebuild state per origin group (chunked modes).
+    assemblers: HashMap<u32, ChunkAssembler>,
+    /// Entry bytes + commit flags per entry (all modes).
+    tracking: HashMap<EntryId, EntryTracking>,
+    /// Execution.
+    ordering: OrderingState,
+    exec_queue: VecDeque<EntryId>,
+    store: KvStore,
+    executor: AriaExecutor,
+    /// Raft appends carrying entries whose content has not arrived yet:
+    /// the accept is withheld until the entry is held locally (paper
+    /// Lemma V.1), keyed by instance.
+    held_appends: HashMap<u32, Vec<(NodeId, RaftMsg<GlobalCmd>)>>,
+    /// Recently executed entries kept for pull-based repair, FIFO-bounded.
+    archive: HashMap<EntryId, (Vec<u8>, QuorumCert)>,
+    archive_order: VecDeque<EntryId>,
+    /// The exec-queue front observed at the last repair tick; a repeat
+    /// sighting with missing content triggers an EntryRequest.
+    last_stalled: Option<EntryId>,
+    /// Representative-only state.
+    rep: Option<RepState>,
+    /// Measurement (read by the cluster harness).
+    pub(crate) executed_txns: u64,
+    pub(crate) executed_entries: u64,
+    pub(crate) latency: LatencyStats,
+    /// Per-origin-group executed txns (Fig. 12 per-group throughput).
+    pub(crate) executed_by_group: Vec<u64>,
+    /// Executed entry ids in execution order (consistency checks).
+    pub(crate) exec_log: Vec<EntryId>,
+    /// The node's hash-chained ledger over executed entries (§VI: "a
+    /// single, globally ordered, ledger").
+    ledger: Ledger,
+    /// Phase-time accumulators over own executed entries (microseconds):
+    /// local consensus, global replication, ordering wait, execution wait.
+    phase_sums: [u64; 4],
+    phase_count: u64,
+}
+
+/// Mean per-entry latency breakdown at a representative (Fig. 11).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseBreakdown {
+    /// Batch creation → local PBFT certificate, ms.
+    pub local_consensus_ms: f64,
+    /// Certificate → global Raft commit, ms.
+    pub global_replication_ms: f64,
+    /// Commit → deterministic order decided, ms.
+    pub ordering_ms: f64,
+    /// Order decided → executed, ms.
+    pub execution_ms: f64,
+}
+
+/// Extra state carried by each group's representative node.
+struct RepState {
+    workload: WorkloadGen,
+    /// Client requests waiting to be batched (open-loop arrivals).
+    pending: VecDeque<Vec<u8>>,
+    /// Fractional arrivals carry-over.
+    arrival_carry: f64,
+    last_arrival_at: Time,
+    next_seq: u64,
+    /// Entries proposed but not yet executed locally (pipeline window).
+    in_flight: BTreeSet<EntryId>,
+    /// Entry creation times for latency accounting.
+    created_at: HashMap<EntryId, Time>,
+    /// Phase marks per own entry (Fig. 11 latency breakdown).
+    certified_at: HashMap<EntryId, Time>,
+    committed_at: HashMap<EntryId, Time>,
+    ordered_at: HashMap<EntryId, Time>,
+    /// Global Raft instances this representative participates in.
+    rafts: BTreeMap<u32, RaftNode<GlobalCmd>>,
+    /// Stamps awaiting replication, keyed by the instance that will carry
+    /// them.
+    pending_stamps: BTreeMap<u32, Vec<(EntryId, u64)>>,
+    /// `(carrying instance, entry)` pairs already stamped — dedup across
+    /// Raft retransmissions, and per instance because a takeover leader
+    /// stamps the same entry on behalf of multiple clocks.
+    stamped: BTreeSet<(u32, EntryId)>,
+    /// clk of this group = seq of last own entry committed globally.
+    clock: u64,
+    /// Frozen clocks of taken-over instances (§V-C, crashed groups).
+    frozen_clocks: BTreeMap<u32, u64>,
+    /// Last append heard per instance (election monitoring).
+    last_append: BTreeMap<u32, Time>,
+    /// Entries committed globally but not yet executed locally (stamped on
+    /// takeover so ordering can resume; duplicates are harmless).
+    unexecuted: BTreeSet<EntryId>,
+    /// ISS: current epoch and the set of groups that sealed each epoch.
+    epoch: u64,
+    epoch_seals: BTreeMap<u64, BTreeSet<u32>>,
+    /// Highest committed seq per group (crash takeover: frozen clock).
+    committed_high: BTreeMap<u32, u64>,
+    /// Direct-accept tallies per entry (§V-C): which groups are known to
+    /// hold it. The proposing group counts implicitly.
+    accept_tally: HashMap<EntryId, BTreeSet<u32>>,
+}
+
+impl Node {
+    /// Creates the node for `id` under `params`. The same `KeyRegistry`
+    /// must be shared by all nodes (derived from `params.seed`).
+    pub fn new(id: NodeId, params: ProtocolParams, registry: KeyRegistry) -> Self {
+        let n = params.group_sizes[id.group as usize];
+        let pbft = PbftReplica::new(
+            PbftConfig {
+                group: id.group,
+                n,
+                node: id.node,
+                skip_prepare: false,
+                checkpoint_interval: 64,
+            },
+            registry.clone(),
+        );
+        let ng = params.ng();
+        let ordering = match params.protocol {
+            Protocol::MassBft => OrderingState::Vts(OrderingEngine::new(ng)),
+            Protocol::Steward => OrderingState::Log(VecDeque::new()),
+            _ => OrderingState::Round(RoundOrdering::new(ng)),
+        };
+        // Chunk assemblers for every *other* origin group.
+        let mut assemblers = HashMap::new();
+        if params.protocol.uses_chunks() {
+            for origin in 0..ng as u32 {
+                if origin == id.group {
+                    continue;
+                }
+                let plan = TransferPlan::generate(
+                    params.group_sizes[origin as usize],
+                    params.group_sizes[id.group as usize],
+                )
+                .expect("valid group sizes");
+                assemblers.insert(origin, ChunkAssembler::new(plan, registry.clone()));
+            }
+        }
+        let is_rep = id.node == 0;
+        let rep = is_rep.then(|| {
+            let members: Vec<u32> = (0..ng as u32).collect();
+            let mut rafts = BTreeMap::new();
+            if params.protocol.uses_raft() {
+                let mut instances: Vec<u32> =
+                    if params.protocol.single_master() { vec![0] } else { members.clone() };
+                // MassBFT: a dedicated lightweight Raft stream per group
+                // carries vector timestamps (instance ng+g, led by group
+                // g). The paper stresses that "replicating VTS is
+                // non-blocking" (§I): stamps must not queue behind entry
+                // commands whose accepts are content-gated (Lemma V.1),
+                // or ordering inherits the slowest group's bulk backlog.
+                if matches!(params.protocol, Protocol::MassBft) {
+                    instances.extend(members.iter().map(|&g| ng as u32 + g));
+                }
+                for inst in instances {
+                    let leader = inst % ng as u32;
+                    rafts.insert(
+                        inst,
+                        RaftNode::new(RaftConfig {
+                            me: id.group,
+                            members: members.clone(),
+                            initial_leader: Some(leader),
+                        }),
+                    );
+                }
+            }
+            RepState {
+                workload: WorkloadGen::new(
+                    params.workload,
+                    params.seed ^ ((id.group as u64) << 32),
+                ),
+                pending: VecDeque::new(),
+                arrival_carry: 0.0,
+                last_arrival_at: 0,
+                next_seq: 1,
+                in_flight: BTreeSet::new(),
+                created_at: HashMap::new(),
+                certified_at: HashMap::new(),
+                committed_at: HashMap::new(),
+                ordered_at: HashMap::new(),
+                rafts,
+                pending_stamps: BTreeMap::new(),
+                stamped: BTreeSet::new(),
+                clock: 0,
+                frozen_clocks: BTreeMap::new(),
+                last_append: BTreeMap::new(),
+                unexecuted: BTreeSet::new(),
+                epoch: 0,
+                epoch_seals: BTreeMap::new(),
+                committed_high: BTreeMap::new(),
+                accept_tally: HashMap::new(),
+            }
+        });
+        Node {
+            id,
+            registry,
+            pbft,
+            assemblers,
+            tracking: HashMap::new(),
+            held_appends: HashMap::new(),
+            archive: HashMap::new(),
+            archive_order: VecDeque::new(),
+            last_stalled: None,
+            ordering,
+            exec_queue: VecDeque::new(),
+            store: KvStore::new(),
+            executor: AriaExecutor::new(),
+            rep,
+            executed_txns: 0,
+            executed_entries: 0,
+            latency: LatencyStats::new(),
+            executed_by_group: vec![0; ng],
+            exec_log: Vec::new(),
+            ledger: Ledger::new(),
+            phase_sums: [0; 4],
+            phase_count: 0,
+            params,
+        }
+    }
+
+    /// Total transactions executed (committed by Aria).
+    pub fn executed_txns(&self) -> u64 {
+        self.executed_txns
+    }
+
+    /// Entries executed.
+    pub fn executed_entries(&self) -> u64 {
+        self.executed_entries
+    }
+
+    /// Latency samples recorded at this node (origin entries only).
+    pub fn latency(&self) -> &LatencyStats {
+        &self.latency
+    }
+
+    /// Mutable latency access (percentiles sort lazily).
+    pub fn latency_mut(&mut self) -> &mut LatencyStats {
+        &mut self.latency
+    }
+
+    /// Per-origin-group executed transaction counts.
+    pub fn executed_by_group(&self) -> &[u64] {
+        &self.executed_by_group
+    }
+
+    /// Content hash of the node's database (replica-consistency checks).
+    pub fn state_hash(&self) -> u64 {
+        self.store.content_hash()
+    }
+
+    /// The executed entry ids, in execution order.
+    pub fn exec_log(&self) -> &[EntryId] {
+        &self.exec_log
+    }
+
+    /// The node's hash-chained ledger (block per executed entry).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// One-line diagnostic snapshot (test/debug use).
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(out, "{}:", self.id);
+        let _ = write!(out, " exec_q={}", self.exec_queue.len());
+        let held: usize = self.held_appends.values().map(|v| v.len()).sum();
+        let _ = write!(out, " held={held}");
+        if let Some(front) = self.exec_queue.front() {
+            let has = self.tracking.get(front).map(|t| t.bytes.is_some()).unwrap_or(false);
+            let _ = write!(out, " front={front}(bytes={has})");
+        }
+        if let OrderingState::Vts(eng) = &self.ordering {
+            let heads: Vec<String> = (0..self.ng() as u32)
+                .map(|g| {
+                    let (seq, vts, set, committed) = eng.head_state(g);
+                    let elems: Vec<String> = vts
+                        .iter()
+                        .zip(&set)
+                        .map(|(v, s)| format!("{v}{}", if *s { "" } else { "?" }))
+                        .collect();
+                    format!("e{g},{seq}<{}>{}", elems.join(","), if committed { "C" } else { "" })
+                })
+                .collect();
+            let _ = write!(out, " heads={heads:?} ordered={}", eng.ordered_count());
+        }
+        if let Some(rep) = &self.rep {
+            let leads: Vec<u32> = rep
+                .rafts
+                .iter()
+                .filter(|(_, r)| r.is_leader())
+                .map(|(&i, _)| i)
+                .collect();
+            let pend: Vec<(u32, usize)> =
+                rep.pending_stamps.iter().map(|(&i, v)| (i, v.len())).collect();
+            let rafts: Vec<String> = rep
+                .rafts
+                .iter()
+                .map(|(&i, r)| {
+                    format!(
+                        "i{}:{:?}@t{} la={}",
+                        i,
+                        r.role(),
+                        r.term(),
+                        rep.last_append.get(&i).copied().unwrap_or(0) / 1_000_000
+                    )
+                })
+                .collect();
+            let _ = write!(out, " rafts={rafts:?}");
+            let _ = write!(
+                out,
+                " leads={leads:?} clock={} frozen={:?} pending_stamps={pend:?} inflight={} unexec={}",
+                rep.clock, rep.frozen_clocks, rep.in_flight.len(), rep.unexecuted.len()
+            );
+        }
+        out
+    }
+
+    /// Mean latency breakdown over this representative's own entries
+    /// (Fig. 11). `None` when no entries completed or on non-reps.
+    pub fn phase_breakdown(&self) -> Option<PhaseBreakdown> {
+        if self.phase_count == 0 {
+            return None;
+        }
+        let c = self.phase_count as f64 * 1000.0;
+        Some(PhaseBreakdown {
+            local_consensus_ms: self.phase_sums[0] as f64 / c,
+            global_replication_ms: self.phase_sums[1] as f64 / c,
+            ordering_ms: self.phase_sums[2] as f64 / c,
+            execution_ms: self.phase_sums[3] as f64 / c,
+        })
+    }
+
+    fn ng(&self) -> usize {
+        self.params.ng()
+    }
+
+    fn group_nodes(&self, g: u32) -> impl Iterator<Item = NodeId> {
+        let n = self.params.group_sizes[g as usize];
+        (0..n as u32).map(move |i| NodeId::new(g, i))
+    }
+
+    fn other_group_members(&self) -> Vec<NodeId> {
+        self.group_nodes(self.id.group).filter(|&n| n != self.id).collect()
+    }
+
+    fn is_rep(&self) -> bool {
+        self.rep.is_some()
+    }
+
+    fn is_byzantine(&self, now: Time) -> bool {
+        self.params.byzantine_nodes.contains(&self.id) && now >= self.params.byzantine_from_us
+    }
+
+    // --- client batching --------------------------------------------------
+
+    /// Accrues open-loop arrivals since the last call (capped pool).
+    fn accrue_arrivals(&mut self, now: Time) {
+        let max_batch = self.params.max_batch;
+        let tps = self.params.arrival_tps;
+        let Some(rep) = self.rep.as_mut() else { return };
+        let dt = now.saturating_sub(rep.last_arrival_at);
+        rep.last_arrival_at = now;
+        let exact = tps * dt as f64 / 1_000_000.0 + rep.arrival_carry;
+        let mut n = exact as u64;
+        rep.arrival_carry = exact - n as f64;
+        // Pool cap: ~4 max batches of headroom; beyond that, shed load.
+        let cap = (max_batch * 4) as u64;
+        let room = cap.saturating_sub(rep.pending.len() as u64);
+        n = n.min(room);
+        for _ in 0..n {
+            let req = rep.workload.next_request().encode();
+            rep.pending.push_back(req);
+        }
+    }
+
+    fn try_batch(&mut self, ctx: &mut Ctx<Msg>) {
+        self.accrue_arrivals(ctx.now());
+        let ng = self.ng();
+        let (protocol, epoch_us, max_batch, window) = (
+            self.params.protocol,
+            self.params.epoch_us,
+            self.params.max_batch,
+            self.params.pipeline_window,
+        );
+        let group = self.id.group;
+        let Some(rep) = self.rep.as_mut() else { return };
+        if rep.pending.is_empty() || rep.in_flight.len() >= window {
+            return;
+        }
+        // ISS epoch barrier: cannot open a new epoch until all groups
+        // sealed the previous one.
+        if matches!(protocol, Protocol::Iss) {
+            let entry_epoch = ctx.now() / epoch_us;
+            if entry_epoch > rep.epoch {
+                let sealed =
+                    rep.epoch_seals.get(&rep.epoch).map(|s| s.len()).unwrap_or(0);
+                if sealed < ng {
+                    return; // stall at the barrier
+                }
+                rep.epoch = entry_epoch;
+            }
+        }
+        let take = rep.pending.len().min(max_batch);
+        let requests: Vec<Vec<u8>> = rep.pending.drain(..take).collect();
+        let id = EntryId::new(group, rep.next_seq);
+        rep.next_seq += 1;
+        rep.in_flight.insert(id);
+        rep.created_at.insert(id, ctx.now());
+        let bytes = encode_batch(id, &requests);
+        let outputs = self.pbft.propose(bytes);
+        self.handle_pbft_outputs(ctx, outputs);
+    }
+
+    // --- local PBFT ---------------------------------------------------------
+
+    fn handle_pbft_outputs(&mut self, ctx: &mut Ctx<Msg>, outputs: Vec<PbftOutput>) {
+        for out in outputs {
+            match out {
+                PbftOutput::Send { to, msg } => {
+                    ctx.send(NodeId::new(self.id.group, to), Msg::Pbft(msg));
+                }
+                PbftOutput::Broadcast(msg) => {
+                    let peers = self.other_group_members();
+                    ctx.send_many(peers, Msg::Pbft(msg));
+                }
+                PbftOutput::Committed { payload, cert, .. } => {
+                    self.on_local_entry_certified(ctx, payload, cert);
+                }
+                PbftOutput::EnteredView(_) | PbftOutput::ArmViewTimer => {}
+            }
+        }
+    }
+
+    /// A local entry finished PBFT: start global replication.
+    fn on_local_entry_certified(&mut self, ctx: &mut Ctx<Msg>, bytes: Vec<u8>, cert: QuorumCert) {
+        let Some((id, reqs)) = decode_batch(&bytes) else { return };
+        debug_assert_eq!(id.gid, self.id.group);
+        // Charge verification of every client transaction's signature —
+        // the local-consensus CPU cost the paper identifies (§VI-B).
+        ctx.spend_cpu(reqs.len() as Time * self.params.sig_verify_us);
+        {
+            let t = self.tracking.entry(id).or_default();
+            t.bytes = Some(bytes.clone());
+            t.cert = Some(cert.clone());
+        }
+        if let Some(rep) = self.rep.as_mut() {
+            rep.certified_at.insert(id, ctx.now());
+        }
+
+        match self.params.protocol {
+            Protocol::MassBft | Protocol::EncodedBijective => {
+                self.send_chunks(ctx, id, &bytes, &cert);
+            }
+            Protocol::BijectiveOnly => {
+                self.send_bijective_copy(ctx, id, &bytes, &cert);
+            }
+            Protocol::Baseline | Protocol::GeoBft | Protocol::Iss => {
+                if self.is_rep() {
+                    self.send_leader_copies(ctx, id, &bytes, &cert);
+                }
+            }
+            Protocol::Steward => {
+                if self.is_rep() {
+                    if self.id.group == 0 {
+                        // The master group replicates directly.
+                        self.send_leader_copies(ctx, id, &bytes, &cert);
+                        self.steward_propose(ctx, id);
+                    } else {
+                        // Forward to the master for sequencing + fan-out.
+                        ctx.send(
+                            self.params.leader_of(0),
+                            Msg::Entry { id, bytes: bytes.clone(), cert: cert.clone() },
+                        );
+                    }
+                }
+            }
+        }
+
+        // GeoBFT has no global consensus: local certification == commit.
+        if !self.params.protocol.uses_raft() {
+            self.mark_committed(id);
+        } else if self.is_rep() && !self.params.protocol.single_master() {
+            // Propose the entry commitment in our own Raft instance,
+            // carrying any pending stamps (paper §V-A piggybacking).
+            self.propose_global(ctx, id);
+        }
+        self.drain_ordering(ctx.now());
+        self.try_execute(ctx);
+    }
+
+    fn send_chunks(&mut self, ctx: &mut Ctx<Msg>, id: EntryId, bytes: &[u8], cert: &QuorumCert) {
+        // Byzantine senders encode a tampered entry instead (§VI-E).
+        let tampered;
+        let payload: &[u8] = if self.is_byzantine(ctx.now()) {
+            tampered = encode_batch(id, &[b"tampered-by-byzantine-collusion".to_vec()]);
+            &tampered
+        } else {
+            bytes
+        };
+        // Destination groups of equal size share one encoding geometry;
+        // encode once per geometry and slice per transfer plan (a real
+        // implementation caches exactly the same way).
+        let mut encoded: HashMap<(usize, usize), Vec<crate::replication::ChunkMsg>> =
+            HashMap::new();
+        for dst_group in 0..self.ng() as u32 {
+            if dst_group == self.id.group {
+                continue;
+            }
+            let plan = TransferPlan::generate(
+                self.params.group_sizes[self.id.group as usize],
+                self.params.group_sizes[dst_group as usize],
+            )
+            .expect("valid sizes");
+            let key = (plan.n_data, plan.n_total);
+            let all = encoded.entry(key).or_insert_with(|| {
+                ChunkSender::encode_all(&plan, id, payload).expect("encodable entry")
+            });
+            for t in plan.outgoing_of(self.id.node) {
+                ctx.send(
+                    NodeId::new(dst_group, t.receiver),
+                    Msg::Chunk { chunk: all[t.chunk as usize].clone(), cert: cert.clone() },
+                );
+            }
+        }
+    }
+
+    fn send_bijective_copy(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        id: EntryId,
+        bytes: &[u8],
+        cert: &QuorumCert,
+    ) {
+        // BR (§IV-A): f1 + f2 + 1 nodes each send a complete copy to a
+        // distinct receiver.
+        for dst_group in 0..self.ng() as u32 {
+            if dst_group == self.id.group {
+                continue;
+            }
+            let n1 = self.params.group_sizes[self.id.group as usize];
+            let n2 = self.params.group_sizes[dst_group as usize];
+            let f1 = massbft_crypto::cert::max_faulty(n1);
+            let f2 = massbft_crypto::cert::max_faulty(n2);
+            let senders = (f1 + f2 + 1).min(n1).min(n2);
+            if (self.id.node as usize) < senders {
+                ctx.send(
+                    NodeId::new(dst_group, self.id.node),
+                    Msg::Entry { id, bytes: bytes.to_vec(), cert: cert.clone() },
+                );
+            }
+        }
+    }
+
+    fn send_leader_copies(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        id: EntryId,
+        bytes: &[u8],
+        cert: &QuorumCert,
+    ) {
+        // Leader one-way replication with the GeoBFT optimization: send to
+        // f+1 nodes of each remote group (§VI, Competitors).
+        for dst_group in 0..self.ng() as u32 {
+            if dst_group == self.id.group || dst_group == id.gid {
+                continue;
+            }
+            let f = massbft_crypto::cert::max_faulty(
+                self.params.group_sizes[dst_group as usize],
+            );
+            for i in 0..(f + 1) as u32 {
+                ctx.send(
+                    NodeId::new(dst_group, i),
+                    Msg::Entry { id, bytes: bytes.to_vec(), cert: cert.clone() },
+                );
+            }
+        }
+    }
+
+    // --- global Raft --------------------------------------------------------
+
+    fn propose_global(&mut self, ctx: &mut Ctx<Msg>, id: EntryId) {
+        let digest = {
+            let t = self.tracking.get(&id).expect("proposing a known entry");
+            entry_digest(t.bytes.as_ref().expect("own entry bytes"))
+        };
+        let instance = self.id.group;
+        let outputs = {
+            let Some(rep) = self.rep.as_mut() else { return };
+            // Stamps travel on the dedicated stamp stream (see new()),
+            // never on entry instances.
+            let cmd = GlobalCmd { entry: Some((id, digest)), stamps: Vec::new() };
+            let Some(raft) = rep.rafts.get_mut(&instance) else { return };
+            match raft.propose(cmd) {
+                Some((_, o)) => o,
+                None => return,
+            }
+        };
+        self.handle_raft_outputs(ctx, instance, outputs);
+    }
+
+    fn steward_propose(&mut self, ctx: &mut Ctx<Msg>, id: EntryId) {
+        let digest = {
+            let t = self.tracking.get(&id).expect("known entry");
+            entry_digest(t.bytes.as_ref().expect("bytes present"))
+        };
+        let outputs = {
+            let Some(rep) = self.rep.as_mut() else { return };
+            let Some(raft) = rep.rafts.get_mut(&0) else { return };
+            let cmd = GlobalCmd { entry: Some((id, digest)), stamps: Vec::new() };
+            match raft.propose(cmd) {
+                Some((_, o)) => o,
+                None => return,
+            }
+        };
+        self.handle_raft_outputs(ctx, 0, outputs);
+    }
+
+    /// Flush pending stamps on instances we lead but have nothing to
+    /// propose on (stamp-only commands).
+    fn flush_stamps(&mut self, ctx: &mut Ctx<Msg>) {
+        let instances: Vec<u32> = match self.rep.as_ref() {
+            Some(rep) => rep
+                .pending_stamps
+                .iter()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(&k, _)| k)
+                .collect(),
+            None => return,
+        };
+        for inst in instances {
+            let outputs = {
+                let Some(rep) = self.rep.as_mut() else { return };
+                let leads = rep.rafts.get(&inst).map(|r| r.is_leader()).unwrap_or(false);
+                if !leads {
+                    continue;
+                }
+                let stamps = rep.pending_stamps.remove(&inst).unwrap_or_default();
+                if stamps.is_empty() {
+                    continue;
+                }
+                let cmd = GlobalCmd { entry: None, stamps };
+                match rep.rafts.get_mut(&inst).and_then(|r| r.propose(cmd)) {
+                    Some((_, o)) => o,
+                    None => continue,
+                }
+            };
+            self.handle_raft_outputs(ctx, inst, outputs);
+        }
+    }
+
+    fn handle_raft_outputs(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        instance: u32,
+        outputs: Vec<RaftOutput<GlobalCmd>>,
+    ) {
+        let mut feed: Vec<FeedEvent> = Vec::new();
+        for out in outputs {
+            match out {
+                RaftOutput::Send { to, msg } => {
+                    let cert_bytes = match &msg {
+                        RaftMsg::AppendEntries { entries, .. } => {
+                            let g = instance % self.params.ng() as u32;
+                            entries.iter().filter(|e| e.data.entry.is_some()).count()
+                                * self.params.cert_size(g)
+                        }
+                        _ => 0,
+                    };
+                    // The accept (AppendResp) implies an intra-group
+                    // skip-prepare PBFT round (paper §II-A): model it as a
+                    // LAN round-trip delay before the reply leaves.
+                    let is_resp = matches!(msg, RaftMsg::AppendResp { .. });
+                    let dst = self.params.leader_of(to);
+                    let m = Msg::Raft { instance, rmsg: msg, cert_bytes };
+                    if is_resp {
+                        ctx.send_after(600, dst, m);
+                    } else {
+                        ctx.send(dst, m);
+                    }
+                }
+                RaftOutput::Committed { data, .. } => {
+                    self.on_global_commit(ctx.now(), instance, data, &mut feed);
+                }
+                RaftOutput::BecameLeader(_) => {
+                    self.on_became_instance_leader(instance);
+                }
+                RaftOutput::SteppedDown => {}
+            }
+        }
+        if !feed.is_empty() {
+            self.broadcast_feed(ctx, feed);
+        }
+    }
+
+    /// A command committed in `instance`'s Raft log: translate to ordering
+    /// feed events (identical at every group, since the log is identical).
+    fn on_global_commit(
+        &mut self,
+        now: Time,
+        instance: u32,
+        cmd: GlobalCmd,
+        feed: &mut Vec<FeedEvent>,
+    ) {
+        let ng = self.params.ng() as u32;
+        if let Some((id, _digest)) = cmd.entry {
+            feed.push(FeedEvent::Committed(id));
+            let my_group = self.id.group;
+            let overlap = self.params.overlap_vts;
+            if let Some(rep) = self.rep.as_mut() {
+                let high = rep.committed_high.entry(id.gid).or_insert(0);
+                *high = (*high).max(id.seq);
+                rep.unexecuted.insert(id);
+                let my_stream = ng + my_group;
+                if id.gid == my_group {
+                    // Our own entry committed: advance our clock (§V-B).
+                    rep.clock = rep.clock.max(id.seq);
+                    rep.committed_at.insert(id, now);
+                } else if !overlap {
+                    // Serial VTS assignment (Fig. 7a): stamp only after the
+                    // entry achieves consensus, costing an extra round.
+                    if rep.stamped.insert((my_group, id)) {
+                        let ts = rep.clock;
+                        rep.pending_stamps.entry(my_stream).or_default().push((id, ts));
+                    }
+                }
+                // Takeover stamping (§V-C, crashed groups): if we lead
+                // foreign stamp streams, stamp every committed entry on
+                // their behalf with their frozen clocks — including our
+                // own entries, which nobody else will stamp for them.
+                let frozen: Vec<(u32, u64)> = rep
+                    .frozen_clocks
+                    .iter()
+                    .filter(|(&g, _)| g != id.gid)
+                    .map(|(&g, &clk)| (g, clk))
+                    .collect();
+                for (g, clk) in frozen {
+                    if rep.stamped.insert((g, id)) {
+                        rep.pending_stamps.entry(ng + g).or_default().push((id, clk));
+                    }
+                }
+            }
+        }
+        // Stamp commands only travel on stamp streams; the stamping group
+        // is the stream owner.
+        let stamper = if instance >= ng { instance - ng } else { instance };
+        for (target, ts) in cmd.stamps {
+            feed.push(FeedEvent::Stamp { stamper, target, ts });
+        }
+    }
+
+    /// Representative learned entries were proposed (Raft append): assign
+    /// our clock to them (overlapped VTS assignment, Fig. 7b).
+    fn stamp_appended_entries(&mut self, appended: Vec<EntryId>) {
+        if !matches!(self.params.protocol, Protocol::MassBft) || !self.params.overlap_vts {
+            return;
+        }
+        let my_group = self.id.group;
+        let Some(rep) = self.rep.as_mut() else { return };
+        for id in appended {
+            if id.gid == my_group || !rep.stamped.insert((my_group, id)) {
+                continue; // own entries implicit; dedup retransmissions
+            }
+            // Stamp with our clock, replicated via our stamp stream.
+            // Frozen-clock stamps for taken-over instances are handled at
+            // commit time (on_global_commit), which also covers our own
+            // entries and entries appended before the takeover.
+            let ts = rep.clock;
+            let stream = self.params.ng() as u32 + my_group;
+            rep.pending_stamps.entry(stream).or_default().push((id, ts));
+        }
+    }
+
+    /// Crash takeover (§V-C, Crashed Groups): on becoming leader of a
+    /// foreign group's *stamp stream*, freeze that group's clock at its
+    /// last committed seq and stamp all known-unexecuted entries on its
+    /// behalf. (Taking over the entry instance keeps its commit index
+    /// advancing but needs no extra action.)
+    fn on_became_instance_leader(&mut self, instance: u32) {
+        let ng = self.params.ng() as u32;
+        if instance < ng {
+            return; // entry-instance takeover: nothing to stamp
+        }
+        let owner = instance - ng;
+        if owner == self.id.group {
+            return;
+        }
+        let Some(rep) = self.rep.as_mut() else { return };
+        let frozen = rep.committed_high.get(&owner).copied().unwrap_or(0);
+        rep.frozen_clocks.insert(owner, frozen);
+        let targets: Vec<EntryId> = rep
+            .unexecuted
+            .iter()
+            .copied()
+            .filter(|e| e.gid != owner)
+            .collect();
+        for id in targets {
+            if rep.stamped.insert((owner, id)) {
+                rep.pending_stamps.entry(instance).or_default().push((id, frozen));
+            }
+        }
+    }
+
+    fn broadcast_feed(&mut self, ctx: &mut Ctx<Msg>, events: Vec<FeedEvent>) {
+        // Apply locally first, then LAN-broadcast to the group.
+        let peers = self.other_group_members();
+        ctx.send_many(peers, Msg::Feed { events: events.clone() });
+        self.apply_feed(ctx, events);
+    }
+
+    fn apply_feed(&mut self, ctx: &mut Ctx<Msg>, events: Vec<FeedEvent>) {
+        for ev in events {
+            match ev {
+                FeedEvent::Committed(id) => self.mark_committed(id),
+                FeedEvent::Stamp { stamper, target, ts } => {
+                    if let OrderingState::Vts(eng) = &mut self.ordering {
+                        eng.on_timestamp(stamper, target, ts);
+                    }
+                }
+            }
+        }
+        self.drain_ordering(ctx.now());
+        self.try_execute(ctx);
+    }
+
+    fn mark_committed(&mut self, id: EntryId) {
+        let t = self.tracking.entry(id).or_default();
+        if t.committed {
+            return;
+        }
+        t.committed = true;
+        match &mut self.ordering {
+            OrderingState::Vts(eng) => eng.on_entry_committed(id),
+            OrderingState::Round(_) => {} // fed when content also present
+            OrderingState::Log(q) => q.push_back(id),
+        }
+        self.feed_round_if_complete(id);
+    }
+
+    /// Round ordering needs both the commit and the content.
+    fn feed_round_if_complete(&mut self, id: EntryId) {
+        let OrderingState::Round(r) = &mut self.ordering else { return };
+        let Some(t) = self.tracking.get_mut(&id) else { return };
+        if t.committed && t.bytes.is_some() && !t.fed_to_round {
+            t.fed_to_round = true;
+            r.on_entry(id);
+        }
+    }
+
+    fn drain_ordering(&mut self, now: Time) {
+        loop {
+            let next = match &mut self.ordering {
+                OrderingState::Vts(eng) => eng.pop_ready(),
+                OrderingState::Round(r) => r.pop_ready(),
+                OrderingState::Log(q) => q.pop_front(),
+            };
+            let Some(id) = next else { break };
+            if id.gid == self.id.group {
+                if let Some(rep) = self.rep.as_mut() {
+                    rep.ordered_at.entry(id).or_insert(now);
+                }
+            }
+            self.exec_queue.push_back(id);
+        }
+    }
+
+    // --- execution ----------------------------------------------------------
+
+    fn try_execute(&mut self, ctx: &mut Ctx<Msg>) {
+        while let Some(&id) = self.exec_queue.front() {
+            let ready = self
+                .tracking
+                .get(&id)
+                .is_some_and(|t| t.bytes.is_some() && !t.executed);
+            if !ready {
+                // Already-executed duplicates are dropped; missing content
+                // stalls the queue (order must be preserved).
+                if self.tracking.get(&id).is_some_and(|t| t.executed) {
+                    self.exec_queue.pop_front();
+                    continue;
+                }
+                break;
+            }
+            self.exec_queue.pop_front();
+            let bytes = self
+                .tracking
+                .get_mut(&id)
+                .and_then(|t| t.bytes.take())
+                .expect("checked above");
+            self.execute_entry(ctx, id, &bytes);
+        }
+    }
+
+    fn execute_entry(&mut self, ctx: &mut Ctx<Msg>, id: EntryId, bytes: &[u8]) {
+        let Some((decoded_id, requests)) = decode_batch(bytes) else { return };
+        debug_assert_eq!(decoded_id, id);
+        let txns: Vec<Request> =
+            requests.iter().filter_map(|r| Request::decode(r).ok()).collect();
+        let out = self.executor.execute_batch(&mut self.store, &txns);
+        ctx.spend_cpu(txns.len() as Time * self.params.exec_us);
+        self.executed_txns += out.committed as u64;
+        self.executed_entries += 1;
+        self.executed_by_group[id.gid as usize] += out.committed as u64;
+        self.exec_log.push(id);
+        self.ledger.append(id, entry_digest(bytes), self.store.content_hash());
+
+        let my_group = self.id.group;
+        let mut latency_sample = None;
+        let mut phases = None;
+        if let Some(rep) = self.rep.as_mut() {
+            rep.unexecuted.remove(&id);
+            rep.stamped.retain(|&(_, e)| e != id);
+            rep.accept_tally.remove(&id);
+            if id.gid == my_group {
+                rep.in_flight.remove(&id);
+                let created = rep.created_at.remove(&id);
+                let certified = rep.certified_at.remove(&id);
+                let committed = rep.committed_at.remove(&id);
+                let ordered = rep.ordered_at.remove(&id);
+                if let Some(created) = created {
+                    latency_sample = Some(ctx.now().saturating_sub(created));
+                }
+                if let (Some(cr), Some(ce)) = (created, certified) {
+                    let co = committed.unwrap_or(ce);
+                    let or = ordered.unwrap_or(co).max(co);
+                    phases = Some([
+                        ce.saturating_sub(cr),
+                        co.saturating_sub(ce),
+                        or.saturating_sub(co),
+                        ctx.now().saturating_sub(or),
+                    ]);
+                }
+            }
+        }
+        if let Some(l) = latency_sample {
+            self.latency.record(l);
+        }
+        if let Some(p) = phases {
+            for (acc, v) in self.phase_sums.iter_mut().zip(p) {
+                *acc += v;
+            }
+            self.phase_count += 1;
+        }
+        // GC replication state; keep a small executed marker so late
+        // chunks/copies don't resurrect the entry.
+        if let Some(asm) = self.assemblers.get_mut(&id.gid) {
+            asm.gc(id);
+        }
+        let cert = {
+            let t = self.tracking.entry(id).or_default();
+            let cert = t.cert.take();
+            t.bytes = None;
+            t.committed = true;
+            t.fed_to_round = true;
+            t.executed = true;
+            cert
+        };
+        // Keep recent entries for pull-based repair (Lemma V.1): a node
+        // that committed an entry it cannot rebuild (origin crashed
+        // mid-replication) fetches it from a peer that executed it.
+        if let Some(cert) = cert {
+            const ARCHIVE_DEPTH: usize = 2048;
+            self.archive.insert(id, (bytes.to_vec(), cert));
+            self.archive_order.push_back(id);
+            while self.archive_order.len() > ARCHIVE_DEPTH {
+                if let Some(old) = self.archive_order.pop_front() {
+                    self.archive.remove(&old);
+                }
+            }
+        }
+    }
+
+    // --- message handlers -----------------------------------------------------
+
+    fn on_chunk(&mut self, ctx: &mut Ctx<Msg>, from: NodeId, chunk: ChunkMsg, cert: QuorumCert) {
+        let origin_entry = chunk.entry;
+        let origin = chunk.entry.gid;
+        if origin == self.id.group {
+            return; // we hold our own entries
+        }
+        if self
+            .tracking
+            .get(&chunk.entry)
+            .is_some_and(|t| t.bytes.is_some() || t.executed)
+        {
+            return; // already have it / executed
+        }
+        let from_wan = from.group == origin;
+        // Byzantine receivers suppress honest re-shares (§VI-E); the
+        // tampered chunks they would inject already come from Byzantine
+        // senders' encodings.
+        let byzantine = self.is_byzantine(ctx.now());
+        let outcome = {
+            let Some(asm) = self.assemblers.get_mut(&origin) else { return };
+            asm.on_chunk(chunk.clone(), &cert)
+        };
+        match outcome {
+            ChunkOutcome::Accepted => {
+                if from_wan && !byzantine {
+                    // LAN re-share so every member can rebuild (§IV-B).
+                    let peers = self.other_group_members();
+                    ctx.send_many(peers, Msg::Chunk { chunk, cert });
+                }
+            }
+            ChunkOutcome::Rebuilt(bytes) => {
+                if from_wan && !byzantine {
+                    let peers = self.other_group_members();
+                    ctx.send_many(peers, Msg::Chunk { chunk, cert: cert.clone() });
+                }
+                self.tracking.entry(origin_entry).or_default().cert = Some(cert);
+                self.on_entry_content(ctx, bytes);
+            }
+            ChunkOutcome::Rejected(_) => {}
+        }
+    }
+
+    fn on_entry_copy(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        from: NodeId,
+        id: EntryId,
+        bytes: Vec<u8>,
+        cert: QuorumCert,
+    ) {
+        // Steward master: a forwarded entry from another group's leader.
+        if self.params.protocol.single_master()
+            && self.id == self.params.leader_of(0)
+            && id.gid != 0
+            && from == self.params.leader_of(id.gid)
+        {
+            let fresh = {
+                let t = self.tracking.entry(id).or_default();
+                let fresh = t.bytes.is_none() && !t.executed;
+                if fresh {
+                    t.bytes = Some(bytes.clone());
+                }
+                fresh
+            };
+            if fresh {
+                self.send_leader_copies(ctx, id, &bytes, &cert);
+                // The master's own group also needs the content.
+                let peers = self.other_group_members();
+                ctx.send_many(peers, Msg::Entry { id, bytes: bytes.clone(), cert: cert.clone() });
+                self.steward_propose(ctx, id);
+                self.try_execute(ctx);
+            }
+            return;
+        }
+        if id.gid == self.id.group {
+            return; // own-group entries arrive via local PBFT
+        }
+        if cert.validate_for(&entry_digest(&bytes), &self.registry).is_err() {
+            return; // tampered copy
+        }
+        let already = {
+            let t = self.tracking.entry(id).or_default();
+            let had = t.bytes.is_some() || t.executed;
+            if !had {
+                t.bytes = Some(bytes.clone());
+            }
+            if t.cert.is_none() {
+                t.cert = Some(cert.clone());
+            }
+            had
+        };
+        if already {
+            return;
+        }
+        // First receipt from WAN: forward over LAN to the whole group.
+        if from.group != self.id.group {
+            let peers = self.other_group_members();
+            ctx.send_many(peers, Msg::Entry { id, bytes: bytes.clone(), cert });
+        }
+        self.on_entry_content(ctx, bytes);
+    }
+
+    /// Entry content became available (rebuilt or copied).
+    fn on_entry_content(&mut self, ctx: &mut Ctx<Msg>, bytes: Vec<u8>) {
+        let Some((id, _)) = decode_batch(&bytes) else { return };
+        {
+            let t = self.tracking.entry(id).or_default();
+            if t.bytes.is_none() && !t.executed {
+                t.bytes = Some(bytes);
+            }
+        }
+        // Replay Raft appends that were held awaiting this content.
+        self.replay_held_appends(ctx);
+        if !self.params.protocol.uses_raft() {
+            // GeoBFT: content arrival is commitment.
+            self.mark_committed(id);
+        }
+        self.feed_round_if_complete(id);
+        self.drain_ordering(ctx.now());
+        self.try_execute(ctx);
+    }
+
+    fn on_raft_msg(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        from: NodeId,
+        instance: u32,
+        rmsg: RaftMsg<GlobalCmd>,
+    ) {
+        if !self.is_rep() {
+            return;
+        }
+        // Track appended entries to stamp (overlapped VTS) and monitor
+        // liveness of the instance leader.
+        let appended: Vec<EntryId> = match &rmsg {
+            RaftMsg::AppendEntries { entries, .. } => entries
+                .iter()
+                .filter_map(|e| e.data.entry.map(|(id, _)| id))
+                .collect(),
+            _ => Vec::new(),
+        };
+        if matches!(rmsg, RaftMsg::AppendEntries { .. }) {
+            if let Some(rep) = self.rep.as_mut() {
+                rep.last_append.insert(instance, ctx.now());
+            }
+            // Accept gating (Lemma V.1): a group must not accept an entry
+            // that is not safely replicated. "Safely" means either we hold
+            // the content, or `f_g + 1` groups provably do (the §V-C
+            // direct-accept tally plus pull repair make the entry
+            // recoverable) — otherwise a commit could reference an entry
+            // nobody can supply after the origin crashes. Held appends
+            // replay when content or the tally arrives; holding the whole
+            // append (not just the accept) also keeps stamps from
+            // committing ahead of an unsafe entry in the same log.
+            let missing = appended.iter().any(|id| !self.entry_safely_replicated(*id));
+            if missing {
+                self.held_appends.entry(instance).or_default().push((from, rmsg));
+                return;
+            }
+        }
+        let outputs = {
+            let Some(rep) = self.rep.as_mut() else { return };
+            let Some(raft) = rep.rafts.get_mut(&instance) else { return };
+            raft.step(from.group, rmsg)
+        };
+        // Direct accept broadcast (§V-C): we hold these entries (the
+        // gating above guarantees it), so tell every representative —
+        // slow groups use the tally to stamp and order without waiting
+        // for their own copies.
+        if matches!(self.params.protocol, Protocol::MassBft) && !appended.is_empty() {
+            let notice = Msg::AcceptNotice {
+                from_group: self.id.group,
+                entries: appended.clone(),
+            };
+            let reps: Vec<NodeId> = (0..self.ng() as u32)
+                .filter(|&g| g != self.id.group)
+                .map(|g| self.params.leader_of(g))
+                .collect();
+            ctx.send_many(reps, notice);
+            // Count our own acceptance locally too.
+            self.on_accept_notice(ctx, self.id.group, appended.clone());
+        }
+        self.stamp_appended_entries(appended);
+        self.handle_raft_outputs(ctx, instance, outputs);
+    }
+
+    /// Whether `id` is locally held, executed, or known held by a
+    /// majority of groups (committed implies a majority accepted under
+    /// the gating rule).
+    fn entry_safely_replicated(&self, id: EntryId) -> bool {
+        if id.gid == self.id.group {
+            return true; // own entries arrive via local PBFT
+        }
+        self.tracking
+            .get(&id)
+            .is_some_and(|t| t.bytes.is_some() || t.executed || t.committed)
+    }
+
+    /// Tallies a direct accept notice; at `f_g + 1` holders (counting the
+    /// proposer implicitly) the entry is provably replicated: stamp it
+    /// with our clock and mark it committed, without waiting for our own
+    /// copy (§V-C, slow receiver groups).
+    fn on_accept_notice(&mut self, ctx: &mut Ctx<Msg>, from_group: u32, entries: Vec<EntryId>) {
+        if !self.is_rep() || !matches!(self.params.protocol, Protocol::MassBft) {
+            return;
+        }
+        let ng = self.ng();
+        let quorum = ng / 2 + 1; // f_g + 1 with n_g >= 2 f_g + 1
+        let my_group = self.id.group;
+        let mut replicated: Vec<EntryId> = Vec::new();
+        {
+            let Some(rep) = self.rep.as_mut() else { return };
+            for id in entries {
+                let tally = rep.accept_tally.entry(id).or_default();
+                tally.insert(from_group);
+                tally.insert(id.gid); // the proposer holds its own entry
+                if tally.len() >= quorum {
+                    replicated.push(id);
+                }
+            }
+        }
+        let mut feed = Vec::new();
+        for id in replicated {
+            // Stamp without content (the §V-C fast path).
+            {
+                let my_stream = ng as u32 + my_group;
+                let Some(rep) = self.rep.as_mut() else { return };
+                rep.accept_tally.remove(&id);
+                if id.gid != my_group && rep.stamped.insert((my_group, id)) {
+                    let ts = rep.clock;
+                    rep.pending_stamps.entry(my_stream).or_default().push((id, ts));
+                }
+            }
+            // Majority-accepted == committed under Raft's election
+            // restriction; surface it to the ordering layer now.
+            let newly = !self.tracking.get(&id).is_some_and(|t| t.committed);
+            if newly {
+                feed.push(FeedEvent::Committed(id));
+                if let Some(rep) = self.rep.as_mut() {
+                    let high = rep.committed_high.entry(id.gid).or_insert(0);
+                    *high = (*high).max(id.seq);
+                    rep.unexecuted.insert(id);
+                }
+            }
+        }
+        if !feed.is_empty() {
+            self.broadcast_feed(ctx, feed);
+        }
+        // Newly safe entries may unblock held appends in any instance.
+        self.replay_held_appends(ctx);
+        self.flush_stamps(ctx);
+    }
+
+    /// Re-dispatches every held append whose carried entries are all safe
+    /// now; still-unsafe ones re-hold themselves.
+    fn replay_held_appends(&mut self, ctx: &mut Ctx<Msg>) {
+        let held: Vec<(u32, Vec<(NodeId, RaftMsg<GlobalCmd>)>)> =
+            self.held_appends.drain().collect();
+        for (instance, msgs) in held {
+            for (from, rmsg) in msgs {
+                self.on_raft_msg(ctx, from, instance, rmsg);
+            }
+        }
+    }
+
+    /// Serves a repair request from our archive or live tracking state.
+    fn on_entry_request(&mut self, ctx: &mut Ctx<Msg>, from: NodeId, id: EntryId) {
+        let reply = self
+            .archive
+            .get(&id)
+            .map(|(b, c)| (b.clone(), c.clone()))
+            .or_else(|| {
+                let t = self.tracking.get(&id)?;
+                Some((t.bytes.clone()?, t.cert.clone()?))
+            });
+        if let Some((bytes, cert)) = reply {
+            ctx.send(from, Msg::Entry { id, bytes, cert });
+        }
+    }
+
+    /// Repair tick: if the execution queue has been stalled on the same
+    /// missing entry across two ticks, pull it from peers (Lemma V.1).
+    fn on_repair_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        let stalled = self.exec_queue.front().copied().filter(|id| {
+            !self
+                .tracking
+                .get(id)
+                .is_some_and(|t| t.bytes.is_some() || t.executed)
+        });
+        if let Some(id) = stalled {
+            if self.last_stalled == Some(id) {
+                // Ask our own representative first (LAN), then one node of
+                // every other group (WAN) — whoever has it replies.
+                let mut targets = vec![self.params.leader_of(self.id.group)];
+                for g in 0..self.ng() as u32 {
+                    if g != self.id.group {
+                        targets.push(self.params.leader_of(g));
+                    }
+                }
+                for t in targets {
+                    if t != self.id {
+                        ctx.send(t, Msg::EntryRequest { id });
+                    }
+                }
+            }
+        }
+        self.last_stalled = stalled;
+        ctx.set_timer(500 * MILLISECOND, T_REPAIR);
+    }
+
+    fn on_epoch_close(&mut self, group: u32, epoch: u64) {
+        let Some(rep) = self.rep.as_mut() else { return };
+        rep.epoch_seals.entry(epoch).or_default().insert(group);
+    }
+
+    // --- timers ----------------------------------------------------------
+
+    fn on_batch_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        self.try_batch(ctx);
+        ctx.set_timer(self.params.batch_timeout_us, T_BATCH);
+    }
+
+    fn on_heartbeat_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        let instances: Vec<u32> = self
+            .rep
+            .as_ref()
+            .map(|r| r.rafts.keys().copied().collect())
+            .unwrap_or_default();
+        for inst in instances {
+            let outputs = {
+                let Some(rep) = self.rep.as_mut() else { return };
+                let Some(raft) = rep.rafts.get_mut(&inst) else { continue };
+                // Bound log memory: applied entries live in the tracking/
+                // archive layers, so the Raft log only needs a
+                // retransmission margin (stragglers use entry repair).
+                raft.compact_to_applied(256);
+                if !raft.is_leader() {
+                    continue;
+                }
+                raft.on_heartbeat_timeout()
+            };
+            self.handle_raft_outputs(ctx, inst, outputs);
+        }
+        self.flush_stamps(ctx);
+        ctx.set_timer(self.params.heartbeat_us, T_HEARTBEAT);
+    }
+
+    fn on_election_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        let now = ctx.now();
+        let timeout = self.params.election_timeout_us;
+        // Stagger by group id so two survivors never cross the timeout
+        // threshold within the same check period and split votes forever
+        // (the stagger must exceed the check period, timeout/2).
+        let my_stagger = (self.id.group as u64) * (self.params.election_timeout_us * 3 / 4);
+        let instances: Vec<u32> = self
+            .rep
+            .as_ref()
+            .map(|r| r.rafts.keys().copied().collect())
+            .unwrap_or_default();
+        for inst in instances {
+            let should_elect = {
+                let Some(rep) = self.rep.as_ref() else { return };
+                let Some(raft) = rep.rafts.get(&inst) else { continue };
+                let last = rep.last_append.get(&inst).copied().unwrap_or(0);
+                !raft.is_leader() && now.saturating_sub(last) > timeout + my_stagger
+            };
+            if should_elect {
+                let outputs = {
+                    let Some(rep) = self.rep.as_mut() else { return };
+                    let Some(raft) = rep.rafts.get_mut(&inst) else { continue };
+                    raft.on_election_timeout()
+                };
+                if let Some(rep) = self.rep.as_mut() {
+                    rep.last_append.insert(inst, now);
+                }
+                self.handle_raft_outputs(ctx, inst, outputs);
+            }
+        }
+        ctx.set_timer(self.params.election_timeout_us / 2, T_ELECTION);
+    }
+
+    fn on_stamp_flush_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        self.flush_stamps(ctx);
+        ctx.set_timer(10 * MILLISECOND, T_STAMP_FLUSH);
+    }
+
+    fn on_epoch_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        if matches!(self.params.protocol, Protocol::Iss) {
+            let sealed_epoch = ctx.now() / self.params.epoch_us;
+            if sealed_epoch > 0 {
+                let msg = Msg::EpochClose { group: self.id.group, epoch: sealed_epoch - 1 };
+                let leaders: Vec<NodeId> = (0..self.ng() as u32)
+                    .filter(|&g| g != self.id.group)
+                    .map(|g| self.params.leader_of(g))
+                    .collect();
+                ctx.send_many(leaders, msg);
+                self.on_epoch_close(self.id.group, sealed_epoch - 1);
+            }
+        }
+        ctx.set_timer(self.params.epoch_us, T_EPOCH);
+    }
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        ctx.set_timer(500 * MILLISECOND, T_REPAIR);
+        if self.is_rep() {
+            // Stagger the first batch slightly per group to avoid
+            // artificial phase-lock between groups.
+            let stagger = (self.id.group as u64) * 777;
+            ctx.set_timer(self.params.batch_timeout_us + stagger, T_BATCH);
+            if self.params.protocol.uses_raft() {
+                ctx.set_timer(self.params.heartbeat_us, T_HEARTBEAT);
+                ctx.set_timer(self.params.election_timeout_us, T_ELECTION);
+                if matches!(self.params.protocol, Protocol::MassBft) {
+                    ctx.set_timer(10 * MILLISECOND, T_STAMP_FLUSH);
+                }
+            }
+            if matches!(self.params.protocol, Protocol::Iss) {
+                ctx.set_timer(self.params.epoch_us, T_EPOCH);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Pbft(m) => {
+                let outputs = self.pbft.on_message(from.node, m);
+                self.handle_pbft_outputs(ctx, outputs);
+            }
+            Msg::Chunk { chunk, cert } => self.on_chunk(ctx, from, chunk, cert),
+            Msg::Entry { id, bytes, cert } => self.on_entry_copy(ctx, from, id, bytes, cert),
+            Msg::Raft { instance, rmsg, .. } => self.on_raft_msg(ctx, from, instance, rmsg),
+            Msg::Feed { events } => self.apply_feed(ctx, events),
+            Msg::EntryRequest { id } => self.on_entry_request(ctx, from, id),
+            Msg::AcceptNotice { from_group, entries } => {
+                self.on_accept_notice(ctx, from_group, entries)
+            }
+            Msg::EpochClose { group, epoch } => self.on_epoch_close(group, epoch),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, token: u64) {
+        match token {
+            T_BATCH => self.on_batch_timer(ctx),
+            T_HEARTBEAT => self.on_heartbeat_timer(ctx),
+            T_ELECTION => self.on_election_timer(ctx),
+            T_STAMP_FLUSH => self.on_stamp_flush_timer(ctx),
+            T_EPOCH => self.on_epoch_timer(ctx),
+            T_REPAIR => self.on_repair_timer(ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_names_and_capabilities() {
+        assert_eq!(Protocol::MassBft.name(), "MassBFT");
+        assert_eq!(Protocol::EncodedBijective.name(), "EBR");
+        assert_eq!(Protocol::BijectiveOnly.name(), "BR");
+        assert!(Protocol::MassBft.uses_chunks());
+        assert!(Protocol::EncodedBijective.uses_chunks());
+        assert!(!Protocol::Baseline.uses_chunks());
+        assert!(!Protocol::GeoBft.uses_raft());
+        assert!(Protocol::Baseline.uses_raft());
+        assert!(Protocol::Steward.single_master());
+        assert!(!Protocol::MassBft.single_master());
+    }
+
+    #[test]
+    fn params_defaults_match_paper_setup() {
+        let p = ProtocolParams::new(Protocol::MassBft, &[7, 7, 7]);
+        assert_eq!(p.batch_timeout_us, 20 * MILLISECOND); // §VI: fixed 20 ms
+        assert_eq!(p.ng(), 3);
+        assert_eq!(p.leader_of(2), NodeId::new(2, 0));
+        assert!(p.overlap_vts);
+        // cert for n=7: 2f+1 = 5 signatures.
+        assert_eq!(p.cert_size(0), 5 * 72 + 40);
+    }
+
+    #[test]
+    fn msg_wire_sizes_scale_with_content() {
+        let registry = KeyRegistry::generate(1, &[4]);
+        let id = EntryId::new(0, 1);
+        let bytes = encode_batch(id, &[vec![0u8; 1000]]);
+        let cert = QuorumCert::assemble(
+            entry_digest(&bytes),
+            0,
+            &registry,
+            (0..3).map(|i| massbft_crypto::keys::NodeId::new(0, i)),
+        );
+        let entry_msg = Msg::Entry { id, bytes: bytes.clone(), cert: cert.clone() };
+        assert!(entry_msg.wire_size() > 1000, "entry copy carries the payload");
+
+        let small = Msg::EntryRequest { id };
+        assert!(small.wire_size() <= 64, "requests are control-sized");
+
+        let feed = Msg::Feed {
+            events: vec![
+                FeedEvent::Committed(id),
+                FeedEvent::Stamp { stamper: 1, target: id, ts: 3 },
+            ],
+        };
+        assert!(feed.wire_size() < 200);
+
+        // Raft append with one entry command: dominated by cert bytes.
+        let cmd = GlobalCmd { entry: Some((id, entry_digest(&bytes))), stamps: vec![(id, 5)] };
+        let append = Msg::Raft {
+            instance: 0,
+            rmsg: RaftMsg::AppendEntries {
+                term: 1,
+                prev_index: 0,
+                prev_term: 0,
+                entries: vec![massbft_consensus::raft::LogEntry { term: 1, data: cmd }],
+                leader_commit: 0,
+            },
+            cert_bytes: 256,
+        };
+        let size = append.wire_size();
+        assert!(size > 256 && size < 1500, "append is control-lane sized: {size}");
+    }
+
+    #[test]
+    fn global_cmd_wire_size() {
+        let id = EntryId::new(0, 1);
+        let digest = Digest::of(b"x");
+        let with_entry = GlobalCmd { entry: Some((id, digest)), stamps: vec![] };
+        let stamps_only = GlobalCmd { entry: None, stamps: vec![(id, 1), (id, 2)] };
+        assert!(with_entry.wire_size() > stamps_only.wire_size() - 40);
+        assert_eq!(stamps_only.wire_size(), 2 * 20 + 24);
+    }
+
+    #[test]
+    fn node_construction_shapes() {
+        let params = ProtocolParams::new(Protocol::MassBft, &[4, 7]);
+        let registry = KeyRegistry::generate(params.seed, &params.group_sizes);
+        let rep = Node::new(NodeId::new(0, 0), params.clone(), registry.clone());
+        assert!(rep.is_rep());
+        assert_eq!(rep.executed_txns(), 0);
+        assert_eq!(rep.exec_log().len(), 0);
+        assert_eq!(rep.ledger().height(), 0);
+        // Chunk assembler exists exactly for the other group.
+        assert_eq!(rep.assemblers.len(), 1);
+        assert!(rep.assemblers.contains_key(&1));
+
+        let follower = Node::new(NodeId::new(1, 3), params, registry);
+        assert!(!follower.is_rep());
+        assert_eq!(follower.assemblers.len(), 1);
+        assert!(follower.assemblers.contains_key(&0));
+    }
+
+    #[test]
+    fn byzantine_flag_respects_activation_time() {
+        let mut params = ProtocolParams::new(Protocol::MassBft, &[4]);
+        params.byzantine_nodes.insert(NodeId::new(0, 3));
+        params.byzantine_from_us = 1000;
+        let registry = KeyRegistry::generate(params.seed, &params.group_sizes);
+        let node = Node::new(NodeId::new(0, 3), params.clone(), registry.clone());
+        assert!(!node.is_byzantine(999));
+        assert!(node.is_byzantine(1000));
+        let honest = Node::new(NodeId::new(0, 1), params, registry);
+        assert!(!honest.is_byzantine(5000));
+    }
+}

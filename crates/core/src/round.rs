@@ -1,0 +1,153 @@
+//! Round-based synchronous ordering — the strategy of GeoBFT, Canopus and
+//! Baseline (paper §II-A): in each round every group proposes exactly one
+//! entry; a node executes round `r` only after receiving *all* groups'
+//! round-`r` entries, ordered by group id.
+//!
+//! This is the foil for MassBFT's asynchronous ordering: a slow group
+//! stalls everyone (Fig. 2), which the Fig. 12 experiment quantifies.
+
+use crate::entry::EntryId;
+use std::collections::BTreeSet;
+
+/// Round-based ordering engine (one per node).
+#[derive(Debug)]
+pub struct RoundOrdering {
+    ng: usize,
+    /// Highest contiguous seq received per group.
+    received: Vec<u64>,
+    /// Out-of-order receipts per group.
+    early: Vec<BTreeSet<u64>>,
+    /// The round currently being released (1-based).
+    round: u64,
+    /// Position within the current round (next gid to release).
+    cursor: usize,
+}
+
+impl RoundOrdering {
+    /// Creates an engine for `ng` groups.
+    pub fn new(ng: usize) -> Self {
+        RoundOrdering {
+            ng,
+            received: vec![0; ng],
+            early: vec![BTreeSet::new(); ng],
+            round: 1,
+            cursor: 0,
+        }
+    }
+
+    /// Current round (entries `e_{*, round}`).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Records that entry `id` has completed replication at this node.
+    pub fn on_entry(&mut self, id: EntryId) {
+        let g = id.gid as usize;
+        debug_assert!(g < self.ng);
+        if id.seq <= self.received[g] {
+            return; // duplicate
+        }
+        self.early[g].insert(id.seq);
+        while self.early[g].remove(&(self.received[g] + 1)) {
+            self.received[g] += 1;
+        }
+    }
+
+    /// Pops the next entry in round order, if the round is complete up to
+    /// it: entries release in `(round, gid)` lexicographic order, and
+    /// entry `(g, r)` releases only when every group has delivered its
+    /// round-`r` entry.
+    pub fn pop_ready(&mut self) -> Option<EntryId> {
+        // The whole round must be present before any of it executes.
+        if self.cursor == 0 && !(0..self.ng).all(|g| self.received[g] >= self.round) {
+            return None;
+        }
+        let id = EntryId::new(self.cursor as u32, self.round);
+        self.cursor += 1;
+        if self.cursor == self.ng {
+            self.cursor = 0;
+            self.round += 1;
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(r: &mut RoundOrdering) -> Vec<EntryId> {
+        let mut out = Vec::new();
+        while let Some(e) = r.pop_ready() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn releases_nothing_until_round_complete() {
+        let mut r = RoundOrdering::new(3);
+        r.on_entry(EntryId::new(0, 1));
+        r.on_entry(EntryId::new(2, 1));
+        assert!(drain(&mut r).is_empty());
+        r.on_entry(EntryId::new(1, 1));
+        assert_eq!(
+            drain(&mut r),
+            vec![EntryId::new(0, 1), EntryId::new(1, 1), EntryId::new(2, 1)]
+        );
+    }
+
+    #[test]
+    fn rounds_release_in_order_by_gid() {
+        let mut r = RoundOrdering::new(2);
+        // Receive round 2 before round 1 completes.
+        r.on_entry(EntryId::new(0, 1));
+        r.on_entry(EntryId::new(0, 2));
+        r.on_entry(EntryId::new(1, 2));
+        assert!(drain(&mut r).is_empty());
+        r.on_entry(EntryId::new(1, 1));
+        assert_eq!(
+            drain(&mut r),
+            vec![
+                EntryId::new(0, 1),
+                EntryId::new(1, 1),
+                EntryId::new(0, 2),
+                EntryId::new(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn slow_group_stalls_fast_group() {
+        // The Fig. 2 pathology: group 1 proposes twice as fast; its extra
+        // entries sit unexecuted until group 0 catches up.
+        let mut r = RoundOrdering::new(2);
+        for seq in 1..=10 {
+            r.on_entry(EntryId::new(1, seq));
+        }
+        assert!(drain(&mut r).is_empty());
+        r.on_entry(EntryId::new(0, 1));
+        let out = drain(&mut r);
+        assert_eq!(out.len(), 2); // only round 1 released
+        assert_eq!(r.round(), 2);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut r = RoundOrdering::new(1);
+        r.on_entry(EntryId::new(0, 1));
+        r.on_entry(EntryId::new(0, 1));
+        assert_eq!(drain(&mut r), vec![EntryId::new(0, 1)]);
+        assert_eq!(r.round(), 2);
+    }
+
+    #[test]
+    fn out_of_order_receipt_within_group() {
+        let mut r = RoundOrdering::new(1);
+        r.on_entry(EntryId::new(0, 3));
+        r.on_entry(EntryId::new(0, 2));
+        assert!(drain(&mut r).is_empty());
+        r.on_entry(EntryId::new(0, 1));
+        assert_eq!(drain(&mut r).len(), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Run statistics: throughput windows and latency distributions.
+
+use massbft_sim_net::Time;
+
+/// Online latency accumulator with reservoir-free exact percentiles
+/// (latencies are few per run — one per entry — so storing them is fine).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<Time>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample (microseconds).
+    pub fn record(&mut self, latency: Time) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_us() / 1000.0
+    }
+
+    /// Mean of samples recorded at index `from` onward — windowed means
+    /// for timeline plots (Fig. 15).
+    pub fn mean_from(&self, from: usize) -> f64 {
+        if from >= self.samples.len() {
+            return 0.0;
+        }
+        // Note: percentile_us() sorts in place; timeline users must call
+        // mean_from before any percentile query, or track indices before.
+        let slice = &self.samples[from..];
+        slice.iter().sum::<u64>() as f64 / slice.len() as f64
+    }
+
+    /// The `p`-th percentile (0–100), microseconds.
+    pub fn percentile_us(&mut self, p: f64) -> Time {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
+    }
+}
+
+/// Throughput over a measurement window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Throughput {
+    /// Committed (executed) transactions in the window.
+    pub txns: u64,
+    /// Window length in microseconds.
+    pub window_us: Time,
+}
+
+impl Throughput {
+    /// Transactions per second.
+    pub fn tps(&self) -> f64 {
+        if self.window_us == 0 {
+            return 0.0;
+        }
+        self.txns as f64 * 1_000_000.0 / self.window_us as f64
+    }
+
+    /// Kilotransactions per second (the paper's unit).
+    pub fn ktps(&self) -> f64 {
+        self.tps() / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_basics() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean_us(), 0.0);
+        assert_eq!(s.percentile_us(50.0), 0);
+        for v in [10, 20, 30, 40, 50] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean_us() - 30.0).abs() < 1e-9);
+        assert_eq!(s.percentile_us(0.0), 10);
+        assert_eq!(s.percentile_us(50.0), 30);
+        assert_eq!(s.percentile_us(100.0), 50);
+        assert_eq!(s.mean_ms(), 0.03);
+    }
+
+    #[test]
+    fn mean_from_windows() {
+        let mut s = LatencyStats::new();
+        for v in [10, 20, 90, 110] {
+            s.record(v);
+        }
+        assert!((s.mean_from(0) - 57.5).abs() < 1e-9);
+        assert!((s.mean_from(2) - 100.0).abs() < 1e-9);
+        assert_eq!(s.mean_from(4), 0.0);
+    }
+
+    #[test]
+    fn percentile_after_more_records_resorts() {
+        let mut s = LatencyStats::new();
+        s.record(100);
+        assert_eq!(s.percentile_us(50.0), 100);
+        s.record(1);
+        assert_eq!(s.percentile_us(0.0), 1);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput { txns: 50_000, window_us: 1_000_000 };
+        assert!((t.tps() - 50_000.0).abs() < 1e-9);
+        assert!((t.ktps() - 50.0).abs() < 1e-9);
+        let zero = Throughput::default();
+        assert_eq!(zero.tps(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Agreement under saturation: the regression test for the tie-resolution
+//! bug where commit-derived clock inference let two groups order entries
+//! with tying vector timestamps differently (see
+//! `OrderingEngine::on_entry_committed`). Full-rate load maximizes VTS
+//! ties, which is exactly where unsound inference diverges.
+
+use massbft_core::cluster::{Cluster, ClusterConfig};
+use massbft_core::protocol::Protocol;
+use massbft_workloads::WorkloadKind;
+
+fn saturated(protocol: Protocol, seed: u64) {
+    let cfg = ClusterConfig::nationwide(&[4, 4, 4], protocol)
+        .workload(WorkloadKind::YcsbA)
+        .seed(seed);
+    let mut cluster = Cluster::new(cfg);
+    let report = cluster.run_secs(3);
+    assert!(
+        report.all_nodes_consistent,
+        "{} seed {seed}: replicas diverged under saturation",
+        protocol.name()
+    );
+    assert!(report.throughput.tps() > 1000.0, "{}: underloaded", protocol.name());
+}
+
+#[test]
+fn massbft_consistent_under_saturation_seed7() {
+    saturated(Protocol::MassBft, 7);
+}
+
+#[test]
+fn massbft_consistent_under_saturation_seed21() {
+    saturated(Protocol::MassBft, 21);
+}
+
+#[test]
+fn baseline_consistent_under_saturation() {
+    saturated(Protocol::Baseline, 7);
+}
+
+#[test]
+fn geobft_consistent_under_saturation() {
+    saturated(Protocol::GeoBft, 7);
+}

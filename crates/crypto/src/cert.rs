@@ -1,0 +1,225 @@
+//! Quorum certificates.
+//!
+//! Local PBFT consensus "creates a certificate for the entry … The
+//! certificate protects the entry from tampering by Byzantine nodes during
+//! the subsequent global replication" (paper §II-A). A [`QuorumCert`] is a
+//! digest plus `2f+1` signatures from distinct nodes of one group; any node
+//! in any group can validate it against the [`KeyRegistry`].
+
+use crate::{keys::NodeId, Digest, KeyRegistry, Signature};
+
+/// Reasons a certificate fails validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertError {
+    /// Fewer than `2f+1` signatures.
+    InsufficientSignatures {
+        /// Signatures present.
+        have: usize,
+        /// Signatures required for the group size.
+        need: usize,
+    },
+    /// Two signatures claim the same signer.
+    DuplicateSigner(NodeId),
+    /// A signature names a node outside the certifying group.
+    ForeignSigner(NodeId),
+    /// A signature does not verify over the digest.
+    BadSignature(NodeId),
+}
+
+impl std::fmt::Display for CertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertError::InsufficientSignatures { have, need } => {
+                write!(f, "insufficient signatures: {have} < {need}")
+            }
+            CertError::DuplicateSigner(id) => write!(f, "duplicate signer {id}"),
+            CertError::ForeignSigner(id) => write!(f, "signer {id} not in certifying group"),
+            CertError::BadSignature(id) => write!(f, "invalid signature from {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// A `2f+1` quorum certificate over a digest, produced by one group's
+/// local PBFT commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumCert {
+    /// The certified digest (of a log entry or a consensus decision).
+    pub digest: Digest,
+    /// The certifying group.
+    pub group: u32,
+    /// Signatures from distinct nodes of `group`.
+    pub signatures: Vec<Signature>,
+}
+
+/// Quorum size for a PBFT group of `n` nodes: `2f + 1` with
+/// `f = (n - 1) / 3`.
+pub fn quorum(n: usize) -> usize {
+    2 * ((n - 1) / 3) + 1
+}
+
+/// Maximum tolerated Byzantine nodes for a group of `n`: `(n - 1) / 3`.
+pub fn max_faulty(n: usize) -> usize {
+    (n - 1) / 3
+}
+
+impl QuorumCert {
+    /// Assembles a certificate by signing `digest` with every key in
+    /// `signers`. Test/simulation helper for the honest path.
+    pub fn assemble(
+        digest: Digest,
+        group: u32,
+        registry: &KeyRegistry,
+        signers: impl IntoIterator<Item = NodeId>,
+    ) -> QuorumCert {
+        let signatures = signers
+            .into_iter()
+            .filter_map(|id| registry.key_of(id))
+            .map(|k| k.sign_digest(&digest))
+            .collect();
+        QuorumCert { digest, group, signatures }
+    }
+
+    /// Validates the certificate: `2f+1` distinct in-group signers, all
+    /// signatures valid over `digest`.
+    pub fn validate(&self, registry: &KeyRegistry) -> Result<(), CertError> {
+        let n = registry.group_size(self.group);
+        let need = quorum(n);
+        if self.signatures.len() < need {
+            return Err(CertError::InsufficientSignatures {
+                have: self.signatures.len(),
+                need,
+            });
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for sig in &self.signatures {
+            if sig.signer.group != self.group {
+                return Err(CertError::ForeignSigner(sig.signer));
+            }
+            if !seen.insert(sig.signer) {
+                return Err(CertError::DuplicateSigner(sig.signer));
+            }
+            if !registry.verify_digest(&self.digest, sig) {
+                return Err(CertError::BadSignature(sig.signer));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and additionally checks the certificate covers `expected`.
+    pub fn validate_for(
+        &self,
+        expected: &Digest,
+        registry: &KeyRegistry,
+    ) -> Result<(), CertError> {
+        if self.digest != *expected {
+            // A mismatched digest means every signature is over the wrong
+            // message; report the first signer for diagnostics.
+            let who = self
+                .signatures
+                .first()
+                .map(|s| s.signer)
+                .unwrap_or(NodeId::new(self.group, 0));
+            return Err(CertError::BadSignature(who));
+        }
+        self.validate(registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KeyRegistry, Digest) {
+        (KeyRegistry::generate(7, &[7, 7]), Digest::of(b"entry"))
+    }
+
+    fn signer_range(group: u32, n: u32) -> impl Iterator<Item = NodeId> {
+        (0..n).map(move |i| NodeId::new(group, i))
+    }
+
+    #[test]
+    fn quorum_math_matches_paper() {
+        // n >= 3f + 1 (paper §II-A); for n = 7, f = 2, quorum = 5.
+        assert_eq!(max_faulty(7), 2);
+        assert_eq!(quorum(7), 5);
+        assert_eq!(max_faulty(4), 1);
+        assert_eq!(quorum(4), 3);
+        assert_eq!(max_faulty(40), 13);
+        assert_eq!(quorum(40), 27);
+        assert_eq!(quorum(1), 1);
+    }
+
+    #[test]
+    fn honest_certificate_validates() {
+        let (reg, d) = setup();
+        let cert = QuorumCert::assemble(d, 0, &reg, signer_range(0, 5));
+        assert_eq!(cert.validate(&reg), Ok(()));
+        assert_eq!(cert.validate_for(&d, &reg), Ok(()));
+    }
+
+    #[test]
+    fn too_few_signatures_rejected() {
+        let (reg, d) = setup();
+        let cert = QuorumCert::assemble(d, 0, &reg, signer_range(0, 4));
+        assert_eq!(
+            cert.validate(&reg),
+            Err(CertError::InsufficientSignatures { have: 4, need: 5 })
+        );
+    }
+
+    #[test]
+    fn duplicate_signer_rejected() {
+        let (reg, d) = setup();
+        let mut cert = QuorumCert::assemble(d, 0, &reg, signer_range(0, 5));
+        cert.signatures[4] = cert.signatures[0];
+        assert_eq!(
+            cert.validate(&reg),
+            Err(CertError::DuplicateSigner(NodeId::new(0, 0)))
+        );
+    }
+
+    #[test]
+    fn foreign_signer_rejected() {
+        let (reg, d) = setup();
+        let mut signers: Vec<NodeId> = signer_range(0, 4).collect();
+        signers.push(NodeId::new(1, 0)); // from the other group
+        let cert = QuorumCert::assemble(d, 0, &reg, signers);
+        assert_eq!(
+            cert.validate(&reg),
+            Err(CertError::ForeignSigner(NodeId::new(1, 0)))
+        );
+    }
+
+    #[test]
+    fn tampered_digest_rejected() {
+        let (reg, d) = setup();
+        let mut cert = QuorumCert::assemble(d, 0, &reg, signer_range(0, 5));
+        cert.digest = Digest::of(b"tampered entry");
+        assert!(matches!(cert.validate(&reg), Err(CertError::BadSignature(_))));
+    }
+
+    #[test]
+    fn validate_for_detects_digest_swap() {
+        let (reg, d) = setup();
+        let other = Digest::of(b"other entry");
+        // A *valid* cert over `other` must not pass for `d`.
+        let cert = QuorumCert::assemble(other, 0, &reg, signer_range(0, 5));
+        assert_eq!(cert.validate(&reg), Ok(()));
+        assert!(cert.validate_for(&d, &reg).is_err());
+    }
+
+    #[test]
+    fn byzantine_minority_cannot_forge() {
+        // f = 2 colluding nodes sign a tampered digest; even with their two
+        // valid signatures the certificate falls short of quorum.
+        let (reg, _) = setup();
+        let bad = Digest::of(b"forged");
+        let cert = QuorumCert::assemble(bad, 0, &reg, signer_range(0, 2));
+        assert_eq!(
+            cert.validate(&reg),
+            Err(CertError::InsufficientSignatures { have: 2, need: 5 })
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! HMAC-SHA-256 (RFC 2104).
+//!
+//! Used by the simulated PKI ([`crate::keys`]) as the signature primitive:
+//! a tag under a per-node secret plays the role of an ED25519 signature in
+//! the paper's prototype.
+
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, msg)`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let kh = crate::sha256::sha256(key);
+        k[..32].copy_from_slice(&kh);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time-ish tag comparison. (The simulator has no timing side
+/// channel, but branch-free comparison is the idiom worth keeping.)
+pub fn verify_tag(expected: &[u8; 32], actual: &[u8; 32]) -> bool {
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(actual) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_tag_detects_any_flip() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(verify_tag(&tag, &tag));
+        for i in 0..32 {
+            let mut bad = tag;
+            bad[i] ^= 1;
+            assert!(!verify_tag(&tag, &bad));
+        }
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Simulated public-key infrastructure.
+//!
+//! The paper assumes a PKI where "each node has a public-private key pair
+//! for signing and verifying messages" (§III-A). In this reproduction a
+//! node's *private key* is a 32-byte secret derived from a cluster seed and
+//! its identity; a *signature* is `HMAC-SHA256(secret, msg)`. Verification
+//! goes through the [`KeyRegistry`], which plays the role of the certificate
+//! directory every node holds in a permissioned deployment.
+//!
+//! Soundness within the simulation: the adversary controls faulty nodes
+//! (and thus their secrets) but never a correct node's secret, so it cannot
+//! forge a correct node's signature — exactly the guarantee the protocol
+//! needs from ED25519.
+
+use crate::{hmac, Digest};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Identifies a node as `(group id, node id within group)`, matching the
+/// paper's `N_{i,j}` notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// Group (data center) index, 0-based.
+    pub group: u32,
+    /// Node index within the group, 0-based.
+    pub node: u32,
+}
+
+impl NodeId {
+    /// Convenience constructor.
+    pub fn new(group: u32, node: u32) -> Self {
+        NodeId { group, node }
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N{},{}", self.group, self.node)
+    }
+}
+
+/// A node's signing key.
+#[derive(Clone)]
+pub struct NodeKey {
+    id: NodeId,
+    secret: [u8; 32],
+}
+
+impl NodeKey {
+    /// Signs a message.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature { signer: self.id, tag: hmac::hmac_sha256(&self.secret, msg) }
+    }
+
+    /// Signs a digest (the common case: PBFT votes sign entry digests).
+    pub fn sign_digest(&self, d: &Digest) -> Signature {
+        self.sign(&d.0)
+    }
+
+    /// The identity this key signs for.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+impl std::fmt::Debug for NodeKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the secret.
+        write!(f, "NodeKey({})", self.id)
+    }
+}
+
+/// A signature: an HMAC tag bound to a claimed signer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Claimed signer identity.
+    pub signer: NodeId,
+    /// HMAC-SHA256 tag.
+    pub tag: [u8; 32],
+}
+
+/// The cluster-wide key directory. Cheap to clone (`Arc` inside); every
+/// node holds one and verifies peers' signatures against it.
+#[derive(Debug, Clone)]
+pub struct KeyRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    secrets: BTreeMap<NodeId, [u8; 32]>,
+}
+
+impl KeyRegistry {
+    /// Derives keys for a cluster with the given group sizes from a seed.
+    /// `group_sizes[i]` is the number of nodes in group `i`.
+    pub fn generate(seed: u64, group_sizes: &[usize]) -> Self {
+        let mut secrets = BTreeMap::new();
+        for (g, &size) in group_sizes.iter().enumerate() {
+            for n in 0..size {
+                let id = NodeId::new(g as u32, n as u32);
+                secrets.insert(id, derive_secret(seed, id));
+            }
+        }
+        KeyRegistry { inner: Arc::new(RegistryInner { secrets }) }
+    }
+
+    /// Returns the signing key for `id`, if it is a registered node.
+    pub fn key_of(&self, id: NodeId) -> Option<NodeKey> {
+        self.inner.secrets.get(&id).map(|&secret| NodeKey { id, secret })
+    }
+
+    /// Verifies `sig` over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        match self.inner.secrets.get(&sig.signer) {
+            Some(secret) => {
+                let expect = hmac::hmac_sha256(secret, msg);
+                hmac::verify_tag(&expect, &sig.tag)
+            }
+            None => false,
+        }
+    }
+
+    /// Verifies a signature over a digest.
+    pub fn verify_digest(&self, d: &Digest, sig: &Signature) -> bool {
+        self.verify(&d.0, sig)
+    }
+
+    /// All registered node ids, ordered.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.inner.secrets.keys().copied()
+    }
+
+    /// Number of nodes in group `g`.
+    pub fn group_size(&self, g: u32) -> usize {
+        self.inner
+            .secrets
+            .keys()
+            .filter(|id| id.group == g)
+            .count()
+    }
+}
+
+fn derive_secret(seed: u64, id: NodeId) -> [u8; 32] {
+    let mut material = Vec::with_capacity(24);
+    material.extend_from_slice(b"massbft:");
+    material.extend_from_slice(&seed.to_le_bytes());
+    material.extend_from_slice(&id.group.to_le_bytes());
+    material.extend_from_slice(&id.node.to_le_bytes());
+    crate::sha256::sha256(&material)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::generate(42, &[4, 7, 7])
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let reg = registry();
+        let key = reg.key_of(NodeId::new(1, 3)).unwrap();
+        let sig = key.sign(b"message");
+        assert!(reg.verify(b"message", &sig));
+        assert!(!reg.verify(b"other", &sig));
+    }
+
+    #[test]
+    fn signature_binds_signer() {
+        let reg = registry();
+        let key = reg.key_of(NodeId::new(0, 0)).unwrap();
+        let mut sig = key.sign(b"m");
+        sig.signer = NodeId::new(0, 1); // claim someone else signed
+        assert!(!reg.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let reg = registry();
+        let fake = Signature { signer: NodeId::new(9, 9), tag: [0; 32] };
+        assert!(!reg.verify(b"m", &fake));
+        assert!(reg.key_of(NodeId::new(9, 9)).is_none());
+    }
+
+    #[test]
+    fn deterministic_across_registries_same_seed() {
+        let a = registry();
+        let b = registry();
+        let ka = a.key_of(NodeId::new(2, 6)).unwrap();
+        let kb = b.key_of(NodeId::new(2, 6)).unwrap();
+        assert_eq!(ka.sign(b"x"), kb.sign(b"x"));
+    }
+
+    #[test]
+    fn different_seed_different_keys() {
+        let a = KeyRegistry::generate(1, &[3]);
+        let b = KeyRegistry::generate(2, &[3]);
+        let sig = a.key_of(NodeId::new(0, 0)).unwrap().sign(b"x");
+        assert!(!b.verify(b"x", &sig));
+    }
+
+    #[test]
+    fn group_sizes_respected() {
+        let reg = registry();
+        assert_eq!(reg.group_size(0), 4);
+        assert_eq!(reg.group_size(1), 7);
+        assert_eq!(reg.group_size(2), 7);
+        assert_eq!(reg.group_size(3), 0);
+        assert_eq!(reg.nodes().count(), 18);
+    }
+
+    #[test]
+    fn debug_never_leaks_secret() {
+        let reg = registry();
+        let key = reg.key_of(NodeId::new(0, 0)).unwrap();
+        let dbg = format!("{key:?}");
+        assert_eq!(dbg, "NodeKey(N0,0)");
+    }
+}

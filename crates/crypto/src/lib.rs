@@ -1,0 +1,111 @@
+//! Cryptographic substrate for MassBFT.
+//!
+//! The paper's prototype uses ED25519 signatures and SHA-256 digests
+//! (§VI, *Implementation*). This crate provides:
+//!
+//! - [`sha256`] — a from-scratch FIPS 180-4 SHA-256,
+//! - [`hmac`] — HMAC-SHA-256 (RFC 2104),
+//! - [`merkle`] — Merkle trees and inclusion proofs used by the optimistic
+//!   entry rebuild (paper §IV-C),
+//! - [`keys`] — a *simulated* public-key infrastructure where signatures are
+//!   HMAC tags under per-node secrets held by a [`keys::KeyRegistry`],
+//! - [`cert`] — quorum certificates (`2f+1` signatures over a digest), the
+//!   artifact local PBFT consensus produces to protect entries during
+//!   global replication.
+//!
+//! # Substitution note (see DESIGN.md §2)
+//!
+//! Real asymmetric signatures are replaced by keyed MACs verified through a
+//! registry. Within the simulation's threat model — the adversary controls
+//! faulty nodes but "cannot break the cryptographic primitives" (paper
+//! §III-A) — the two are interchangeable: a faulty node cannot produce a
+//! valid tag for a key it does not hold, so quorum-certificate and
+//! tamper-detection logic exercise identical code paths. The per-signature
+//! CPU cost that shapes the paper's Fig. 13a plateau is modelled in the
+//! simulator as configurable virtual time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod hmac;
+pub mod keys;
+pub mod merkle;
+pub mod sha256;
+
+pub use cert::{CertError, QuorumCert};
+pub use keys::{KeyRegistry, NodeKey, Signature};
+pub use merkle::{MerkleProof, MerkleTree};
+
+/// A 32-byte SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest; used as a placeholder.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Hashes `data` with SHA-256.
+    pub fn of(data: &[u8]) -> Digest {
+        Digest(sha256::sha256(data))
+    }
+
+    /// Hashes the concatenation of several byte strings, length-prefixing
+    /// each part so that `("ab","c")` and `("a","bc")` differ.
+    pub fn of_parts(parts: &[&[u8]]) -> Digest {
+        let mut h = sha256::Sha256::new();
+        for p in parts {
+            h.update(&(p.len() as u64).to_le_bytes());
+            h.update(p);
+        }
+        Digest(h.finalize())
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Short hex form for logs.
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({}…)", self.short_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_parts_is_injective_on_boundaries() {
+        let a = Digest::of_parts(&[b"ab", b"c"]);
+        let b = Digest::of_parts(&[b"a", b"bc"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn of_matches_itself_and_differs_from_framed() {
+        assert_ne!(Digest::of(b"x"), Digest::of_parts(&[b"x"]));
+        assert_eq!(Digest::of(b"x"), Digest::of(b"x"));
+    }
+
+    #[test]
+    fn debug_is_short() {
+        let d = Digest::of(b"hello");
+        let s = format!("{d:?}");
+        assert!(s.starts_with("Digest("));
+        assert!(s.len() < 24);
+    }
+}

@@ -1,0 +1,50 @@
+//! Deterministic in-memory database for MassBFT.
+//!
+//! The paper's prototype "employ[s] Aria deterministic concurrency control
+//! to accelerate transaction execution and use[s] in-memory hash tables to
+//! store database states" (§VI, *Implementation*). This crate reproduces
+//! that execution substrate:
+//!
+//! - [`store`] — an in-memory key-value store with batch versioning,
+//! - [`aria`] — an Aria-style deterministic batch executor (Lu et al.,
+//!   VLDB'20): every transaction in a batch executes against the same
+//!   snapshot, write/read reservations detect conflicts, and aborts are
+//!   *deterministic* — every replica aborts exactly the same transactions,
+//!   so no cross-replica coordination is needed during execution.
+//!
+//! Determinism is the property MassBFT leans on: once entries are globally
+//! ordered (paper §V), every correct node feeds identical batches to this
+//! executor and reaches an identical database state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aria;
+pub mod store;
+
+pub use aria::{AriaExecutor, BatchOutcome, TxnEffects, TxnOutcome};
+pub use store::KvStore;
+
+/// Database keys and values are plain byte strings.
+pub type Key = Vec<u8>;
+/// Database values.
+pub type Value = Vec<u8>;
+
+/// A transaction executable under deterministic concurrency control.
+///
+/// `execute` must be a pure function of the store snapshot: no interior
+/// mutability, no randomness not derived from the transaction itself.
+pub trait DetTransaction {
+    /// Runs the transaction logic against a read snapshot, returning its
+    /// read set, buffered writes, and logic-level abort flag.
+    fn execute(&self, view: &KvStore) -> TxnEffects;
+}
+
+impl<F> DetTransaction for F
+where
+    F: Fn(&KvStore) -> TxnEffects,
+{
+    fn execute(&self, view: &KvStore) -> TxnEffects {
+        self(view)
+    }
+}

@@ -1,0 +1,93 @@
+//! Traffic and event accounting.
+//!
+//! The replication-overhead analysis (paper Fig. 10) reports WAN bytes per
+//! replicated entry; the scalability analysis hinges on per-node uplink
+//! saturation. [`Metrics`] tracks both, per node and in aggregate.
+
+use crate::{NodeId, Time};
+use std::collections::BTreeMap;
+
+/// Counters collected during a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Bytes each node pushed onto its WAN uplink.
+    pub wan_bytes_sent: BTreeMap<NodeId, u64>,
+    /// Bytes each node pushed onto its LAN.
+    pub lan_bytes_sent: BTreeMap<NodeId, u64>,
+    /// Messages sent over WAN links.
+    pub wan_messages: u64,
+    /// Messages sent over LAN links.
+    pub lan_messages: u64,
+    /// Messages dropped because the destination (or source) was crashed or
+    /// partitioned away.
+    pub dropped_messages: u64,
+    /// Total events processed.
+    pub events_processed: u64,
+    /// Total virtual CPU time charged, per node.
+    pub cpu_time: BTreeMap<NodeId, Time>,
+}
+
+impl Metrics {
+    /// Total WAN bytes across all nodes.
+    pub fn total_wan_bytes(&self) -> u64 {
+        self.wan_bytes_sent.values().sum()
+    }
+
+    /// Total LAN bytes across all nodes.
+    pub fn total_lan_bytes(&self) -> u64 {
+        self.lan_bytes_sent.values().sum()
+    }
+
+    /// WAN bytes sent by one node.
+    pub fn wan_bytes_of(&self, id: NodeId) -> u64 {
+        self.wan_bytes_sent.get(&id).copied().unwrap_or(0)
+    }
+
+    /// The heaviest WAN sender — with leader-based replication this is the
+    /// leader; with bijective replication the load flattens.
+    pub fn max_wan_sender(&self) -> Option<(NodeId, u64)> {
+        self.wan_bytes_sent
+            .iter()
+            .max_by_key(|(_, &v)| v)
+            .map(|(&k, &v)| (k, v))
+    }
+
+    /// Resets the byte/message counters (used between measurement windows)
+    /// while keeping the event counter running.
+    pub fn reset_traffic(&mut self) {
+        self.wan_bytes_sent.clear();
+        self.lan_bytes_sent.clear();
+        self.wan_messages = 0;
+        self.lan_messages = 0;
+        self.dropped_messages = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_max() {
+        let mut m = Metrics::default();
+        m.wan_bytes_sent.insert(NodeId::new(0, 0), 100);
+        m.wan_bytes_sent.insert(NodeId::new(0, 1), 250);
+        m.lan_bytes_sent.insert(NodeId::new(0, 0), 10);
+        assert_eq!(m.total_wan_bytes(), 350);
+        assert_eq!(m.total_lan_bytes(), 10);
+        assert_eq!(m.max_wan_sender(), Some((NodeId::new(0, 1), 250)));
+        assert_eq!(m.wan_bytes_of(NodeId::new(9, 9)), 0);
+    }
+
+    #[test]
+    fn reset_traffic_clears_bytes_only() {
+        let mut m = Metrics::default();
+        m.wan_bytes_sent.insert(NodeId::new(0, 0), 5);
+        m.events_processed = 77;
+        m.wan_messages = 3;
+        m.reset_traffic();
+        assert_eq!(m.total_wan_bytes(), 0);
+        assert_eq!(m.wan_messages, 0);
+        assert_eq!(m.events_processed, 77);
+    }
+}

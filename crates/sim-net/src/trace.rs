@@ -1,0 +1,161 @@
+//! Event tracing: a bounded, filterable record of what the simulator did.
+//!
+//! Debugging a distributed protocol usually starts with "what did node X
+//! see around t=4.2s?". [`TraceBuffer`] answers that without println
+//! spelunking: the simulation records message deliveries, drops, and
+//! timer firings into a ring buffer that tests and tools can query by
+//! node, time window, or kind.
+
+use crate::{NodeId, Time};
+use std::collections::VecDeque;
+
+/// What kind of event a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was delivered to its destination's handler.
+    Deliver,
+    /// A message was dropped (crash or partition).
+    Drop,
+    /// A timer fired.
+    Timer,
+    /// A WAN send was enqueued on the sender's uplink.
+    WanSend,
+    /// A LAN send was enqueued.
+    LanSend,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord {
+    /// Virtual time of the event, microseconds.
+    pub at: Time,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Source node (the timer owner for [`TraceKind::Timer`]).
+    pub src: NodeId,
+    /// Destination node (== `src` for timers).
+    pub dst: NodeId,
+    /// Message wire size (0 for timers).
+    pub bytes: usize,
+}
+
+/// A bounded ring buffer of trace records.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    enabled: bool,
+    /// Total records ever pushed (including evicted ones).
+    total: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a disabled buffer with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer { records: VecDeque::new(), capacity, enabled: false, total: 0 }
+    }
+
+    /// Enables or disables recording (disabled costs ~nothing).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Pushes a record (no-op while disabled).
+    pub fn push(&mut self, rec: TraceRecord) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(rec);
+        self.total += 1;
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Total records ever observed (evicted ones included).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Records involving `node` (as source or destination).
+    pub fn involving(&self, node: NodeId) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.src == node || r.dst == node)
+    }
+
+    /// Records within `[from, to)` virtual time.
+    pub fn window(&self, from: Time, to: Time) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.at >= from && r.at < to)
+    }
+
+    /// Records of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Drops all retained records (the total counter keeps running).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: Time, kind: TraceKind, src: (u32, u32), dst: (u32, u32)) -> TraceRecord {
+        TraceRecord {
+            at,
+            kind,
+            src: NodeId::new(src.0, src.1),
+            dst: NodeId::new(dst.0, dst.1),
+            bytes: 100,
+        }
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut t = TraceBuffer::new(4);
+        t.push(rec(1, TraceKind::Deliver, (0, 0), (0, 1)));
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.total_recorded(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = TraceBuffer::new(3);
+        t.set_enabled(true);
+        for i in 0..5 {
+            t.push(rec(i, TraceKind::Deliver, (0, 0), (0, 1)));
+        }
+        let times: Vec<Time> = t.records().map(|r| r.at).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(t.total_recorded(), 5);
+    }
+
+    #[test]
+    fn filters_work() {
+        let mut t = TraceBuffer::new(16);
+        t.set_enabled(true);
+        t.push(rec(10, TraceKind::WanSend, (0, 0), (1, 0)));
+        t.push(rec(20, TraceKind::Drop, (1, 0), (2, 0)));
+        t.push(rec(30, TraceKind::Timer, (0, 1), (0, 1)));
+        t.push(rec(40, TraceKind::Deliver, (2, 0), (0, 0)));
+
+        assert_eq!(t.involving(NodeId::new(0, 0)).count(), 2);
+        assert_eq!(t.window(15, 35).count(), 2);
+        assert_eq!(t.of_kind(TraceKind::Drop).count(), 1);
+        t.clear();
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.total_recorded(), 4);
+    }
+}

@@ -1,0 +1,114 @@
+//! SmallBank workload generator.
+//!
+//! Paper setup: 1,000,000 accounts, uniform access pattern. The standard
+//! SmallBank mix exercises six transaction types; amounts are kept small
+//! relative to the initial balance so most transactions commit.
+
+use crate::request::Request;
+use rand::Rng;
+
+/// Number of accounts.
+pub const SB_ACCOUNTS: u64 = 1_000_000;
+
+/// Generator state for SmallBank.
+#[derive(Debug, Default)]
+pub struct SmallBankGen;
+
+impl SmallBankGen {
+    /// Creates a generator.
+    pub fn new() -> Self {
+        SmallBankGen
+    }
+
+    /// Draws the next request, uniform over accounts and the six
+    /// transaction types.
+    pub fn next(&mut self, rng: &mut impl Rng) -> Request {
+        let acct = rng.gen_range(0..SB_ACCOUNTS);
+        match rng.gen_range(0..6u8) {
+            0 => Request::SbBalance { acct },
+            1 => Request::SbDepositChecking { acct, amount: rng.gen_range(1..100) },
+            2 => Request::SbTransactSavings {
+                acct,
+                amount: rng.gen_range(-100i32..200),
+            },
+            3 => {
+                let dst = distinct(rng, acct);
+                Request::SbAmalgamate { src: acct, dst }
+            }
+            4 => Request::SbWriteCheck { acct, amount: rng.gen_range(1..200) },
+            _ => {
+                let dst = distinct(rng, acct);
+                Request::SbSendPayment { src: acct, dst, amount: rng.gen_range(1..100) }
+            }
+        }
+    }
+}
+
+fn distinct(rng: &mut impl Rng, not: u64) -> u64 {
+    loop {
+        let x = rng.gen_range(0..SB_ACCOUNTS);
+        if x != not {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn covers_all_six_types() {
+        let mut gen = SmallBankGen::new();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let idx = match gen.next(&mut rng) {
+                Request::SbBalance { .. } => 0,
+                Request::SbDepositChecking { .. } => 1,
+                Request::SbTransactSavings { .. } => 2,
+                Request::SbAmalgamate { .. } => 3,
+                Request::SbWriteCheck { .. } => 4,
+                Request::SbSendPayment { .. } => 5,
+                _ => unreachable!("SmallBank emits only Sb* requests"),
+            };
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn transfer_endpoints_are_distinct() {
+        let mut gen = SmallBankGen::new();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..2000 {
+            match gen.next(&mut rng) {
+                Request::SbAmalgamate { src, dst } => assert_ne!(src, dst),
+                Request::SbSendPayment { src, dst, .. } => assert_ne!(src, dst),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn access_is_roughly_uniform() {
+        let mut gen = SmallBankGen::new();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let acct = match gen.next(&mut rng) {
+                Request::SbBalance { acct }
+                | Request::SbDepositChecking { acct, .. }
+                | Request::SbTransactSavings { acct, .. }
+                | Request::SbWriteCheck { acct, .. } => acct,
+                Request::SbAmalgamate { src, .. } | Request::SbSendPayment { src, .. } => src,
+                _ => unreachable!(),
+            };
+            *counts.entry(acct).or_insert(0u32) += 1;
+        }
+        // Uniform over 1M accounts: collisions are rare, hotspots absent.
+        let max = counts.values().max().copied().unwrap();
+        assert!(max <= 4, "uniform workload should have no hotspot: {max}");
+    }
+}

@@ -1,0 +1,99 @@
+//! YCSB workload generator (workloads A and B).
+//!
+//! Paper setup: one table, 1,000,000 rows, 10 columns of 100 B; keys drawn
+//! Zipf(0.99); YCSB-A = 50/50 read/write, YCSB-B = 95/5.
+
+use crate::{request::Request, zipf::Zipfian, WorkloadKind};
+use rand::Rng;
+
+/// Rows in the YCSB table.
+pub const YCSB_ROWS: u64 = 1_000_000;
+/// Columns per row.
+pub const YCSB_FIELDS: u8 = 10;
+
+/// Generator state for YCSB.
+pub struct YcsbGen {
+    zipf: Zipfian,
+    write_fraction: f64,
+}
+
+impl YcsbGen {
+    /// Creates a generator for YCSB-A or YCSB-B. Other kinds default to
+    /// YCSB-A mix (callers route non-YCSB kinds elsewhere).
+    pub fn new(kind: WorkloadKind) -> Self {
+        let write_fraction = match kind {
+            WorkloadKind::YcsbB => 0.05,
+            _ => 0.50,
+        };
+        YcsbGen { zipf: Zipfian::new(YCSB_ROWS, 0.99), write_fraction }
+    }
+
+    /// Draws the next request.
+    pub fn next(&mut self, rng: &mut impl Rng) -> Request {
+        let key = self.zipf.sample_scrambled(rng);
+        let field = rng.gen_range(0..YCSB_FIELDS);
+        if rng.gen_bool(self.write_fraction) {
+            Request::YcsbWrite { key, field, value_seed: rng.gen() }
+        } else {
+            Request::YcsbRead { key, field }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn mix(kind: WorkloadKind, n: usize) -> f64 {
+        let mut gen = YcsbGen::new(kind);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let writes = (0..n)
+            .filter(|_| matches!(gen.next(&mut rng), Request::YcsbWrite { .. }))
+            .count();
+        writes as f64 / n as f64
+    }
+
+    #[test]
+    fn ycsb_a_is_half_writes() {
+        let w = mix(WorkloadKind::YcsbA, 10_000);
+        assert!((w - 0.5).abs() < 0.03, "write fraction {w}");
+    }
+
+    #[test]
+    fn ycsb_b_is_five_percent_writes() {
+        let w = mix(WorkloadKind::YcsbB, 10_000);
+        assert!((w - 0.05).abs() < 0.02, "write fraction {w}");
+    }
+
+    #[test]
+    fn keys_are_skewed() {
+        let mut gen = YcsbGen::new(WorkloadKind::YcsbA);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let key = match gen.next(&mut rng) {
+                Request::YcsbRead { key, .. } | Request::YcsbWrite { key, .. } => key,
+                _ => unreachable!(),
+            };
+            *counts.entry(key).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        // Uniform over 1M keys would almost surely have max 1-2; Zipf 0.99
+        // concentrates heavily.
+        assert!(max > 100, "hottest key hit {max} times");
+    }
+
+    #[test]
+    fn fields_are_in_range() {
+        let mut gen = YcsbGen::new(WorkloadKind::YcsbA);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let field = match gen.next(&mut rng) {
+                Request::YcsbRead { field, .. } | Request::YcsbWrite { field, .. } => field,
+                _ => unreachable!(),
+            };
+            assert!(field < YCSB_FIELDS);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Zipfian key-distribution generator (YCSB flavour).
+//!
+//! Implements the Gray et al. "Quickly generating billion-record synthetic
+//! databases" rejection-free algorithm that YCSB popularized: constant-time
+//! draws after an `O(n)`-ish one-time zeta estimation (we use the
+//! incremental approximation for large `n` so constructing a generator for
+//! 1,000,000 keys stays cheap).
+
+/// A Zipf(θ) distribution over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `0..n` with skew `theta` (paper: 0.99).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipfian needs a nonempty domain");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    /// Harmonic-like zeta sum `Σ 1/i^θ` for `i in 1..=n`, with an integral
+    /// approximation past a cutoff to keep construction fast for large `n`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        const EXACT: u64 = 100_000;
+        let exact_upto = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_upto {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫ x^-θ dx from EXACT to n.
+            let a = 1.0 - theta;
+            sum += ((n as f64).powf(a) - (EXACT as f64).powf(a)) / a;
+        }
+        sum
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the hottest key.
+    pub fn sample(&self, rng: &mut impl rand::Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Draws a *scrambled* key: rank mapped through a hash so hot keys are
+    /// spread over the key space (YCSB's `ScrambledZipfian`).
+    pub fn sample_scrambled(&self, rng: &mut impl rand::Rng) -> u64 {
+        let rank = self.sample(rng);
+        fnv1a(rank) % self.n
+    }
+
+    /// zeta(2, θ), exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// FNV-1a on the rank's little-endian bytes.
+fn fnv1a(x: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+            assert!(z.sample_scrambled(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_head() {
+        let z = Zipfian::new(1_000_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let head_hits = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        // With θ=0.99 over 1M keys, the top-100 ranks draw a large share
+        // (empirically ~28%); uniform would give 0.01%.
+        let share = head_hits as f64 / n as f64;
+        assert!(share > 0.15, "head share {share}");
+    }
+
+    #[test]
+    fn lower_theta_is_less_skewed() {
+        let hot_share = |theta: f64| {
+            let z = Zipfian::new(10_000, theta);
+            let mut rng = SmallRng::seed_from_u64(3);
+            (0..50_000).filter(|_| z.sample(&mut rng) == 0).count()
+        };
+        assert!(hot_share(0.99) > hot_share(0.5) * 2);
+    }
+
+    #[test]
+    fn scrambled_spreads_the_hot_key() {
+        let z = Zipfian::new(1_000_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(4);
+        // The most frequent scrambled key should not be key 0.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(z.sample_scrambled(&mut rng)).or_insert(0u32) += 1;
+        }
+        let (hottest, _) = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert_ne!(*hottest, 0);
+    }
+
+    #[test]
+    fn zeta_approximation_close_to_exact() {
+        // Compare approximate zeta (cutoff 1e5) against exact for 2e5.
+        let n = 200_000u64;
+        let theta = 0.99;
+        let exact: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let approx = Zipfian::zeta(n, theta);
+        assert!((exact - approx).abs() / exact < 0.001);
+    }
+
+    #[test]
+    fn million_key_construction_is_fast() {
+        let t0 = std::time::Instant::now();
+        let _ = Zipfian::new(1_000_000, 0.99);
+        assert!(t0.elapsed().as_millis() < 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty domain")]
+    fn zero_domain_panics() {
+        let _ = Zipfian::new(0, 0.5);
+    }
+}

@@ -1,0 +1,71 @@
+//! Protocol shoot-out on a worldwide cluster — the paper's Fig. 9
+//! scenario as an API walkthrough.
+//!
+//! ```text
+//! cargo run --release --example geo_cluster
+//! ```
+//!
+//! Runs the same SmallBank workload through MassBFT and the competitor
+//! protocols (Steward, GeoBFT, Baseline, ISS) on the Hong Kong / London /
+//! Silicon Valley latency preset (RTT 156–206 ms), then prints the
+//! comparison. Demonstrates:
+//!
+//! - switching protocols with one enum (the paper's "same codebase"
+//!   methodology, Table II);
+//! - the worldwide topology preset;
+//! - separating the saturation run (throughput) from a light-load run
+//!   (protocol-path latency).
+
+use massbft::core::cluster::{Cluster, ClusterConfig};
+use massbft::core::protocol::Protocol;
+use massbft::workloads::WorkloadKind;
+
+fn main() {
+    let protocols = [
+        Protocol::Steward,
+        Protocol::Iss,
+        Protocol::GeoBft,
+        Protocol::Baseline,
+        Protocol::MassBft,
+    ];
+
+    println!("worldwide cluster, 3 groups x 4 nodes, SmallBank");
+    println!("{:>10} {:>12} {:>14}", "protocol", "ktps", "latency (ms)");
+
+    let mut massbft_ktps = 0.0;
+    let mut best_other = 0.0f64;
+    for p in protocols {
+        let base = ClusterConfig::worldwide(&[4, 4, 4], p)
+            .workload(WorkloadKind::SmallBank)
+            .seed(7);
+
+        // Saturation run → throughput.
+        let mut cluster = Cluster::new(base.clone());
+        let report = cluster.run_secs(3);
+
+        // Light-load run → protocol-path latency (queueing excluded).
+        let mut light = Cluster::new(base.arrival_tps(800.0).max_batch(64));
+        let light_report = light.run_secs(3);
+
+        println!(
+            "{:>10} {:>12.2} {:>14.1}",
+            p.name(),
+            report.throughput.ktps(),
+            light_report.mean_latency_ms
+        );
+
+        assert!(report.all_nodes_consistent, "{} diverged", p.name());
+        if p == Protocol::MassBft {
+            massbft_ktps = report.throughput.ktps();
+        } else {
+            best_other = best_other.max(report.throughput.ktps());
+        }
+    }
+
+    println!(
+        "\nMassBFT outperforms the best competitor by {:.1}x \
+         (paper reports 5.49–29.96x on real WAN hardware)",
+        massbft_ktps / best_other
+    );
+    assert!(massbft_ktps > best_other, "MassBFT should lead the comparison");
+}

@@ -1,0 +1,148 @@
+//! Fault-tolerance integration tests: the §VI-E scenarios plus cases the
+//! paper argues but does not plot — partitions healing, simultaneous
+//! Byzantine + crash faults, recovery of a crashed group.
+
+use massbft::core::cluster::{Cluster, ClusterConfig};
+use massbft::core::protocol::Protocol;
+use massbft::sim_net::{NodeId, SECOND};
+use massbft::workloads::WorkloadKind;
+
+fn small(protocol: Protocol) -> ClusterConfig {
+    ClusterConfig::nationwide(&[4, 4, 4], protocol)
+        .workload(WorkloadKind::YcsbA)
+        .seed(13)
+        .arrival_tps(3000.0)
+        .max_batch(60)
+}
+
+#[test]
+fn byzantine_senders_cannot_corrupt_state() {
+    // One Byzantine node per group (f = 1 for n = 4) tampering from the
+    // start: throughput survives, consistency holds, and the tampered
+    // batches never execute (state equals an honest replica's).
+    let byz: Vec<NodeId> = (0..3).map(|g| NodeId::new(g, 3)).collect();
+    let mut faulty = Cluster::new(small(Protocol::MassBft).byzantine(&byz, 0));
+    let r = faulty.run_secs(3);
+    assert!(r.throughput.tps() > 500.0, "tampering throttled the cluster");
+    assert!(r.all_nodes_consistent);
+}
+
+#[test]
+fn group_crash_throughput_dips_then_recovers() {
+    let mut c = Cluster::new(small(Protocol::MassBft));
+    c.run_until(3 * SECOND);
+    let obs = c.observer();
+    let before = c.node(obs).executed_txns();
+    c.crash_group(2);
+    // Takeover window: the Raft election timeout plus stagger.
+    c.run_until(6 * SECOND);
+    let mid = c.node(obs).executed_txns();
+    c.run_until(10 * SECOND);
+    let after = c.node(obs).executed_txns();
+    assert!(mid > before, "no commits during takeover window");
+    // Post-recovery rate: two surviving groups keep proposing.
+    let recovered_rate = (after - mid) as f64 / 4.0;
+    assert!(
+        recovered_rate > 500.0,
+        "post-crash rate too low: {recovered_rate:.0} tps"
+    );
+    assert!(c.check_consistency());
+}
+
+#[test]
+fn crashed_group_recovery_restores_proposals() {
+    let mut c = Cluster::new(small(Protocol::MassBft));
+    c.run_until(2 * SECOND);
+    c.crash_group(1);
+    c.run_until(5 * SECOND);
+    // Recover every node of group 1; its Raft instance leadership can
+    // transfer back and its clients resume.
+    for i in 0..4u32 {
+        c.sim_mut().recover(NodeId::new(1, i));
+    }
+    let obs = c.observer();
+    let at_recovery = c.node(obs).executed_txns();
+    c.run_until(10 * SECOND);
+    let after = c.node(obs).executed_txns();
+    assert!(after > at_recovery, "no progress after recovery");
+    assert!(c.check_consistency());
+}
+
+#[test]
+fn partition_heals_without_divergence() {
+    let mut c = Cluster::new(small(Protocol::MassBft));
+    c.run_until(2 * SECOND);
+    // Sever groups 0–2 and 1–2: group 2 is isolated (its WAN is gone),
+    // but 0–1 still form a Raft majority.
+    c.sim_mut().partition(0, 2);
+    c.sim_mut().partition(1, 2);
+    c.run_until(5 * SECOND);
+    let obs = c.observer();
+    let during = c.node(obs).executed_txns();
+    assert!(during > 0, "majority side must keep committing");
+    c.sim_mut().heal(0, 2);
+    c.sim_mut().heal(1, 2);
+    c.run_until(9 * SECOND);
+    let after = c.node(obs).executed_txns();
+    assert!(after > during);
+    assert!(c.check_consistency(), "healing must not fork history");
+}
+
+#[test]
+fn baseline_round_ordering_stalls_on_group_crash() {
+    // The foil: round-based ordering cannot outlive a dead group — every
+    // round needs one entry from each group (the paper's motivation for
+    // asynchronous ordering, §II-A / Fig. 2).
+    let mut c = Cluster::new(small(Protocol::Baseline));
+    c.run_until(3 * SECOND);
+    let obs = c.observer();
+    c.crash_group(2);
+    c.run_until(5 * SECOND);
+    let at5 = c.node(obs).executed_txns();
+    c.run_until(9 * SECOND);
+    let at9 = c.node(obs).executed_txns();
+    // A short drain after the crash is fine; sustained progress is not
+    // possible for Baseline, while MassBFT (test above) keeps going.
+    assert!(
+        at9 - at5 < 1000,
+        "Baseline should stall after a group crash: {} extra txns",
+        at9 - at5
+    );
+}
+
+#[test]
+fn single_node_crashes_within_f_are_transparent() {
+    let mut c = Cluster::new(small(Protocol::MassBft));
+    c.run_until(2 * SECOND);
+    // Crash one follower per group (f = 1 for n = 4): PBFT quorums (3 of
+    // 4) and chunk parity both absorb it.
+    for g in 0..3u32 {
+        c.sim_mut().crash(NodeId::new(g, 2));
+    }
+    let obs = c.observer();
+    let before = c.node(obs).executed_txns();
+    c.run_until(6 * SECOND);
+    let after = c.node(obs).executed_txns();
+    assert!(
+        (after - before) as f64 / 4.0 > 500.0,
+        "follower crashes within f must not halt progress"
+    );
+    assert!(c.check_consistency());
+}
+
+#[test]
+fn byzantine_plus_crash_combined() {
+    // §VI-E runs both faults in one experiment; so do we.
+    let byz: Vec<NodeId> = (0..3).map(|g| NodeId::new(g, 3)).collect();
+    let mut c = Cluster::new(small(Protocol::MassBft).byzantine(&byz, SECOND));
+    c.run_until(3 * SECOND);
+    c.crash_group(2);
+    c.run_until(8 * SECOND);
+    let obs = c.observer();
+    assert!(c.node(obs).executed_txns() > 0);
+    assert!(c.check_consistency());
+    // And the cluster still commits at the end of the run.
+    let before = c.node(obs).executed_txns();
+    c.run_until(11 * SECOND);
+    assert!(c.node(obs).executed_txns() > before);
+}
