@@ -1,0 +1,67 @@
+//! Hardware-accelerated kernels for the MassBFT data plane.
+//!
+//! The rest of the workspace is `#![forbid(unsafe_code)]`; this crate is
+//! the one deliberate exception. It quarantines the small amount of
+//! `unsafe` needed to call x86-64 SIMD intrinsics behind runtime CPU
+//! feature detection, so `massbft-crypto` and `massbft-codec` can stay
+//! fully safe while the replication hot path uses the hardware the
+//! evaluation machines actually have:
+//!
+//! - **SHA-256**: the SHA-NI extension (`sha256rnds2`/`sha256msg1`/
+//!   `sha256msg2`) compresses blocks ~5–8x faster than any scalar
+//!   implementation — the single biggest cost in Merkle tree
+//!   construction over erasure-coded chunks.
+//! - **GF(256) multiply-accumulate**: the SSSE3/AVX2 `pshufb` nibble-table
+//!   technique (two 16-entry lookup tables applied to the low and high
+//!   nibble of each byte) processes 16/32 bytes per shuffle instead of one
+//!   byte per table load — the inner loop of Reed-Solomon encode/decode.
+//!
+//! Every public function returns `bool`: `true` means the kernel ran and
+//! the output is complete, `false` means the CPU lacks the feature (or the
+//! build targets a non-x86 architecture) and the caller must run its
+//! scalar fallback. Detection goes through
+//! `std::arch::is_x86_feature_detected!`, which caches per process, so the
+//! check costs an atomic load per call.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+/// Compresses a run of whole 64-byte SHA-256 blocks into `state` using the
+/// SHA-NI instructions.
+///
+/// Returns `false` (leaving `state` untouched) when SHA-NI is unavailable.
+///
+/// # Panics
+/// Debug-asserts that `blocks` is a multiple of 64 bytes.
+pub fn sha256_compress_blocks(state: &mut [u32; 8], blocks: &[u8]) -> bool {
+    debug_assert_eq!(blocks.len() % 64, 0, "whole blocks only");
+    #[cfg(target_arch = "x86_64")]
+    {
+        x86::sha256_compress_blocks(state, blocks)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (state, blocks);
+        false
+    }
+}
+
+/// Computes `dst[i] ^= table[src[i]]` over the common prefix of `dst` and
+/// `src`, where `table` is the 256-entry GF(256) product table of one
+/// coefficient (`table[x] == mul(c, x)`), using `pshufb` nibble lookups.
+///
+/// Returns `false` (leaving `dst` untouched) when SSSE3 is unavailable.
+pub fn gf256_mul_acc(dst: &mut [u8], src: &[u8], table: &[u8; 256]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        x86::gf256_mul_acc(dst, src, table)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (dst, src, table);
+        false
+    }
+}

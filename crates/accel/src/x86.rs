@@ -1,0 +1,345 @@
+//! x86-64 kernels: SHA-NI block compression and `pshufb` GF(256)
+//! multiply-accumulate.
+//!
+//! This module owns the crate's only `unsafe`. Every unsafe block is one
+//! of exactly two shapes, each with a local safety argument:
+//!
+//! 1. Calling a `#[target_feature]` function after
+//!    `is_x86_feature_detected!` confirmed the feature at runtime.
+//! 2. `loadu`/`storeu` intrinsics on pointers derived from slices, with
+//!    the access range bounds-checked by the surrounding loop arithmetic.
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::*;
+
+/// SHA-256 round constants (FIPS 180-4), grouped for 4-round SIMD steps.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+pub(crate) fn sha256_compress_blocks(state: &mut [u32; 8], blocks: &[u8]) -> bool {
+    if !(is_x86_feature_detected!("sha")
+        && is_x86_feature_detected!("ssse3")
+        && is_x86_feature_detected!("sse4.1"))
+    {
+        return false;
+    }
+    // SAFETY: the required target features were just detected at runtime.
+    unsafe { compress_blocks_shani(state, blocks) };
+    true
+}
+
+/// SHA-NI two-lane compression, following Intel's reference flow: state is
+/// repacked into ABEF/CDGH lanes, each block runs 16 four-round
+/// `sha256rnds2` steps with the message schedule extended in-register by
+/// `sha256msg1`/`sha256msg2`.
+#[target_feature(enable = "sha,ssse3,sse4.1")]
+unsafe fn compress_blocks_shani(state: &mut [u32; 8], blocks: &[u8]) {
+    // Big-endian load of each 32-bit word, words kept in lane order.
+    let mask = _mm_set_epi64x(
+        0x0c0d_0e0f_0809_0a0bu64 as i64,
+        0x0405_0607_0001_0203u64 as i64,
+    );
+
+    // SAFETY: `state` points at 8 contiguous u32s; both halves are in
+    // bounds and u32 has no alignment requirement for loadu/storeu.
+    let tmp = unsafe { _mm_loadu_si128(state.as_ptr().cast()) }; // DCBA
+    let st1 = unsafe { _mm_loadu_si128(state.as_ptr().add(4).cast()) }; // HGFE
+    let tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+    let st1 = _mm_shuffle_epi32(st1, 0x1B); // EFGH
+    let mut abef = _mm_alignr_epi8(tmp, st1, 8); // ABEF
+    let mut cdgh = _mm_blend_epi16(st1, tmp, 0xF0); // CDGH
+
+    let k: [__m128i; 16] = std::array::from_fn(|q| {
+        _mm_set_epi32(
+            K[4 * q + 3] as i32,
+            K[4 * q + 2] as i32,
+            K[4 * q + 1] as i32,
+            K[4 * q] as i32,
+        )
+    });
+
+    for block in blocks.chunks_exact(64) {
+        let abef_save = abef;
+        let cdgh_save = cdgh;
+
+        // SAFETY: `block` is exactly 64 bytes; offsets 0/16/32/48 each
+        // read 16 in-bounds bytes.
+        let mut w = [
+            _mm_shuffle_epi8(unsafe { _mm_loadu_si128(block.as_ptr().cast()) }, mask),
+            _mm_shuffle_epi8(
+                unsafe { _mm_loadu_si128(block.as_ptr().add(16).cast()) },
+                mask,
+            ),
+            _mm_shuffle_epi8(
+                unsafe { _mm_loadu_si128(block.as_ptr().add(32).cast()) },
+                mask,
+            ),
+            _mm_shuffle_epi8(
+                unsafe { _mm_loadu_si128(block.as_ptr().add(48).cast()) },
+                mask,
+            ),
+        ];
+
+        for (q, &kq) in k.iter().enumerate() {
+            let i = q & 3;
+            if q >= 4 {
+                // W[4q..4q+4] = σ-extended schedule: msg1 folds σ0, the
+                // alignr supplies W[t-7], msg2 folds σ1.
+                let partial = _mm_sha256msg1_epu32(w[i], w[(i + 1) & 3]);
+                let w7 = _mm_alignr_epi8(w[(i + 3) & 3], w[(i + 2) & 3], 4);
+                w[i] = _mm_sha256msg2_epu32(_mm_add_epi32(partial, w7), w[(i + 3) & 3]);
+            }
+            let mut wk = _mm_add_epi32(w[i], kq);
+            cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+            wk = _mm_shuffle_epi32(wk, 0x0E);
+            abef = _mm_sha256rnds2_epu32(abef, cdgh, wk);
+        }
+
+        abef = _mm_add_epi32(abef, abef_save);
+        cdgh = _mm_add_epi32(cdgh, cdgh_save);
+    }
+
+    let tmp = _mm_shuffle_epi32(abef, 0x1B); // FEBA
+    let st1 = _mm_shuffle_epi32(cdgh, 0xB1); // DCHG
+    let dcba = _mm_blend_epi16(tmp, st1, 0xF0);
+    let hgfe = _mm_alignr_epi8(st1, tmp, 8);
+    // SAFETY: same 8-u32 buffer as the loads above.
+    unsafe { _mm_storeu_si128(state.as_mut_ptr().cast(), dcba) };
+    unsafe { _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), hgfe) };
+}
+
+pub(crate) fn gf256_mul_acc(dst: &mut [u8], src: &[u8], table: &[u8; 256]) -> bool {
+    if !is_x86_feature_detected!("ssse3") {
+        return false;
+    }
+    let len = dst.len().min(src.len());
+    // GF(256) multiplication is GF(2)-linear in each operand, so
+    // mul(c, (h << 4) | l) == mul(c, h << 4) ^ mul(c, l): two 16-entry
+    // nibble tables sliced out of the full product table cover every byte.
+    let mut lo = [0u8; 16];
+    let mut hi = [0u8; 16];
+    lo.copy_from_slice(&table[..16]);
+    for (i, h) in hi.iter_mut().enumerate() {
+        *h = table[i << 4];
+    }
+
+    let done = if is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 (and thus SSSE3) was just detected at runtime.
+        unsafe { mul_acc_avx2(&mut dst[..len], &src[..len], &lo, &hi) }
+    } else {
+        // SAFETY: SSSE3 was just detected at runtime.
+        unsafe { mul_acc_ssse3(&mut dst[..len], &src[..len], &lo, &hi) }
+    };
+    // Scalar tail for the last partial vector.
+    for (d, s) in dst[done..len].iter_mut().zip(&src[done..len]) {
+        *d ^= table[*s as usize];
+    }
+    true
+}
+
+/// Processes the 16-byte-aligned prefix of `dst ^= mul_table(src)`;
+/// returns how many bytes were handled.
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_acc_ssse3(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
+    // SAFETY: 16-byte reads from 16-byte arrays.
+    let tlo = unsafe { _mm_loadu_si128(lo.as_ptr().cast()) };
+    let thi = unsafe { _mm_loadu_si128(hi.as_ptr().cast()) };
+    let nib = _mm_set1_epi8(0x0f);
+    let n = dst.len() & !15;
+    let mut i = 0;
+    while i < n {
+        // SAFETY: i + 16 <= n <= dst.len() == src.len() for every access.
+        let x = unsafe { _mm_loadu_si128(src.as_ptr().add(i).cast()) };
+        let l = _mm_and_si128(x, nib);
+        let h = _mm_and_si128(_mm_srli_epi16::<4>(x), nib);
+        let prod = _mm_xor_si128(_mm_shuffle_epi8(tlo, l), _mm_shuffle_epi8(thi, h));
+        let d = unsafe { _mm_loadu_si128(dst.as_ptr().add(i).cast()) };
+        unsafe { _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_xor_si128(d, prod)) };
+        i += 16;
+    }
+    n
+}
+
+/// AVX2 variant of [`mul_acc_ssse3`]: 32 bytes per step with the nibble
+/// tables broadcast to both 128-bit lanes (`vpshufb` shuffles per lane, so
+/// lane-local tables are exactly what it needs).
+#[target_feature(enable = "avx2")]
+unsafe fn mul_acc_avx2(dst: &mut [u8], src: &[u8], lo: &[u8; 16], hi: &[u8; 16]) -> usize {
+    // SAFETY: 16-byte reads from 16-byte arrays.
+    let tlo = _mm256_broadcastsi128_si256(unsafe { _mm_loadu_si128(lo.as_ptr().cast()) });
+    let thi = _mm256_broadcastsi128_si256(unsafe { _mm_loadu_si128(hi.as_ptr().cast()) });
+    let nib = _mm256_set1_epi8(0x0f);
+    let n = dst.len() & !31;
+    let mut i = 0;
+    while i < n {
+        // SAFETY: i + 32 <= n <= dst.len() == src.len() for every access.
+        let x = unsafe { _mm256_loadu_si256(src.as_ptr().add(i).cast()) };
+        let l = _mm256_and_si256(x, nib);
+        let h = _mm256_and_si256(_mm256_srli_epi16::<4>(x), nib);
+        let prod = _mm256_xor_si256(_mm256_shuffle_epi8(tlo, l), _mm256_shuffle_epi8(thi, h));
+        let d = unsafe { _mm256_loadu_si256(dst.as_ptr().add(i).cast()) };
+        unsafe { _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, prod)) };
+        i += 32;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Russian-peasant GF(256) multiply (AES polynomial 0x11b), the
+    /// reference the `pshufb` kernels must match.
+    fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+        let mut p = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                p ^= a;
+            }
+            let carry = a & 0x80 != 0;
+            a <<= 1;
+            if carry {
+                a ^= 0x1b;
+            }
+            b >>= 1;
+        }
+        p
+    }
+
+    /// Scalar FIPS 180-4 compression, the reference for the SHA-NI path.
+    fn compress_ref(state: &mut [u32; 8], blocks: &[u8]) {
+        for block in blocks.chunks_exact(64) {
+            let mut w = [0u32; 64];
+            for (i, c) in block.chunks_exact(4).enumerate() {
+                w[i] = u32::from_be_bytes(c.try_into().unwrap());
+            }
+            for i in 16..64 {
+                let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+                let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+                w[i] = w[i - 16]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[i - 7])
+                    .wrapping_add(s1);
+            }
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+            for i in 0..64 {
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = (e & f) ^ (!e & g);
+                let t1 = h
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add(K[i])
+                    .wrapping_add(w[i]);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) ^ (a & c) ^ (b & c);
+                let t2 = s0.wrapping_add(maj);
+                h = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }
+            for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+                *s = s.wrapping_add(v);
+            }
+        }
+    }
+
+    fn product_table(c: u8) -> [u8; 256] {
+        std::array::from_fn(|x| gf_mul(c, x as u8))
+    }
+
+    #[test]
+    fn gf_kernel_matches_reference() {
+        if !is_x86_feature_detected!("ssse3") {
+            eprintln!("skipping: no ssse3");
+            return;
+        }
+        // Odd length forces both the vector body and the scalar tail.
+        let src: Vec<u8> = (0..1000u32).map(|i| (i * 37 + 11) as u8).collect();
+        for c in [0u8, 1, 2, 3, 0x1d, 0x8e, 0xff, 173] {
+            let table = product_table(c);
+            let mut dst: Vec<u8> = (0..1000u32).map(|i| (i * 13 + 5) as u8).collect();
+            let expect: Vec<u8> = dst
+                .iter()
+                .zip(&src)
+                .map(|(d, s)| d ^ gf_mul(c, *s))
+                .collect();
+            assert!(gf256_mul_acc(&mut dst, &src, &table));
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn gf_kernel_handles_short_and_unequal_slices() {
+        if !is_x86_feature_detected!("ssse3") {
+            eprintln!("skipping: no ssse3");
+            return;
+        }
+        let table = product_table(0x53);
+        for (dlen, slen) in [
+            (0usize, 0usize),
+            (1, 1),
+            (15, 15),
+            (16, 16),
+            (33, 20),
+            (20, 33),
+        ] {
+            let src: Vec<u8> = (0..slen as u32).map(|i| (i * 7 + 1) as u8).collect();
+            let mut dst = vec![0xaau8; dlen];
+            let n = dlen.min(slen);
+            let mut expect = dst.clone();
+            for i in 0..n {
+                expect[i] ^= gf_mul(0x53, src[i]);
+            }
+            assert!(gf256_mul_acc(&mut dst, &src, &table));
+            assert_eq!(dst, expect, "dlen={dlen} slen={slen}");
+        }
+    }
+
+    #[test]
+    fn sha_kernel_matches_reference() {
+        if !(is_x86_feature_detected!("sha")
+            && is_x86_feature_detected!("ssse3")
+            && is_x86_feature_detected!("sse4.1"))
+        {
+            eprintln!("skipping: no sha-ni");
+            return;
+        }
+        let init: [u32; 8] = [
+            0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+            0x5be0cd19,
+        ];
+        for nblocks in [1usize, 2, 3, 7, 16] {
+            let data: Vec<u8> = (0..nblocks * 64)
+                .map(|i| (i as u32 * 97 + 41) as u8)
+                .collect();
+            let mut got = init;
+            let mut want = init;
+            assert!(sha256_compress_blocks(&mut got, &data));
+            compress_ref(&mut want, &data);
+            assert_eq!(got, want, "nblocks={nblocks}");
+        }
+    }
+
+    #[test]
+    fn sha_kernel_empty_input_is_identity() {
+        let mut s = [7u32; 8];
+        let before = s;
+        // Whether accelerated or not, zero blocks must not change state.
+        let _ = sha256_compress_blocks(&mut s, &[]);
+        assert_eq!(s, before);
+    }
+}

@@ -30,18 +30,22 @@ fn bench_decode(c: &mut Criterion) {
         let data = entry(100 * 1024);
         let chunks = codec.encode(&data).unwrap();
         g.throughput(Throughput::Bytes(data.len() as u64));
-        g.bench_with_input(BenchmarkId::new("worst_case_loss", label), &chunks, |b, chunks| {
-            b.iter(|| {
-                let mut received: Vec<Option<Vec<u8>>> =
-                    chunks.iter().cloned().map(Some).collect();
-                // Drop the first n_total - n_data chunks: forces matrix
-                // inversion (no systematic fast path).
-                for slot in received.iter_mut().take(n_total - n_data) {
-                    *slot = None;
-                }
-                codec.decode(&mut received).unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("worst_case_loss", label),
+            &chunks,
+            |b, chunks| {
+                b.iter(|| {
+                    let mut received: Vec<Option<Vec<u8>>> =
+                        chunks.iter().cloned().map(Some).collect();
+                    // Drop the first n_total - n_data chunks: forces matrix
+                    // inversion (no systematic fast path).
+                    for slot in received.iter_mut().take(n_total - n_data) {
+                        *slot = None;
+                    }
+                    codec.decode(&mut received).unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -24,7 +24,10 @@ fn pbft_commit_one(n: usize, registry: &KeyRegistry, payload: &[u8]) -> usize {
         .collect();
     let mut queue: VecDeque<(u32, u32, PbftMsg)> = VecDeque::new();
     let mut committed = 0usize;
-    let mut absorb = |from: u32, outs: Vec<PbftOutput>, queue: &mut VecDeque<(u32, u32, PbftMsg)>, committed: &mut usize| {
+    let absorb = |from: u32,
+                  outs: Vec<PbftOutput>,
+                  queue: &mut VecDeque<(u32, u32, PbftMsg)>,
+                  committed: &mut usize| {
         for o in outs {
             match o {
                 PbftOutput::Send { to, msg } => queue.push_back((from, to, msg)),
@@ -93,10 +96,8 @@ fn bench_raft_replication(c: &mut Criterion) {
                     for o in nodes[to as usize].step(from, msg) {
                         match o {
                             RaftOutput::Send { to: t2, msg } => queue.push_back((to, t2, msg)),
-                            RaftOutput::Committed { .. } => {
-                                if to == 0 {
-                                    committed += 1;
-                                }
+                            RaftOutput::Committed { .. } if to == 0 => {
+                                committed += 1;
                             }
                             _ => {}
                         }

@@ -2,8 +2,8 @@
 //! signatures, and the Merkle trees/proofs of the optimistic rebuild.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use massbft_crypto::{sha256::sha256, KeyRegistry, MerkleTree};
 use massbft_crypto::keys::NodeId;
+use massbft_crypto::{sha256::sha256, KeyRegistry, MerkleTree};
 
 fn bench_sha256(c: &mut Criterion) {
     let mut g = c.benchmark_group("sha256");
@@ -30,8 +30,7 @@ fn bench_sign_verify(c: &mut Criterion) {
 
 fn bench_merkle(c: &mut Criterion) {
     // 28 chunks of ~7.7 KiB: the Fig. 5b geometry on a 100 KiB entry.
-    let chunks: Vec<Vec<u8>> =
-        (0..28).map(|i| vec![i as u8; 100 * 1024 / 13]).collect();
+    let chunks: Vec<Vec<u8>> = (0..28).map(|i| vec![i as u8; 100 * 1024 / 13]).collect();
     c.bench_function("merkle_build_28x8KiB", |b| {
         b.iter(|| MerkleTree::build(&chunks))
     });

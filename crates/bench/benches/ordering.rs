@@ -6,8 +6,11 @@ use massbft_core::entry::EntryId;
 use massbft_core::ordering::OrderingEngine;
 use massbft_core::round::RoundOrdering;
 
+/// One stamp-stream event: a local commit and/or a remote clock update.
+type StampEvent = (Option<EntryId>, Option<(u32, EntryId, u64)>);
+
 /// A synchronized stamp history: ng groups, round-robin commits.
-fn history(ng: usize, per_group: u64) -> Vec<(Option<EntryId>, Option<(u32, EntryId, u64)>)> {
+fn history(ng: usize, per_group: u64) -> Vec<StampEvent> {
     let mut clk = vec![0u64; ng];
     let mut events = Vec::new();
     for seq in 1..=per_group {

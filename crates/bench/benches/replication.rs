@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the replication data plane: the full
+//! encode→Merkle→rebuild pipeline at paper-scale entry sizes, fast path
+//! vs. the vendored seed baseline (`massbft_bench::seed_codec`).
+//!
+//! The `replication` binary (`cargo run -p massbft-bench --release --bin
+//! replication`) runs the same pipelines and records the comparison in
+//! `BENCH_replication.json`; this bench is the interactive/criterion view
+//! of the same workload.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use massbft_bench::seed_codec;
+use massbft_codec::chunker::EntryCodec;
+use massbft_crypto::MerkleTree;
+
+const ENTRY_BYTES: usize = 1 << 20;
+
+fn entry(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i.wrapping_mul(31).wrapping_add(7)) as u8)
+        .collect()
+}
+
+fn worst_case_drop<T>(shards: &mut [Option<T>], n_parity: usize) {
+    for s in shards.iter_mut().take(n_parity) {
+        *s = None;
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let data = entry(ENTRY_BYTES);
+    let mut g = c.benchmark_group("replication_pipeline");
+    g.throughput(Throughput::Bytes(ENTRY_BYTES as u64));
+    for (n_data, n_total) in [(2usize, 4usize), (4, 8), (8, 16), (12, 32)] {
+        let label = format!("{n_data}of{n_total}");
+
+        let codec = EntryCodec::shared(n_data, n_total).unwrap();
+        g.bench_with_input(BenchmarkId::new("fast", &label), &data, |b, data| {
+            b.iter(|| {
+                let chunks: Vec<bytes::Bytes> = codec
+                    .encode(data)
+                    .unwrap()
+                    .into_iter()
+                    .map(bytes::Bytes::from)
+                    .collect();
+                black_box(MerkleTree::build(&chunks).root());
+                let mut shards: Vec<Option<&[u8]>> =
+                    chunks.iter().map(|b| Some(b.as_ref())).collect();
+                worst_case_drop(&mut shards, n_total - n_data);
+                codec.decode_from(&shards).unwrap().len()
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("seed", &label), &data, |b, data| {
+            b.iter(|| {
+                // Fresh codec per encode and per rebuild, deep-copied
+                // transfer, scalar sequential Merkle: the seed engine's
+                // behavior.
+                let codec = seed_codec::chunker::EntryCodec::new(n_data, n_total).unwrap();
+                let chunks = codec.encode(data).unwrap();
+                black_box(seed_codec::merkle::MerkleTree::build(&chunks).root());
+                let received: Vec<Vec<u8>> = chunks.to_vec();
+                let rebuild = seed_codec::chunker::EntryCodec::new(n_data, n_total).unwrap();
+                let mut shards: Vec<Option<Vec<u8>>> = received.into_iter().map(Some).collect();
+                worst_case_drop(&mut shards, n_total - n_data);
+                rebuild.decode(&mut shards).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

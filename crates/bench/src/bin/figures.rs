@@ -14,13 +14,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
 
     let want = |name: &str| which.contains(&name) || which.contains(&"all");
 
     if want("table1") {
-        print_table("Table I — geo-consensus protocol comparison (subset)", &feature_tables().0);
+        print_table(
+            "Table I — geo-consensus protocol comparison (subset)",
+            &feature_tables().0,
+        );
     }
     if want("table2") {
         print_table("Table II — competitor systems", &feature_tables().1);
@@ -42,7 +49,10 @@ fn main() {
     }
     if want("fig10") {
         banner("Fig. 10 — WAN traffic per replicated entry");
-        println!("{:>12} {:>16} {:>16}", "batch txns", "MassBFT KB", "Baseline KB");
+        println!(
+            "{:>12} {:>16} {:>16}",
+            "batch txns", "MassBFT KB", "Baseline KB"
+        );
         for (b, mass, base) in fig10(scale) {
             println!("{b:>12} {mass:>16.1} {base:>16.1}");
         }
@@ -52,7 +62,10 @@ fn main() {
         let b = fig11(scale);
         println!("{:>22} {:>10}", "phase", "ms");
         println!("{:>22} {:>10.1}", "local consensus", b.local_consensus_ms);
-        println!("{:>22} {:>10.1}", "global replication", b.global_replication_ms);
+        println!(
+            "{:>22} {:>10.1}",
+            "global replication", b.global_replication_ms
+        );
         println!("{:>22} {:>10.1}", "ordering (VTS)", b.ordering_ms);
         println!("{:>22} {:>10.1}", "execution", b.execution_ms);
     }
@@ -76,14 +89,20 @@ fn main() {
     }
     if want("fig13a") {
         banner("Fig. 13a — throughput vs nodes per group");
-        println!("{:>14} {:>14} {:>14}", "nodes/group", "MassBFT ktps", "Baseline ktps");
+        println!(
+            "{:>14} {:>14} {:>14}",
+            "nodes/group", "MassBFT ktps", "Baseline ktps"
+        );
         for (n, mass, base) in fig13a(scale) {
             println!("{n:>14} {mass:>14.2} {base:>14.2}");
         }
     }
     if want("fig13b") {
         banner("Fig. 13b — throughput vs number of groups");
-        println!("{:>10} {:>14} {:>14}", "groups", "MassBFT ktps", "Baseline ktps");
+        println!(
+            "{:>10} {:>14} {:>14}",
+            "groups", "MassBFT ktps", "Baseline ktps"
+        );
         for (ng, mass, base) in fig13b(scale) {
             println!("{ng:>10} {mass:>14.2} {base:>14.2}");
         }
@@ -107,7 +126,10 @@ fn main() {
             } else {
                 ""
             };
-            println!("{:>6} {:>10.2} {:>12.1}  {event}", p.sec, p.ktps, p.latency_ms);
+            println!(
+                "{:>6} {:>10.2} {:>12.1}  {event}",
+                p.sec, p.ktps, p.latency_ms
+            );
         }
     }
     if want("ablation-overlap") {
@@ -118,7 +140,10 @@ fn main() {
     }
     if want("ablation-parity") {
         banner("Ablation — worst-case parity overhead of Algorithm 1 (equal groups)");
-        println!("{:>6} {:>10} {:>8} {:>16}", "n", "parity", "data", "amplification");
+        println!(
+            "{:>6} {:>10} {:>8} {:>16}",
+            "n", "parity", "data", "amplification"
+        );
         for (n, parity, data, amp) in ablation_parity() {
             println!("{n:>6} {parity:>10} {data:>8} {amp:>16.2}");
         }

@@ -204,9 +204,18 @@ fn main() {
     println!("entries executed  : {}", report.entries_executed);
     println!("mean latency      : {:.1} ms", report.mean_latency_ms);
     println!("p99 latency       : {:.1} ms", report.p99_latency_ms);
-    println!("WAN bytes         : {:.1} MB", report.wan_bytes as f64 / 1e6);
-    println!("max node WAN      : {:.1} MB", report.max_node_wan_bytes as f64 / 1e6);
-    println!("LAN bytes         : {:.1} MB", report.lan_bytes as f64 / 1e6);
+    println!(
+        "WAN bytes         : {:.1} MB",
+        report.wan_bytes as f64 / 1e6
+    );
+    println!(
+        "max node WAN      : {:.1} MB",
+        report.max_node_wan_bytes as f64 / 1e6
+    );
+    println!(
+        "LAN bytes         : {:.1} MB",
+        report.lan_bytes as f64 / 1e6
+    );
     for (g, tps) in report.per_group_tps.iter().enumerate() {
         println!("group {g} origin tps : {:.0}", tps);
     }

@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod seed_codec;
+
 use massbft_core::cluster::{Cluster, ClusterConfig, Report};
 use massbft_core::protocol::{PhaseBreakdown, Protocol};
 use massbft_sim_net::{NodeId, SECOND};
@@ -116,8 +118,11 @@ pub fn fig1b(scale: Scale) -> Vec<(usize, f64)> {
 /// all workloads and competitor protocols.
 pub fn fig8_9(scale: Scale, worldwide: bool) -> Vec<PerfRow> {
     let groups = scale.groups7();
-    let workloads: &[WorkloadKind] =
-        if scale == Scale::Quick { &WORKLOADS[..1] } else { &WORKLOADS };
+    let workloads: &[WorkloadKind] = if scale == Scale::Quick {
+        &WORKLOADS[..1]
+    } else {
+        &WORKLOADS
+    };
     let mut rows = Vec::new();
     for &w in workloads {
         for p in COMPETITORS {
@@ -175,7 +180,11 @@ pub fn fig10(scale: Scale) -> Vec<(usize, f64, f64)> {
                 }
                 r.wan_bytes as f64 / r.entries_executed as f64 / 1024.0
             };
-            (b, per_entry_kb(Protocol::MassBft), per_entry_kb(Protocol::Baseline))
+            (
+                b,
+                per_entry_kb(Protocol::MassBft),
+                per_entry_kb(Protocol::Baseline),
+            )
         })
         .collect()
 }
@@ -189,7 +198,9 @@ pub fn fig11(scale: Scale) -> PhaseBreakdown {
         .seed(1);
     let mut c = Cluster::new(cfg);
     c.run_until((scale.secs() + 1) * SECOND);
-    c.node(NodeId::new(0, 0)).phase_breakdown().unwrap_or_default()
+    c.node(NodeId::new(0, 0))
+        .phase_breakdown()
+        .unwrap_or_default()
 }
 
 /// One Fig. 12 row: protocol, per-group ktps, mean latency.
@@ -300,7 +311,11 @@ pub fn fig14(scale: Scale) -> Vec<(usize, f64, f64)> {
                 }
             }
             let r = measure(cfg.clone(), scale.secs());
-            (k, r.throughput.ktps(), measure_latency_ms(cfg, scale.secs()))
+            (
+                k,
+                r.throughput.ktps(),
+                measure_latency_ms(cfg, scale.secs()),
+            )
         })
         .collect()
 }
@@ -393,19 +408,75 @@ pub fn ablation_parity() -> Vec<(usize, usize, usize, f64)> {
 /// preformatted rows for the binary to print.
 pub fn feature_tables() -> (Vec<[&'static str; 6]>, Vec<[&'static str; 6]>) {
     let table1 = vec![
-        ["Protocol", "FT", "Local", "Global", "Log replication", "Ordering"],
-        ["Steward", "BFT", "PBFT", "Paxos/Raft", "One-way (leader)", "-"],
-        ["GeoBFT", "BFT", "PBFT", "-", "One-way (leader)", "Synchronous"],
-        ["Baseline", "BFT", "PBFT", "Raft", "One-way (leader)", "Synchronous"],
-        ["MassBFT", "BFT", "PBFT", "Raft", "Encoded bijective", "Asynchronous"],
+        [
+            "Protocol",
+            "FT",
+            "Local",
+            "Global",
+            "Log replication",
+            "Ordering",
+        ],
+        [
+            "Steward",
+            "BFT",
+            "PBFT",
+            "Paxos/Raft",
+            "One-way (leader)",
+            "-",
+        ],
+        [
+            "GeoBFT",
+            "BFT",
+            "PBFT",
+            "-",
+            "One-way (leader)",
+            "Synchronous",
+        ],
+        [
+            "Baseline",
+            "BFT",
+            "PBFT",
+            "Raft",
+            "One-way (leader)",
+            "Synchronous",
+        ],
+        [
+            "MassBFT",
+            "BFT",
+            "PBFT",
+            "Raft",
+            "Encoded bijective",
+            "Asynchronous",
+        ],
     ];
     let table2 = vec![
-        ["System", "Multi-master", "Replication", "Consensus", "Ordering", "Coding"],
+        [
+            "System",
+            "Multi-master",
+            "Replication",
+            "Consensus",
+            "Ordering",
+            "Coding",
+        ],
         ["Steward", "N", "One-way", "Raft", "-", "Entire block"],
         ["ISS", "Y", "One-way", "Raft+Epoch", "Sync.", "Entire block"],
-        ["GeoBFT", "Y", "One-way", "Broadcast", "Sync.", "Entire block"],
+        [
+            "GeoBFT",
+            "Y",
+            "One-way",
+            "Broadcast",
+            "Sync.",
+            "Entire block",
+        ],
         ["Baseline", "Y", "One-way", "Raft", "Sync.", "Entire block"],
-        ["MassBFT", "Y", "Bijective", "Raft", "Async.", "Erasure-coded"],
+        [
+            "MassBFT",
+            "Y",
+            "Bijective",
+            "Raft",
+            "Async.",
+            "Erasure-coded",
+        ],
     ];
     (table1, table2)
 }
@@ -440,8 +511,7 @@ mod tests {
     #[test]
     fn fig11_quick_breakdown_is_sane() {
         let b = fig11(Scale::Quick);
-        let total =
-            b.local_consensus_ms + b.global_replication_ms + b.ordering_ms + b.execution_ms;
+        let total = b.local_consensus_ms + b.global_replication_ms + b.ordering_ms + b.execution_ms;
         assert!(total > 10.0, "breakdown sums to {total:.1} ms");
         // Global replication dominates (cross-datacenter RTTs).
         assert!(b.global_replication_ms > b.execution_ms);
@@ -452,7 +522,10 @@ mod tests {
         let rows = fig13b(Scale::Quick);
         assert_eq!(rows.len(), 2);
         for (ng, mass, base) in rows {
-            assert!(mass > base, "{ng} groups: MassBFT {mass:.1} vs Baseline {base:.1}");
+            assert!(
+                mass > base,
+                "{ng} groups: MassBFT {mass:.1} vs Baseline {base:.1}"
+            );
         }
     }
 

@@ -1,0 +1,146 @@
+//! Arithmetic in the finite field GF(2^8).
+//!
+//! Elements are bytes; addition is XOR and multiplication is polynomial
+//! multiplication modulo the AES-adjacent primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (0x11d), the same field used by most
+//! Reed-Solomon deployments (including the Go library the paper's authors
+//! used). Log/exp tables are built at compile time with `const fn`, so
+//! multiplication and division are two table lookups and one add.
+
+/// The primitive polynomial for the field, `x^8 + x^4 + x^3 + x^2 + 1`.
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// Order of the multiplicative group (`2^8 - 1`).
+pub const GROUP_ORDER: usize = 255;
+
+const fn build_exp_log() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < GROUP_ORDER {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the cycle so `exp[log a + log b]` never needs a mod.
+    let mut j = GROUP_ORDER;
+    while j < 512 {
+        exp[j] = exp[j - GROUP_ORDER];
+        j += 1;
+    }
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_exp_log();
+
+/// `EXP[i] = g^i` where `g = 2` generates the multiplicative group.
+/// Extended to 512 entries so index sums never wrap.
+pub static EXP: [u8; 512] = TABLES.0;
+
+/// `LOG[x] = log_g(x)` for `x != 0`; `LOG[0]` is unused and zero.
+pub static LOG: [u8; 256] = TABLES.1;
+
+/// Field addition (XOR). Identical to subtraction in GF(2^8).
+#[inline(always)]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via log/exp tables.
+#[inline(always)]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Field division `a / b`.
+///
+/// # Panics
+/// Panics on division by zero, mirroring integer division.
+#[inline(always)]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "GF(2^8) division by zero");
+    if a == 0 {
+        0
+    } else {
+        EXP[GROUP_ORDER + LOG[a as usize] as usize - LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+/// Panics if `a == 0`.
+#[inline(always)]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "GF(2^8) zero has no inverse");
+    EXP[GROUP_ORDER - LOG[a as usize] as usize]
+}
+
+/// Exponentiation `a^n` by repeated log-scaling.
+pub fn pow(a: u8, n: usize) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let l = (LOG[a as usize] as usize * n) % GROUP_ORDER;
+    EXP[l]
+}
+
+/// Computes `dst[i] ^= c * src[i]` over whole slices — the inner loop of
+/// Reed-Solomon encoding. Using a per-coefficient 256-entry product table
+/// turns the hot loop into a single lookup per byte.
+pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let table = product_table(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= table[*s as usize];
+    }
+}
+
+/// Computes `dst[i] = c * src[i]` over whole slices.
+pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let table = product_table(c);
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = table[*s as usize];
+    }
+}
+
+/// Builds the 256-entry multiplication table for a fixed coefficient.
+#[inline]
+fn product_table(c: u8) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let lc = LOG[c as usize] as usize;
+    for (x, slot) in t.iter_mut().enumerate().skip(1) {
+        *slot = EXP[lc + LOG[x] as usize];
+    }
+    t
+}

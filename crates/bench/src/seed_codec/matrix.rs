@@ -1,0 +1,206 @@
+//! Dense matrices over GF(2^8).
+//!
+//! Reed-Solomon coding reduces to linear algebra over the field: encoding is
+//! a matrix-vector product with the generator matrix, and erasure recovery
+//! inverts the square submatrix formed by the surviving rows. This module
+//! keeps the representation deliberately simple — a row-major `Vec<u8>` —
+//! because the matrices involved are tiny (at most 256x256) and inversion
+//! happens once per erasure pattern.
+
+use super::{gf256, CodecError};
+
+/// A row-major matrix over GF(2^8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged or empty.
+    pub fn from_rows(rows: &[&[u8]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        let mut m = Matrix::zero(rows.len(), cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged rows");
+            m.row_mut(i).copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Builds the extended-Cauchy generator matrix for a systematic
+    /// Reed-Solomon code: the first `n_data` rows are the identity, and row
+    /// `n_data + i` is the Cauchy row `1 / (x_i + y_j)` with
+    /// `x_i = n_data + i`, `y_j = j`.
+    ///
+    /// Since `x_i` and `y_j` ranges are disjoint, `x_i ^ y_j != 0` and every
+    /// square submatrix of a Cauchy matrix is invertible — the property that
+    /// makes any `n_data` surviving chunks decodable.
+    pub fn systematic_cauchy(n_total: usize, n_data: usize) -> Result<Self, CodecError> {
+        if n_data == 0 || n_data > n_total {
+            return Err(CodecError::InvalidShardCounts { n_data, n_total });
+        }
+        if n_total > 256 {
+            return Err(CodecError::TooManyChunks(n_total));
+        }
+        let mut m = Matrix::zero(n_total, n_data);
+        for i in 0..n_data {
+            m.set(i, i, 1);
+        }
+        for i in n_data..n_total {
+            for j in 0..n_data {
+                let x = i as u8;
+                let y = j as u8;
+                m.set(i, j, gf256::inv(x ^ y));
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [u8] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a new matrix containing the selected rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut m = Matrix::zero(indices.len(), self.cols);
+        for (out, &src) in indices.iter().enumerate() {
+            m.row_mut(out).copy_from_slice(self.row(src));
+        }
+        m
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0 {
+                    continue;
+                }
+                let (orow, rrow) = (i, k);
+                // out[i][..] ^= a * rhs[k][..]
+                let rhs_row: Vec<u8> = rhs.row(rrow).to_vec();
+                gf256::mul_acc_slice(out.row_mut(orow), &rhs_row, a);
+            }
+        }
+        out
+    }
+
+    /// Inverts a square matrix with Gauss-Jordan elimination.
+    ///
+    /// Returns [`CodecError::SingularMatrix`] if no inverse exists.
+    pub fn inverse(&self) -> Result<Matrix, CodecError> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut out = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot at or below the diagonal.
+            let pivot = (col..n)
+                .find(|&r| work.get(r, col) != 0)
+                .ok_or(CodecError::SingularMatrix)?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                out.swap_rows(pivot, col);
+            }
+            // Scale the pivot row to make the diagonal 1.
+            let p = work.get(col, col);
+            if p != 1 {
+                let pinv = gf256::inv(p);
+                scale_row(work.row_mut(col), pinv);
+                scale_row(out.row_mut(col), pinv);
+            }
+            // Eliminate the column from every other row.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = work.get(r, col);
+                if factor == 0 {
+                    continue;
+                }
+                let wsrc: Vec<u8> = work.row(col).to_vec();
+                let osrc: Vec<u8> = out.row(col).to_vec();
+                gf256::mul_acc_slice(work.row_mut(r), &wsrc, factor);
+                gf256::mul_acc_slice(out.row_mut(r), &osrc, factor);
+            }
+        }
+        Ok(out)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let cols = self.cols;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
+    }
+}
+
+fn scale_row(row: &mut [u8], c: u8) {
+    for v in row.iter_mut() {
+        *v = gf256::mul(*v, c);
+    }
+}

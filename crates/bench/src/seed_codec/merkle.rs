@@ -1,0 +1,170 @@
+//! Merkle trees and inclusion proofs.
+//!
+//! Paper §IV-C: after encoding an entry into chunks, each sender builds a
+//! Merkle tree over the chunks and ships each chunk with its proof.
+//! Receivers bucket chunks by Merkle *root*; chunks in one bucket are
+//! guaranteed to come from the same encoding, so a bucket that reaches
+//! `n_data` chunks can attempt a rebuild, and a failed rebuild condemns the
+//! whole bucket (all its chunk IDs get blacklisted).
+//!
+//! Leaves are domain-separated from internal nodes (prefix byte) to prevent
+//! second-preimage tricks where an internal node is replayed as a leaf.
+//! Odd nodes at any level are promoted unchanged (Bitcoin-style duplication
+//! is avoided because it admits trivial collisions).
+
+use super::{sha256::Sha256, Digest};
+
+const LEAF_PREFIX: u8 = 0x00;
+const NODE_PREFIX: u8 = 0x01;
+
+fn hash_leaf(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_PREFIX]);
+    h.update(data);
+    Digest(h.finalize())
+}
+
+fn hash_node(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[NODE_PREFIX]);
+    h.update(&left.0);
+    h.update(&right.0);
+    Digest(h.finalize())
+}
+
+/// A Merkle tree over an ordered list of byte-string leaves.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes, last level = `[root]`.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// One sibling step of a Merkle proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The sibling hash at this level.
+    pub sibling: Digest,
+    /// Whether the sibling sits to the left of the path node.
+    pub sibling_on_left: bool,
+}
+
+/// An inclusion proof for one leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Total number of leaves in the tree (binds the proof to a geometry).
+    pub leaf_count: usize,
+    /// Sibling hashes bottom-up. Levels where the node had no sibling
+    /// (odd promotion) contribute no step.
+    pub path: Vec<ProofStep>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaves`.
+    ///
+    /// # Panics
+    /// Panics on an empty leaf set — the replication layer never encodes
+    /// zero chunks.
+    pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> Self {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let mut levels = Vec::new();
+        levels.push(
+            leaves
+                .iter()
+                .map(|l| hash_leaf(l.as_ref()))
+                .collect::<Vec<_>>(),
+        );
+        while levels.last().expect("nonempty").len() > 1 {
+            let prev = levels.last().expect("nonempty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            let mut i = 0;
+            while i < prev.len() {
+                if i + 1 < prev.len() {
+                    next.push(hash_node(&prev[i], &prev[i + 1]));
+                    i += 2;
+                } else {
+                    next.push(prev[i]); // odd promotion
+                    i += 1;
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root hash.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("nonempty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Generates the inclusion proof for leaf `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn prove(&self, index: usize) -> MerkleProof {
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        let mut path = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = if i.is_multiple_of(2) { i + 1 } else { i - 1 };
+            if sibling < level.len() {
+                path.push(ProofStep {
+                    sibling: level[sibling],
+                    sibling_on_left: sibling < i,
+                });
+            }
+            i /= 2;
+        }
+        MerkleProof {
+            leaf_index: index,
+            leaf_count: self.leaf_count(),
+            path,
+        }
+    }
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf_data` is the leaf at `self.leaf_index` of the
+    /// tree with root `root`.
+    pub fn verify(&self, root: &Digest, leaf_data: &[u8]) -> bool {
+        // Recompute the path; also check the path length is plausible for
+        // the claimed geometry so proofs can't smuggle extra levels.
+        if self.leaf_index >= self.leaf_count {
+            return false;
+        }
+        let mut acc = hash_leaf(leaf_data);
+        let mut i = self.leaf_index;
+        let mut width = self.leaf_count;
+        let mut step_iter = self.path.iter();
+        while width > 1 {
+            let has_sibling = if i.is_multiple_of(2) {
+                i + 1 < width
+            } else {
+                true
+            };
+            if has_sibling {
+                let Some(step) = step_iter.next() else {
+                    return false;
+                };
+                let expected_side = i % 2 == 1;
+                if step.sibling_on_left != expected_side {
+                    return false;
+                }
+                acc = if step.sibling_on_left {
+                    hash_node(&step.sibling, &acc)
+                } else {
+                    hash_node(&acc, &step.sibling)
+                };
+            }
+            i /= 2;
+            width = width.div_ceil(2);
+        }
+        step_iter.next().is_none() && acc == *root
+    }
+}

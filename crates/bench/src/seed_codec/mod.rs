@@ -1,0 +1,22 @@
+//! The seed revision's data plane, frozen as a benchmark baseline.
+//!
+//! These modules are the pre-optimization `massbft-codec` and
+//! `massbft-crypto` sources (commit `e330738`, test modules stripped) kept
+//! so `BENCH_replication.json` can compare the cached/table-driven/
+//! accelerated fast path against the exact code it replaced: per-call
+//! product-table regeneration in [`gf256::mul_acc_slice`], a fresh
+//! decode-matrix inversion for every erasure pattern in
+//! [`rs::ReedSolomon::reconstruct_data`], scalar-only SHA-256 with
+//! sequential Merkle leaf hashing in [`sha256`]/[`merkle`], and owned
+//! `Vec<u8>` shards throughout. Do not "improve" this code — its slowness
+//! is the point.
+
+pub use massbft_codec::CodecError;
+pub use massbft_crypto::Digest;
+
+pub mod chunker;
+pub mod gf256;
+pub mod matrix;
+pub mod merkle;
+pub mod rs;
+pub mod sha256;

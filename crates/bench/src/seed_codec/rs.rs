@@ -1,0 +1,162 @@
+//! Systematic Reed-Solomon encoder/decoder over GF(2^8).
+//!
+//! The code is *systematic*: the first `n_data` output shards are the input
+//! data verbatim, and the remaining `n_parity` shards are Cauchy-coded
+//! redundancy. Any `n_data` of the `n_total` shards reconstruct the data
+//! (paper §IV-B: "any n_data out of n_total chunks can be used to rebuild
+//! the original message").
+//!
+//! Decoding caches nothing across erasure patterns; the matrices are at most
+//! 256x256 and inversion is microseconds, far below the WAN latencies the
+//! protocol hides.
+
+use super::{matrix::Matrix, CodecError};
+
+/// A systematic Reed-Solomon code with fixed shard counts.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    n_data: usize,
+    n_total: usize,
+    /// Rows `n_data..n_total` of the generator matrix (the parity rows).
+    parity_rows: Matrix,
+    /// Full generator matrix, kept for decode-time row selection.
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a code producing `n_total` shards of which `n_data` carry
+    /// data.
+    pub fn new(n_data: usize, n_total: usize) -> Result<Self, CodecError> {
+        let generator = Matrix::systematic_cauchy(n_total, n_data)?;
+        let parity_rows = generator.select_rows(&(n_data..n_total).collect::<Vec<_>>());
+        Ok(ReedSolomon {
+            n_data,
+            n_total,
+            parity_rows,
+            generator,
+        })
+    }
+
+    /// Number of data shards.
+    pub fn n_data(&self) -> usize {
+        self.n_data
+    }
+
+    /// Total number of shards.
+    pub fn n_total(&self) -> usize {
+        self.n_total
+    }
+
+    /// Number of parity shards.
+    pub fn n_parity(&self) -> usize {
+        self.n_total - self.n_data
+    }
+
+    /// Encodes `n_data` equal-length data shards into `n_total` shards.
+    ///
+    /// The returned vector starts with the data shards (clones of the
+    /// input) followed by the computed parity shards.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, CodecError> {
+        if data.len() != self.n_data {
+            return Err(CodecError::InvalidShardCounts {
+                n_data: data.len(),
+                n_total: self.n_total,
+            });
+        }
+        let shard_len = data[0].len();
+        if data.iter().any(|d| d.len() != shard_len) {
+            return Err(CodecError::InconsistentChunkSize);
+        }
+        let mut out = Vec::with_capacity(self.n_total);
+        out.extend(data.iter().cloned());
+        for p in 0..self.n_parity() {
+            let mut shard = vec![0u8; shard_len];
+            for (j, d) in data.iter().enumerate() {
+                super::gf256::mul_acc_slice(&mut shard, d, self.parity_rows.get(p, j));
+            }
+            out.push(shard);
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs the `n_data` data shards from any `n_data` surviving
+    /// shards. `shards[i]` is `Some` if shard `i` was received.
+    ///
+    /// On success the returned vector holds the data shards in order.
+    /// Missing *data* shards are recomputed; surviving ones are moved out of
+    /// the input untouched.
+    pub fn reconstruct_data(
+        &self,
+        shards: &mut [Option<Vec<u8>>],
+    ) -> Result<Vec<Vec<u8>>, CodecError> {
+        if shards.len() != self.n_total {
+            return Err(CodecError::InvalidShardCounts {
+                n_data: self.n_data,
+                n_total: shards.len(),
+            });
+        }
+        let have = shards.iter().filter(|s| s.is_some()).count();
+        if have < self.n_data {
+            return Err(CodecError::NotEnoughChunks {
+                have,
+                need: self.n_data,
+            });
+        }
+
+        let shard_len =
+            shards
+                .iter()
+                .flatten()
+                .map(|s| s.len())
+                .next()
+                .ok_or(CodecError::NotEnoughChunks {
+                    have: 0,
+                    need: self.n_data,
+                })?;
+        if shards.iter().flatten().any(|s| s.len() != shard_len) {
+            return Err(CodecError::InconsistentChunkSize);
+        }
+
+        // Fast path: all data shards survived.
+        if shards[..self.n_data].iter().all(|s| s.is_some()) {
+            return Ok(shards[..self.n_data]
+                .iter_mut()
+                .map(|s| s.take().expect("checked above"))
+                .collect());
+        }
+
+        // Pick the first n_data available shard indices; invert the
+        // corresponding generator rows; multiply to recover the data.
+        let picked: Vec<usize> = (0..self.n_total)
+            .filter(|&i| shards[i].is_some())
+            .take(self.n_data)
+            .collect();
+        let decode = self.generator.select_rows(&picked).inverse()?;
+
+        let mut data = Vec::with_capacity(self.n_data);
+        for r in 0..self.n_data {
+            let mut shard = vec![0u8; shard_len];
+            for (k, &src) in picked.iter().enumerate() {
+                let c = decode.get(r, k);
+                let input = shards[src].as_ref().expect("picked only Some");
+                super::gf256::mul_acc_slice(&mut shard, input, c);
+            }
+            data.push(shard);
+        }
+        Ok(data)
+    }
+
+    /// Verifies that a full shard set is consistent with this code: parity
+    /// shards must equal the re-encoding of the data shards. Used by tests
+    /// and by debug assertions in the replication engine.
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, CodecError> {
+        if shards.len() != self.n_total {
+            return Err(CodecError::InvalidShardCounts {
+                n_data: self.n_data,
+                n_total: shards.len(),
+            });
+        }
+        let reenc = self.encode(&shards[..self.n_data])?;
+        Ok(reenc == shards)
+    }
+}

@@ -7,11 +7,27 @@
 //! sanity check: a rebuilt payload whose length prefix disagrees with the
 //! shard geometry is reported as [`CodecError::CorruptFrame`] (the PBFT
 //! certificate remains the authoritative integrity check, per paper §IV-C).
+//!
+//! Because every [`crate::rs::ReedSolomon`] carries precomputed coefficient
+//! tables and a decode-plan cache, constructing codecs per call throws that
+//! state away. [`EntryCodec::shared`] hands out one process-wide instance
+//! per `(n_data, n_total)` geometry instead; the replication engine uses it
+//! for every transfer.
 
-use crate::{rs::ReedSolomon, CodecError};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::{
+    rs::{CacheStats, ReedSolomon},
+    CodecError,
+};
 
 /// Frame header: payload length as a little-endian u64.
 const FRAME_HEADER: usize = 8;
+
+/// Process-wide codec registry, keyed by `(n_data, n_total)`.
+type CodecRegistry = Mutex<HashMap<(usize, usize), Arc<EntryCodec>>>;
+static REGISTRY: OnceLock<CodecRegistry> = OnceLock::new();
 
 /// Splits entries into Reed-Solomon chunks and rebuilds them.
 #[derive(Debug, Clone)]
@@ -22,7 +38,26 @@ pub struct EntryCodec {
 impl EntryCodec {
     /// Creates a codec with `n_data` data chunks out of `n_total` total.
     pub fn new(n_data: usize, n_total: usize) -> Result<Self, CodecError> {
-        Ok(EntryCodec { rs: ReedSolomon::new(n_data, n_total)? })
+        Ok(EntryCodec {
+            rs: ReedSolomon::new(n_data, n_total)?,
+        })
+    }
+
+    /// Returns the process-wide shared codec for this geometry, creating it
+    /// on first use.
+    ///
+    /// All callers of the same `(n_data, n_total)` pair share one instance
+    /// — and therefore one set of coefficient tables and one decode-plan
+    /// cache — instead of re-deriving the generator matrix per transfer.
+    pub fn shared(n_data: usize, n_total: usize) -> Result<Arc<EntryCodec>, CodecError> {
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = registry.lock().expect("codec registry poisoned");
+        if let Some(codec) = map.get(&(n_data, n_total)) {
+            return Ok(codec.clone());
+        }
+        let codec = Arc::new(EntryCodec::new(n_data, n_total)?);
+        map.insert((n_data, n_total), codec.clone());
+        Ok(codec)
     }
 
     /// Number of data chunks.
@@ -33,6 +68,12 @@ impl EntryCodec {
     /// Total number of chunks.
     pub fn n_total(&self) -> usize {
         self.rs.n_total()
+    }
+
+    /// Decode-plan cache counters of the underlying code (see
+    /// [`ReedSolomon::cache_stats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.rs.cache_stats()
     }
 
     /// The per-chunk size for an entry of `entry_len` bytes.
@@ -60,17 +101,26 @@ impl EntryCodec {
         framed.extend_from_slice(entry);
         framed.resize(chunk * n_data, 0);
 
-        let data: Vec<Vec<u8>> =
-            framed.chunks(chunk).map(|c| c.to_vec()).collect();
+        // Borrowed sub-slices of the framed buffer go straight into the
+        // encoder; the data shards are materialised once, in the output.
+        let data: Vec<&[u8]> = framed.chunks(chunk).collect();
         self.rs.encode(&data)
     }
 
     /// Rebuilds the entry from any `n_data` received chunks.
     ///
-    /// `chunks[i] = Some(bytes)` if chunk `i` arrived. Consumes the data
-    /// chunks it uses (they are moved out of the slice).
+    /// `chunks[i] = Some(bytes)` if chunk `i` arrived. The input is only
+    /// read; use [`EntryCodec::decode_from`] directly when the chunks are
+    /// borrowed from network buffers.
     pub fn decode(&self, chunks: &mut [Option<Vec<u8>>]) -> Result<Vec<u8>, CodecError> {
-        let data = self.rs.reconstruct_data(chunks)?;
+        self.decode_from(chunks)
+    }
+
+    /// Borrow-based rebuild: accepts anything byte-slice-like so received
+    /// chunks can stay in their network buffers (e.g. `Option<Bytes>`)
+    /// while the entry is reassembled.
+    pub fn decode_from<T: AsRef<[u8]>>(&self, chunks: &[Option<T>]) -> Result<Vec<u8>, CodecError> {
+        let data = self.rs.reconstruct_data_from(chunks)?;
         let mut framed: Vec<u8> = Vec::with_capacity(data.len() * data[0].len());
         for shard in &data {
             framed.extend_from_slice(shard);
@@ -78,8 +128,7 @@ impl EntryCodec {
         if framed.len() < FRAME_HEADER {
             return Err(CodecError::CorruptFrame);
         }
-        let len = u64::from_le_bytes(framed[..FRAME_HEADER].try_into().expect("8 bytes"))
-            as usize;
+        let len = u64::from_le_bytes(framed[..FRAME_HEADER].try_into().expect("8 bytes")) as usize;
         if len == 0 || FRAME_HEADER + len > framed.len() {
             return Err(CodecError::CorruptFrame);
         }
@@ -122,6 +171,31 @@ mod tests {
     }
 
     #[test]
+    fn shared_returns_one_instance_per_geometry() {
+        let a = EntryCodec::shared(6, 11).unwrap();
+        let b = EntryCodec::shared(6, 11).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = EntryCodec::shared(6, 12).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Invalid geometries don't pollute the registry.
+        assert!(EntryCodec::shared(0, 4).is_err());
+        assert!(EntryCodec::shared(4, 300).is_err());
+    }
+
+    #[test]
+    fn decode_from_borrowed_chunks() {
+        let codec = EntryCodec::new(3, 5).unwrap();
+        let entry = vec![0xabu8; 333];
+        let chunks = codec.encode(&entry).unwrap();
+        let borrowed: Vec<Option<&[u8]>> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| if i == 1 { None } else { Some(c.as_slice()) })
+            .collect();
+        assert_eq!(codec.decode_from(&borrowed).unwrap(), entry);
+    }
+
+    #[test]
     fn empty_entry_rejected() {
         let codec = EntryCodec::new(2, 4).unwrap();
         assert_eq!(codec.encode(&[]).unwrap_err(), CodecError::EmptyEntry);
@@ -153,7 +227,10 @@ mod tests {
         chunks[0][0] = 0xff;
         chunks[0][4] = 0xff;
         let mut received: Vec<Option<Vec<u8>>> = chunks.into_iter().map(Some).collect();
-        assert_eq!(codec.decode(&mut received).unwrap_err(), CodecError::CorruptFrame);
+        assert_eq!(
+            codec.decode(&mut received).unwrap_err(),
+            CodecError::CorruptFrame
+        );
     }
 
     #[test]
@@ -202,6 +279,46 @@ mod tests {
             let size = chunks[0].len();
             prop_assert!(chunks.iter().all(|c| c.len() == size));
             prop_assert_eq!(size, codec.chunk_size(entry.len()));
+        }
+
+        #[test]
+        fn prop_decode_cache_hit_and_miss_agree(
+            entry in proptest::collection::vec(any::<u8>(), 1..1024),
+            seed in any::<u64>(),
+        ) {
+            // A fresh codec decodes a random erasure pattern twice: the
+            // first pass misses the decode-plan cache, the second hits it,
+            // and both must return the identical entry.
+            let codec = EntryCodec::new(5, 9).unwrap();
+            let chunks = codec.encode(&entry).unwrap();
+
+            use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut order: Vec<usize> = (0..9).collect();
+            order.shuffle(&mut rng);
+            let mut received: Vec<Option<Vec<u8>>> = chunks.into_iter().map(Some).collect();
+            for &drop in order.iter().take(4) {
+                received[drop] = None;
+            }
+            // Guarantee the matrix path: at least one data chunk must be
+            // missing, else the all-data fast path skips the cache.
+            if received[..5].iter().all(|c| c.is_some()) {
+                let parity_alive = (5..9).find(|&i| received[i].is_some());
+                prop_assume!(parity_alive.is_some());
+                received[0] = None;
+            }
+
+            let before = codec.cache_stats();
+            prop_assert_eq!(before.hits, 0);
+            let first = codec.decode_from(&received).unwrap();
+            let mid = codec.cache_stats();
+            prop_assert_eq!(mid.misses, before.misses + 1, "first decode misses");
+            let second = codec.decode_from(&received).unwrap();
+            let after = codec.cache_stats();
+            prop_assert_eq!(after.hits, mid.hits + 1, "second decode hits");
+            prop_assert_eq!(after.misses, mid.misses, "second decode builds nothing");
+            prop_assert_eq!(&first, &entry);
+            prop_assert_eq!(&second, &entry);
         }
     }
 }

@@ -101,17 +101,33 @@ pub fn pow(a: u8, n: usize) -> u8 {
 /// Reed-Solomon encoding. Using a per-coefficient 256-entry product table
 /// turns the hot loop into a single lookup per byte.
 pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    mul_acc_slice_with(dst, src, c, &product_table(c));
+}
+
+/// Like [`mul_acc_slice`] but with a caller-supplied product table for `c`
+/// (see [`product_table`]). Lets encoders that apply the same coefficient
+/// matrix to every entry build each table once per codec instance instead
+/// of once per shard.
+///
+/// On CPUs with SSSE3/AVX2 the bulk of the slice goes through the
+/// `pshufb` nibble-table kernel in `massbft-accel`; the scalar loop is
+/// the portable fallback.
+pub fn mul_acc_slice_with(dst: &mut [u8], src: &[u8], c: u8, table: &[u8; 256]) {
     debug_assert_eq!(dst.len(), src.len());
+    debug_assert_eq!(table[1], c, "table does not belong to coefficient {c}");
     if c == 0 {
         return;
     }
     if c == 1 {
+        // Plain XOR: LLVM auto-vectorizes this without any table.
         for (d, s) in dst.iter_mut().zip(src) {
             *d ^= *s;
         }
         return;
     }
-    let table = product_table(c);
+    if massbft_accel::gf256_mul_acc(dst, src, table) {
+        return;
+    }
     for (d, s) in dst.iter_mut().zip(src) {
         *d ^= table[*s as usize];
     }
@@ -134,10 +150,18 @@ pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
     }
 }
 
-/// Builds the 256-entry multiplication table for a fixed coefficient.
+/// Builds the 256-entry multiplication table for a fixed coefficient:
+/// `product_table(c)[x] == mul(c, x)` for every `x`.
+///
+/// Codec instances precompute one table per generator-matrix coefficient so
+/// the encode/decode inner loops never rebuild them (see
+/// [`mul_acc_slice_with`]).
 #[inline]
-fn product_table(c: u8) -> [u8; 256] {
+pub fn product_table(c: u8) -> [u8; 256] {
     let mut t = [0u8; 256];
+    if c == 0 {
+        return t;
+    }
     let lc = LOG[c as usize] as usize;
     for (x, slot) in t.iter_mut().enumerate().skip(1) {
         *slot = EXP[lc + LOG[x] as usize];
@@ -163,8 +187,7 @@ mod tests {
     fn generator_cycle_has_full_order() {
         // g=2 must generate all 255 nonzero elements.
         let mut seen = [false; 256];
-        for i in 0..GROUP_ORDER {
-            let v = EXP[i];
+        for (i, &v) in EXP.iter().enumerate().take(GROUP_ORDER) {
             assert!(!seen[v as usize], "generator cycle repeats at {i}");
             seen[v as usize] = true;
         }

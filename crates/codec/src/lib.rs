@@ -88,7 +88,10 @@ impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::InvalidShardCounts { n_data, n_total } => {
-                write!(f, "invalid shard counts: n_data={n_data}, n_total={n_total}")
+                write!(
+                    f,
+                    "invalid shard counts: n_data={n_data}, n_total={n_total}"
+                )
             }
             CodecError::TooManyChunks(n) => {
                 write!(f, "{n} chunks requested but GF(2^8) supports at most 256")

@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix of the given shape.
     pub fn zero(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of order `n`.

@@ -165,6 +165,10 @@ struct Instance {
     committed: bool,
 }
 
+/// View-change votes: proposed view → voter → prepared-proof triples
+/// `(seq, digest, pre-prepare bytes)`.
+type ViewChangeVotes = BTreeMap<u64, BTreeMap<u32, Vec<(u64, Digest, Vec<u8>)>>>;
+
 /// A PBFT replica state machine.
 pub struct PbftReplica {
     cfg: PbftConfig,
@@ -177,7 +181,7 @@ pub struct PbftReplica {
     exec_seq: u64,
     instances: BTreeMap<u64, Instance>,
     /// View-change votes per proposed view.
-    view_changes: BTreeMap<u64, BTreeMap<u32, Vec<(u64, Digest, Vec<u8>)>>>,
+    view_changes: ViewChangeVotes,
     /// Set while a view change is in progress (stops normal processing).
     in_view_change: bool,
 }
@@ -234,7 +238,12 @@ impl PbftReplica {
         let seq = self.next_seq;
         self.next_seq += 1;
         let digest = Digest::of(&payload);
-        let pre = PbftMsg::PrePrepare { view: self.view, seq, payload: payload.clone(), digest };
+        let pre = PbftMsg::PrePrepare {
+            view: self.view,
+            seq,
+            payload: payload.clone(),
+            digest,
+        };
         let mut out = vec![PbftOutput::Broadcast(pre.clone()), PbftOutput::ArmViewTimer];
         // Process our own pre-prepare locally.
         out.extend(self.on_message(self.cfg.node, pre));
@@ -244,18 +253,30 @@ impl PbftReplica {
     /// Handles a message from replica `from` of the same group.
     pub fn on_message(&mut self, from: u32, msg: PbftMsg) -> Vec<PbftOutput> {
         match msg {
-            PbftMsg::PrePrepare { view, seq, payload, digest } => {
-                self.on_pre_prepare(from, view, seq, payload, digest)
-            }
-            PbftMsg::Prepare { view, seq, digest, sig } => {
-                self.on_prepare(from, view, seq, digest, sig)
-            }
-            PbftMsg::Commit { view, seq, digest, sig } => {
-                self.on_commit(from, view, seq, digest, sig)
-            }
-            PbftMsg::ViewChange { new_view, last_exec, prepared, sig } => {
-                self.on_view_change(from, new_view, last_exec, prepared, sig)
-            }
+            PbftMsg::PrePrepare {
+                view,
+                seq,
+                payload,
+                digest,
+            } => self.on_pre_prepare(from, view, seq, payload, digest),
+            PbftMsg::Prepare {
+                view,
+                seq,
+                digest,
+                sig,
+            } => self.on_prepare(from, view, seq, digest, sig),
+            PbftMsg::Commit {
+                view,
+                seq,
+                digest,
+                sig,
+            } => self.on_commit(from, view, seq, digest, sig),
+            PbftMsg::ViewChange {
+                new_view,
+                last_exec,
+                prepared,
+                sig,
+            } => self.on_view_change(from, new_view, last_exec, prepared, sig),
             PbftMsg::NewView { view, reproposals } => self.on_new_view(from, view, reproposals),
         }
     }
@@ -352,7 +373,12 @@ impl PbftReplica {
                 inst.sent_prepare = true;
                 let vote = prepare_digest(self.cfg.group, view, seq, &digest);
                 let sig = self.key.sign_digest(&vote);
-                let msg = PbftMsg::Prepare { view, seq, digest, sig };
+                let msg = PbftMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    sig,
+                };
                 out.push(PbftOutput::Broadcast(msg.clone()));
                 out.extend(self.on_message(self.cfg.node, msg));
             }
@@ -395,7 +421,12 @@ impl PbftReplica {
         }
         inst.sent_commit = true;
         let sig = self.key.sign_digest(&digest);
-        let msg = PbftMsg::Commit { view, seq, digest, sig };
+        let msg = PbftMsg::Commit {
+            view,
+            seq,
+            digest,
+            sig,
+        };
         let mut out = vec![PbftOutput::Broadcast(msg.clone())];
         out.extend(self.on_message(self.cfg.node, msg));
         out
@@ -438,24 +469,25 @@ impl PbftReplica {
     /// starting at `exec_seq`, and garbage-collects behind checkpoints.
     fn drain_executable(&mut self) -> Vec<PbftOutput> {
         let mut out = Vec::new();
-        loop {
-            let Some(inst) = self.instances.get(&self.exec_seq) else { break };
+        while let Some(inst) = self.instances.get_mut(&self.exec_seq) {
             if !inst.committed {
                 break;
             }
             let seq = self.exec_seq;
-            let inst = self.instances.get_mut(&seq).expect("checked");
             let payload = inst.payload.take().expect("committed implies payload");
             let digest = inst.digest.expect("committed implies digest");
             let signatures: Vec<Signature> = inst.commits.values().copied().collect();
-            let cert = QuorumCert { digest, group: self.cfg.group, signatures };
+            let cert = QuorumCert {
+                digest,
+                group: self.cfg.group,
+                signatures,
+            };
             out.push(PbftOutput::Committed { seq, payload, cert });
             self.exec_seq += 1;
         }
         // Checkpoint GC: drop retired instances.
         if self.cfg.checkpoint_interval > 0 {
-            let low_water =
-                self.exec_seq.saturating_sub(self.cfg.checkpoint_interval);
+            let low_water = self.exec_seq.saturating_sub(self.cfg.checkpoint_interval);
             self.instances.retain(|&s, _| s >= low_water);
         }
         out
@@ -510,7 +542,12 @@ impl PbftReplica {
         out
     }
 
-    fn on_new_view(&mut self, from: u32, view: u64, reproposals: Vec<(u64, Vec<u8>)>) -> Vec<PbftOutput> {
+    fn on_new_view(
+        &mut self,
+        from: u32,
+        view: u64,
+        reproposals: Vec<(u64, Vec<u8>)>,
+    ) -> Vec<PbftOutput> {
         if view < self.view || from != self.cfg.primary_of(view) {
             return Vec::new();
         }
@@ -537,7 +574,12 @@ impl PbftReplica {
                 }
                 max_seq = max_seq.max(seq + 1);
                 let digest = Digest::of(&payload);
-                let pre = PbftMsg::PrePrepare { view, seq, payload, digest };
+                let pre = PbftMsg::PrePrepare {
+                    view,
+                    seq,
+                    payload,
+                    digest,
+                };
                 out.push(PbftOutput::Broadcast(pre.clone()));
                 out.extend(self.on_message(self.cfg.node, pre));
             }
@@ -757,7 +799,12 @@ mod tests {
         let digest = Digest::of(b"evil");
         let outs = h.replicas[1].on_message(
             2, // claims to be replica 2, but 0 is the view-0 primary
-            PbftMsg::PrePrepare { view: 0, seq: 1, payload: b"evil".to_vec(), digest },
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                payload: b"evil".to_vec(),
+                digest,
+            },
         );
         h.absorb(1, outs);
         h.run();
@@ -788,10 +835,18 @@ mod tests {
         // Replica 3 fabricates commits pretending to be replicas 0..2 with
         // garbage signatures.
         for claimed in 0..3u32 {
-            let fake = Signature { signer: NodeId::new(0, claimed), tag: [0u8; 32] };
+            let fake = Signature {
+                signer: NodeId::new(0, claimed),
+                tag: [0u8; 32],
+            };
             let outs = h.replicas[1].on_message(
                 claimed,
-                PbftMsg::Commit { view: 0, seq: 1, digest, sig: fake },
+                PbftMsg::Commit {
+                    view: 0,
+                    seq: 1,
+                    digest,
+                    sig: fake,
+                },
             );
             h.absorb(1, outs);
         }
@@ -897,13 +952,26 @@ mod tests {
         for i in 0..3u32 {
             let key = registry.key_of(NodeId::new(0, i)).unwrap();
             let sig = key.sign_digest(&digest);
-            let outs = observer.on_message(i, PbftMsg::Commit { view: 0, seq: 1, digest, sig });
+            let outs = observer.on_message(
+                i,
+                PbftMsg::Commit {
+                    view: 0,
+                    seq: 1,
+                    digest,
+                    sig,
+                },
+            );
             assert!(outs.is_empty(), "must not execute without payload");
         }
         // Now the pre-prepare arrives.
         let outs = observer.on_message(
             0,
-            PbftMsg::PrePrepare { view: 0, seq: 1, payload: payload.clone(), digest },
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                payload: payload.clone(),
+                digest,
+            },
         );
         // Observer broadcasts its prepare; once its own commit joins the
         // buffered ones the instance executes.

@@ -229,8 +229,8 @@ impl<T: Clone> RaftNode<T> {
 
     /// Compacts the log up to `upto` (inclusive), which must not exceed
     /// the applied prefix — applied entries are owned by the state
-    /// machine, so dropping them is safe. Returns how many entries were
-    /// dropped.
+    /// machine, so dropping them is safe. Requests past the applied
+    /// prefix are ignored (no-op). Returns how many entries were dropped.
     ///
     /// Followers that fall behind a leader's compaction horizon cannot be
     /// repaired from the log alone; since MassBFT's groups are crash-only
@@ -238,8 +238,7 @@ impl<T: Clone> RaftNode<T> {
     /// such followers through entry repair, not InstallSnapshot — the
     /// leader simply keeps a margin: see [`RaftNode::compact_to_applied`].
     pub fn compact(&mut self, upto: u64) -> usize {
-        let upto = upto.min(self.applied_index);
-        if upto <= self.snapshot_index {
+        if upto > self.applied_index || upto <= self.snapshot_index {
             return 0;
         }
         let drop = (upto - self.snapshot_index) as usize;
@@ -281,7 +280,10 @@ impl<T: Clone> RaftNode<T> {
     }
 
     fn last_term(&self) -> u64 {
-        self.log.last().map(|e| e.term).unwrap_or(self.snapshot_term)
+        self.log
+            .last()
+            .map(|e| e.term)
+            .unwrap_or(self.snapshot_term)
     }
 
     /// Leader API: appends a command and emits replication messages.
@@ -290,7 +292,10 @@ impl<T: Clone> RaftNode<T> {
         if self.role != RaftRole::Leader {
             return None;
         }
-        self.log.push(LogEntry { term: self.term, data });
+        self.log.push(LogEntry {
+            term: self.term,
+            data,
+        });
         let index = self.last_index();
         self.match_index.insert(self.cfg.me, index);
         let mut out = Vec::new();
@@ -322,7 +327,11 @@ impl<T: Clone> RaftNode<T> {
             if peer != self.cfg.me {
                 out.push(RaftOutput::Send {
                     to: peer,
-                    msg: RaftMsg::RequestVote { term: self.term, last_log_index: lli, last_log_term: llt },
+                    msg: RaftMsg::RequestVote {
+                        term: self.term,
+                        last_log_index: lli,
+                        last_log_term: llt,
+                    },
                 });
             }
         }
@@ -344,8 +353,13 @@ impl<T: Clone> RaftNode<T> {
     }
 
     fn heartbeat(&mut self) -> Vec<RaftOutput<T>> {
-        let peers: Vec<MemberId> =
-            self.cfg.members.iter().copied().filter(|&p| p != self.cfg.me).collect();
+        let peers: Vec<MemberId> = self
+            .cfg
+            .members
+            .iter()
+            .copied()
+            .filter(|&p| p != self.cfg.me)
+            .collect();
         let mut out = Vec::new();
         for peer in peers {
             out.extend(self.send_append(peer));
@@ -359,22 +373,33 @@ impl<T: Clone> RaftNode<T> {
         if self.role != RaftRole::Leader || target == self.cfg.me {
             return Vec::new();
         }
-        vec![RaftOutput::Send { to: target, msg: RaftMsg::TimeoutNow }]
+        vec![RaftOutput::Send {
+            to: target,
+            msg: RaftMsg::TimeoutNow,
+        }]
     }
 
     /// Handles a message from `from`.
     pub fn step(&mut self, from: MemberId, msg: RaftMsg<T>) -> Vec<RaftOutput<T>> {
         match msg {
-            RaftMsg::RequestVote { term, last_log_index, last_log_term } => {
-                self.on_request_vote(from, term, last_log_index, last_log_term)
-            }
+            RaftMsg::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(from, term, last_log_index, last_log_term),
             RaftMsg::Vote { term, granted } => self.on_vote(from, term, granted),
-            RaftMsg::AppendEntries { term, prev_index, prev_term, entries, leader_commit } => {
-                self.on_append(from, term, prev_index, prev_term, entries, leader_commit)
-            }
-            RaftMsg::AppendResp { term, success, match_index } => {
-                self.on_append_resp(from, term, success, match_index)
-            }
+            RaftMsg::AppendEntries {
+                term,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            } => self.on_append(from, term, prev_index, prev_term, entries, leader_commit),
+            RaftMsg::AppendResp {
+                term,
+                success,
+                match_index,
+            } => self.on_append_resp(from, term, success, match_index),
             RaftMsg::TimeoutNow => self.on_election_timeout(),
         }
     }
@@ -411,7 +436,10 @@ impl<T: Clone> RaftNode<T> {
         }
         out.push(RaftOutput::Send {
             to: from,
-            msg: RaftMsg::Vote { term: self.term, granted: grant },
+            msg: RaftMsg::Vote {
+                term: self.term,
+                granted: grant,
+            },
         });
         out
     }
@@ -436,12 +464,7 @@ impl<T: Clone> RaftNode<T> {
         self.role = RaftRole::Leader;
         self.leader_hint = Some(self.cfg.me);
         let next = self.last_index() + 1;
-        self.next_index = self
-            .cfg
-            .members
-            .iter()
-            .map(|&m| (m, next))
-            .collect();
+        self.next_index = self.cfg.members.iter().map(|&m| (m, next)).collect();
         self.match_index = self.cfg.members.iter().map(|&m| (m, 0)).collect();
         self.match_index.insert(self.cfg.me, self.last_index());
     }
@@ -490,7 +513,11 @@ impl<T: Clone> RaftNode<T> {
         if term < self.term {
             out.push(RaftOutput::Send {
                 to: from,
-                msg: RaftMsg::AppendResp { term: self.term, success: false, match_index: 0 },
+                msg: RaftMsg::AppendResp {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                },
             });
             return out;
         }
@@ -512,7 +539,11 @@ impl<T: Clone> RaftNode<T> {
             let hint = self.last_index().min(prev_index.saturating_sub(1));
             out.push(RaftOutput::Send {
                 to: from,
-                msg: RaftMsg::AppendResp { term: self.term, success: false, match_index: hint },
+                msg: RaftMsg::AppendResp {
+                    term: self.term,
+                    success: false,
+                    match_index: hint,
+                },
             });
             return out;
         }
@@ -526,7 +557,8 @@ impl<T: Clone> RaftNode<T> {
             match self.entry(index) {
                 Some(existing) if existing.term == e.term => {} // already have it
                 _ => {
-                    self.log.truncate((index - self.snapshot_index) as usize - 1);
+                    self.log
+                        .truncate((index - self.snapshot_index) as usize - 1);
                     self.log.push(e);
                 }
             }
@@ -537,7 +569,11 @@ impl<T: Clone> RaftNode<T> {
         }
         out.push(RaftOutput::Send {
             to: from,
-            msg: RaftMsg::AppendResp { term: self.term, success: true, match_index },
+            msg: RaftMsg::AppendResp {
+                term: self.term,
+                success: true,
+                match_index,
+            },
         });
         out.extend(self.apply_committed());
         out
@@ -558,9 +594,10 @@ impl<T: Clone> RaftNode<T> {
         if success {
             let mi = self.match_index.entry(from).or_insert(0);
             *mi = (*mi).max(match_index);
-            self.next_index.insert(from, (*mi + 1).max(
-                self.next_index.get(&from).copied().unwrap_or(1),
-            ));
+            self.next_index.insert(
+                from,
+                (*mi + 1).max(self.next_index.get(&from).copied().unwrap_or(1)),
+            );
             out.extend(self.advance_commit());
         } else {
             // Back off and retry from the follower's hint.
@@ -582,8 +619,7 @@ impl<T: Clone> RaftNode<T> {
                 .iter()
                 .filter(|&&m| self.match_index.get(&m).copied().unwrap_or(0) >= idx)
                 .count();
-            if replicas >= self.cfg.majority()
-                && self.entry(idx).map(|e| e.term) == Some(self.term)
+            if replicas >= self.cfg.majority() && self.entry(idx).map(|e| e.term) == Some(self.term)
             {
                 candidate = idx;
             }
@@ -602,7 +638,9 @@ impl<T: Clone> RaftNode<T> {
         let mut out = Vec::new();
         while self.applied_index < self.commit_index {
             self.applied_index += 1;
-            let e = self.entry(self.applied_index).expect("committed entry exists");
+            let e = self
+                .entry(self.applied_index)
+                .expect("committed entry exists");
             out.push(RaftOutput::Committed {
                 index: self.applied_index,
                 term: e.term,
@@ -642,7 +680,12 @@ mod tests {
                     )
                 })
                 .collect();
-            Net { nodes, queue: VecDeque::new(), committed: BTreeMap::new(), down: Default::default() }
+            Net {
+                nodes,
+                queue: VecDeque::new(),
+                committed: BTreeMap::new(),
+                down: Default::default(),
+            }
         }
 
         fn absorb(&mut self, from: MemberId, outs: Vec<RaftOutput<u64>>) {
@@ -728,7 +771,7 @@ mod tests {
         }
         net.propose(0, 9).unwrap();
         net.run();
-        assert!(net.committed.get(&0).is_none());
+        assert!(!net.committed.contains_key(&0));
     }
 
     #[test]

@@ -43,10 +43,10 @@ fn pbft_adversarial(
     // A pool rather than a queue: random draws model reordering.
     let mut pool: Vec<(u32, u32, PbftMsg)> = Vec::new();
 
-    let mut absorb = |from: u32,
-                      outs: Vec<PbftOutput>,
-                      pool: &mut Vec<(u32, u32, PbftMsg)>,
-                      committed: &mut Vec<Vec<(u64, Vec<u8>)>>| {
+    let absorb = |from: u32,
+                  outs: Vec<PbftOutput>,
+                  pool: &mut Vec<(u32, u32, PbftMsg)>,
+                  committed: &mut Vec<Vec<(u64, Vec<u8>)>>| {
         for o in outs {
             match o {
                 PbftOutput::Send { to, msg } => pool.push((from, to, msg)),
@@ -74,10 +74,10 @@ fn pbft_adversarial(
         steps += 1;
         let idx = rng.gen_range(0..pool.len());
         let (from, to, msg) = pool.swap_remove(idx);
-        if rng.gen_range(0..100) < drop_pct {
+        if rng.gen_range(0..100u32) < drop_pct {
             continue;
         }
-        if rng.gen_range(0..100) < dup_pct {
+        if rng.gen_range(0..100u32) < dup_pct {
             pool.push((from, to, msg.clone()));
         }
         let outs = replicas[to as usize].on_message(from, msg);
@@ -105,10 +105,8 @@ proptest! {
         let committed = pbft_adversarial(n, &proposals, seed, drop_pct, dup_pct);
         let mut by_seq: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         for (r, log) in committed.iter().enumerate() {
-            let mut expect = 1u64;
-            for (seq, payload) in log {
+            for (expect, (seq, payload)) in (1u64..).zip(log.iter()) {
                 prop_assert_eq!(*seq, expect, "replica {} commits out of order", r);
-                expect += 1;
                 match by_seq.get(seq) {
                     Some(existing) => prop_assert_eq!(
                         existing, payload,
@@ -157,10 +155,10 @@ fn pbft_equivocating_primary_cannot_split_honest_replicas() {
     // Primary 0 equivocates: replicas 1 gets A; replicas 2 and 3 get B.
     let mut pool: Vec<(u32, u32, PbftMsg)> = Vec::new();
     let mut committed: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
-    let mut absorb = |from: u32,
-                      outs: Vec<PbftOutput>,
-                      pool: &mut Vec<(u32, u32, PbftMsg)>,
-                      committed: &mut Vec<Vec<Vec<u8>>>| {
+    let absorb = |from: u32,
+                  outs: Vec<PbftOutput>,
+                  pool: &mut Vec<(u32, u32, PbftMsg)>,
+                  committed: &mut Vec<Vec<Vec<u8>>>| {
         for o in outs {
             match o {
                 PbftOutput::Send { to, msg } => pool.push((from, to, msg)),
@@ -191,8 +189,7 @@ fn pbft_equivocating_primary_cannot_split_honest_replicas() {
         absorb(to, outs, &mut pool, &mut committed);
     }
     // No two honest replicas committed different values at seq 1.
-    let committed_values: Vec<&Vec<u8>> =
-        committed[1..].iter().flatten().collect();
+    let committed_values: Vec<&Vec<u8>> = committed[1..].iter().flatten().collect();
     for w in committed_values.windows(2) {
         assert_eq!(w[0], w[1], "equivocation split the honest replicas");
     }
@@ -209,17 +206,21 @@ fn raft_adversarial(seed: u64, drop_pct: u32, timeouts: u32) -> Vec<Vec<(u64, u6
     let mut nodes: Vec<RaftNode<u64>> = members
         .iter()
         .map(|&m| {
-            RaftNode::new(RaftConfig { me: m, members: members.clone(), initial_leader: Some(0) })
+            RaftNode::new(RaftConfig {
+                me: m,
+                members: members.clone(),
+                initial_leader: Some(0),
+            })
         })
         .collect();
     let mut committed: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 3];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pool: Vec<(u32, u32, RaftMsg<u64>)> = Vec::new();
 
-    let mut absorb = |from: u32,
-                      outs: Vec<RaftOutput<u64>>,
-                      pool: &mut Vec<(u32, u32, RaftMsg<u64>)>,
-                      committed: &mut Vec<Vec<(u64, u64)>>| {
+    let absorb = |from: u32,
+                  outs: Vec<RaftOutput<u64>>,
+                  pool: &mut Vec<(u32, u32, RaftMsg<u64>)>,
+                  committed: &mut Vec<Vec<(u64, u64)>>| {
         for o in outs {
             match o {
                 RaftOutput::Send { to, msg } => pool.push((from, to, msg)),
@@ -234,9 +235,9 @@ fn raft_adversarial(seed: u64, drop_pct: u32, timeouts: u32) -> Vec<Vec<(u64, u6
     let mut next_value = 0u64;
     for round in 0..40u32 {
         // Whoever believes it is leader proposes.
-        for m in 0..3usize {
-            if nodes[m].is_leader() {
-                if let Some((_, outs)) = nodes[m].propose(next_value) {
+        for (m, node) in nodes.iter_mut().enumerate() {
+            if node.is_leader() {
+                if let Some((_, outs)) = node.propose(next_value) {
                     next_value += 1;
                     absorb(m as u32, outs, &mut pool, &mut committed);
                 }
@@ -255,7 +256,7 @@ fn raft_adversarial(seed: u64, drop_pct: u32, timeouts: u32) -> Vec<Vec<(u64, u6
             }
             let idx = rng.gen_range(0..pool.len());
             let (from, to, msg) = pool.swap_remove(idx);
-            if rng.gen_range(0..100) < drop_pct {
+            if rng.gen_range(0..100u32) < drop_pct {
                 continue;
             }
             let outs = nodes[to as usize].step(from, msg);
@@ -289,10 +290,8 @@ proptest! {
         let committed = raft_adversarial(seed, drop_pct, timeouts);
         let mut by_index: BTreeMap<u64, u64> = BTreeMap::new();
         for (m, log) in committed.iter().enumerate() {
-            let mut expect = 1u64;
-            for &(index, data) in log {
+            for (expect, &(index, data)) in (1u64..).zip(log.iter()) {
                 prop_assert_eq!(index, expect, "member {} applied out of order", m);
-                expect += 1;
                 match by_index.get(&index) {
                     Some(&existing) => prop_assert_eq!(
                         existing, data,

@@ -49,7 +49,10 @@ impl ClusterConfig {
 
     /// Worldwide cluster with the given group sizes.
     pub fn worldwide(group_sizes: &[usize], protocol: Protocol) -> Self {
-        ClusterConfig { region: Region::Worldwide, ..Self::nationwide(group_sizes, protocol) }
+        ClusterConfig {
+            region: Region::Worldwide,
+            ..Self::nationwide(group_sizes, protocol)
+        }
     }
 
     /// Sets the workload.
@@ -175,7 +178,12 @@ impl Cluster {
         let sim = Simulation::new(topology, move |id| {
             Node::new(id, params.clone(), registry.clone())
         });
-        Cluster { sim, cfg, window_start_txns: 0, window_start_time: 0 }
+        Cluster {
+            sim,
+            cfg,
+            window_start_txns: 0,
+            window_start_time: 0,
+        }
     }
 
     /// The observer node used for throughput accounting: a non-
@@ -254,7 +262,11 @@ impl Cluster {
         let mut p99 = 0u64;
         let obs_rep = self.cfg.params.leader_of(0);
         if !self.sim.is_crashed(obs_rep) {
-            p99 = self.sim.actor_mut(obs_rep).latency_mut().percentile_us(99.0);
+            p99 = self
+                .sim
+                .actor_mut(obs_rep)
+                .latency_mut()
+                .percentile_us(99.0);
         }
 
         let metrics = self.sim.metrics();
@@ -337,8 +349,16 @@ mod tests {
             protocol.name(),
             r.throughput.tps()
         );
-        assert!(r.all_nodes_consistent, "{}: replicas diverged", protocol.name());
-        assert!(r.mean_latency_ms > 1.0, "{}: implausible latency", protocol.name());
+        assert!(
+            r.all_nodes_consistent,
+            "{}: replicas diverged",
+            protocol.name()
+        );
+        assert!(
+            r.mean_latency_ms > 1.0,
+            "{}: implausible latency",
+            protocol.name()
+        );
         r
     }
 
@@ -432,7 +452,10 @@ mod tests {
         let max = r.max_node_wan_bytes as f64;
         // Leader-based: one node per group carries nearly everything
         // (≥ ~1/3 of the whole cluster's WAN traffic).
-        assert!(max > total * 0.25, "baseline leader not loaded: {max} of {total}");
+        assert!(
+            max > total * 0.25,
+            "baseline leader not loaded: {max} of {total}"
+        );
     }
 
     #[test]
@@ -456,8 +479,7 @@ mod tests {
     fn byzantine_chunk_tampering_does_not_stop_massbft() {
         // Two Byzantine nodes per 4-node group (f=1 exceeded? no — f=1
         // for n=4, so use ONE per group as the paper uses 2 of 7).
-        let byz: Vec<NodeId> =
-            (0..3).map(|g| NodeId::new(g, 3)).collect();
+        let byz: Vec<NodeId> = (0..3).map(|g| NodeId::new(g, 3)).collect();
         let cfg = small(Protocol::MassBft).byzantine(&byz, SECOND);
         let mut c = Cluster::new(cfg);
         let r = c.run_secs(4);

@@ -24,7 +24,10 @@ impl EntryId {
 
     /// The next entry from the same group.
     pub fn successor(&self) -> EntryId {
-        EntryId { gid: self.gid, seq: self.seq + 1 }
+        EntryId {
+            gid: self.gid,
+            seq: self.seq + 1,
+        }
     }
 }
 

@@ -94,8 +94,13 @@ impl Ledger {
             if b.height != i as u64 + 1 || b.prev_hash != prev {
                 return false;
             }
-            let expect =
-                block_hash(b.height, b.entry, &b.entry_digest, &b.prev_hash, b.state_fingerprint);
+            let expect = block_hash(
+                b.height,
+                b.entry,
+                &b.entry_digest,
+                &b.prev_hash,
+                b.state_fingerprint,
+            );
             if b.hash != expect {
                 return false;
             }

@@ -35,7 +35,11 @@ struct EntryState {
 
 impl EntryState {
     fn new_head(id: EntryId, ng: usize) -> Self {
-        let mut s = EntryState { id, vts: vec![0; ng], set: vec![false; ng] };
+        let mut s = EntryState {
+            id,
+            vts: vec![0; ng],
+            set: vec![false; ng],
+        };
         // The proposer's element is deterministic: vts[gid] = seq.
         s.vts[id.gid as usize] = id.seq;
         s.set[id.gid as usize] = true;
@@ -147,7 +151,10 @@ impl OrderingEngine {
                 head.set[s] = true;
             }
         } else if target.seq > head_seq {
-            self.future_stamps.entry(target).or_default().push((stamper, ts));
+            self.future_stamps
+                .entry(target)
+                .or_default()
+                .push((stamper, ts));
         }
         // else: already ordered — the stamp still advances the clock bound.
 
@@ -451,7 +458,11 @@ mod tests {
     /// (enough to push every clock strictly past every earlier stamp) and
     /// assertions cover the first `per_group` seqs.
     fn ordered_below(order: &[EntryId], per_group: u64) -> Vec<EntryId> {
-        order.iter().copied().filter(|e| e.seq <= per_group).collect()
+        order
+            .iter()
+            .copied()
+            .filter(|e| e.seq <= per_group)
+            .collect()
     }
 
     #[test]
@@ -461,8 +472,7 @@ mod tests {
         assert_eq!(order.len() as u64, 3 * 10);
         // Per-group seq order must be preserved (Lemma V.5).
         for g in 0..3u32 {
-            let seqs: Vec<u64> =
-                order.iter().filter(|e| e.gid == g).map(|e| e.seq).collect();
+            let seqs: Vec<u64> = order.iter().filter(|e| e.gid == g).map(|e| e.seq).collect();
             assert_eq!(seqs, (1..=10).collect::<Vec<_>>());
         }
     }
@@ -492,7 +502,7 @@ mod tests {
         // the asynchronous-ordering claim (paper Fig. 2 versus §V).
         let mut eng = OrderingEngine::new(2);
         let mut executed = Vec::new();
-        let mut drain = |eng: &mut OrderingEngine, executed: &mut Vec<EntryId>| {
+        let drain = |eng: &mut OrderingEngine, executed: &mut Vec<EntryId>| {
             while let Some(e) = eng.pop_ready() {
                 executed.push(e);
             }

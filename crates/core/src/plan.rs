@@ -172,12 +172,18 @@ impl TransferPlan {
 
     /// The chunks node `i` of the sender group must ship, with receivers.
     pub fn outgoing_of(&self, sender: u32) -> impl Iterator<Item = Transfer> + '_ {
-        self.transfers.iter().copied().filter(move |t| t.sender == sender)
+        self.transfers
+            .iter()
+            .copied()
+            .filter(move |t| t.sender == sender)
     }
 
     /// The chunks node `j` of the receiver group takes, with senders.
     pub fn incoming_of(&self, receiver: u32) -> impl Iterator<Item = Transfer> + '_ {
-        self.transfers.iter().copied().filter(move |t| t.receiver == receiver)
+        self.transfers
+            .iter()
+            .copied()
+            .filter(move |t| t.receiver == receiver)
     }
 
     /// WAN bytes amplification versus shipping the raw entry once:
@@ -217,7 +223,9 @@ mod tests {
     #[test]
     fn every_chunk_sent_and_received_exactly_once() {
         for (n1, n2) in [(4, 7), (7, 4), (7, 7), (4, 40), (13, 9), (1, 5)] {
-            let Ok(p) = TransferPlan::generate(n1, n2) else { continue };
+            let Ok(p) = TransferPlan::generate(n1, n2) else {
+                continue;
+            };
             let mut seen = vec![false; p.n_total];
             for t in &p.transfers {
                 assert!(!seen[t.chunk as usize], "chunk {} duplicated", t.chunk);
@@ -284,9 +292,18 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_inputs() {
-        assert_eq!(TransferPlan::generate(0, 5).unwrap_err(), PlanError::EmptyGroup);
-        assert_eq!(TransferPlan::generate(5, 0).unwrap_err(), PlanError::EmptyGroup);
-        assert_eq!(TransferPlan::generate_balanced(0, 5).unwrap_err(), PlanError::EmptyGroup);
+        assert_eq!(
+            TransferPlan::generate(0, 5).unwrap_err(),
+            PlanError::EmptyGroup
+        );
+        assert_eq!(
+            TransferPlan::generate(5, 0).unwrap_err(),
+            PlanError::EmptyGroup
+        );
+        assert_eq!(
+            TransferPlan::generate_balanced(0, 5).unwrap_err(),
+            PlanError::EmptyGroup
+        );
         // 200 senders covering 201 receivers needs 400 chunks even
         // balanced: past GF(2^8).
         assert!(matches!(
@@ -303,7 +320,7 @@ mod tests {
         assert_eq!(p.n_total, 78);
         assert_eq!(p.per_sender, 2);
         assert_eq!(p.per_receiver, 2); // ceiling; some receivers take 1
-        // Coverage invariants still hold.
+                                       // Coverage invariants still hold.
         let mut seen = vec![false; p.n_total];
         for t in &p.transfers {
             assert!(!seen[t.chunk as usize]);
@@ -343,7 +360,10 @@ mod tests {
             }
             let mut recv_gain: Vec<(usize, u32)> = (0..n2 as u32)
                 .map(|r| {
-                    (p.incoming_of(r).filter(|t| !lost[t.chunk as usize]).count(), r)
+                    (
+                        p.incoming_of(r).filter(|t| !lost[t.chunk as usize]).count(),
+                        r,
+                    )
                 })
                 .collect();
             recv_gain.sort_unstable_by(|a, b| b.cmp(a));

@@ -307,7 +307,9 @@ impl SimMessage for Msg {
             },
             Msg::Chunk { chunk, cert } => chunk.wire_size() + cert.signatures.len() * 72 + 40,
             Msg::Entry { bytes, cert, .. } => bytes.len() + cert.signatures.len() * 72 + 104,
-            Msg::Raft { rmsg, cert_bytes, .. } => match rmsg {
+            Msg::Raft {
+                rmsg, cert_bytes, ..
+            } => match rmsg {
                 RaftMsg::AppendEntries { entries, .. } => {
                     entries.iter().map(|e| e.data.wire_size()).sum::<usize>() + cert_bytes + 64
                 }
@@ -477,11 +479,13 @@ impl Node {
                 if origin == id.group {
                     continue;
                 }
-                let plan = TransferPlan::generate(
-                    params.group_sizes[origin as usize],
-                    params.group_sizes[id.group as usize],
-                )
-                .expect("valid group sizes");
+                let plan = std::sync::Arc::new(
+                    TransferPlan::generate(
+                        params.group_sizes[origin as usize],
+                        params.group_sizes[id.group as usize],
+                    )
+                    .expect("valid group sizes"),
+                );
                 assemblers.insert(origin, ChunkAssembler::new(plan, registry.clone()));
             }
         }
@@ -490,8 +494,11 @@ impl Node {
             let members: Vec<u32> = (0..ng as u32).collect();
             let mut rafts = BTreeMap::new();
             if params.protocol.uses_raft() {
-                let mut instances: Vec<u32> =
-                    if params.protocol.single_master() { vec![0] } else { members.clone() };
+                let mut instances: Vec<u32> = if params.protocol.single_master() {
+                    vec![0]
+                } else {
+                    members.clone()
+                };
                 // MassBFT: a dedicated lightweight Raft stream per group
                 // carries vector timestamps (instance ng+g, led by group
                 // g). The paper stresses that "replicating VTS is
@@ -616,7 +623,11 @@ impl Node {
         let held: usize = self.held_appends.values().map(|v| v.len()).sum();
         let _ = write!(out, " held={held}");
         if let Some(front) = self.exec_queue.front() {
-            let has = self.tracking.get(front).map(|t| t.bytes.is_some()).unwrap_or(false);
+            let has = self
+                .tracking
+                .get(front)
+                .map(|t| t.bytes.is_some())
+                .unwrap_or(false);
             let _ = write!(out, " front={front}(bytes={has})");
         }
         if let OrderingState::Vts(eng) = &self.ordering {
@@ -628,7 +639,11 @@ impl Node {
                         .zip(&set)
                         .map(|(v, s)| format!("{v}{}", if *s { "" } else { "?" }))
                         .collect();
-                    format!("e{g},{seq}<{}>{}", elems.join(","), if committed { "C" } else { "" })
+                    format!(
+                        "e{g},{seq}<{}>{}",
+                        elems.join(","),
+                        if committed { "C" } else { "" }
+                    )
                 })
                 .collect();
             let _ = write!(out, " heads={heads:?} ordered={}", eng.ordered_count());
@@ -640,8 +655,11 @@ impl Node {
                 .filter(|(_, r)| r.is_leader())
                 .map(|(&i, _)| i)
                 .collect();
-            let pend: Vec<(u32, usize)> =
-                rep.pending_stamps.iter().map(|(&i, v)| (i, v.len())).collect();
+            let pend: Vec<(u32, usize)> = rep
+                .pending_stamps
+                .iter()
+                .map(|(&i, v)| (i, v.len()))
+                .collect();
             let rafts: Vec<String> = rep
                 .rafts
                 .iter()
@@ -690,7 +708,9 @@ impl Node {
     }
 
     fn other_group_members(&self) -> Vec<NodeId> {
-        self.group_nodes(self.id.group).filter(|&n| n != self.id).collect()
+        self.group_nodes(self.id.group)
+            .filter(|&n| n != self.id)
+            .collect()
     }
 
     fn is_rep(&self) -> bool {
@@ -742,8 +762,11 @@ impl Node {
         if matches!(protocol, Protocol::Iss) {
             let entry_epoch = ctx.now() / epoch_us;
             if entry_epoch > rep.epoch {
-                let sealed =
-                    rep.epoch_seals.get(&rep.epoch).map(|s| s.len()).unwrap_or(0);
+                let sealed = rep
+                    .epoch_seals
+                    .get(&rep.epoch)
+                    .map(|s| s.len())
+                    .unwrap_or(0);
                 if sealed < ng {
                     return; // stall at the barrier
                 }
@@ -783,7 +806,9 @@ impl Node {
 
     /// A local entry finished PBFT: start global replication.
     fn on_local_entry_certified(&mut self, ctx: &mut Ctx<Msg>, bytes: Vec<u8>, cert: QuorumCert) {
-        let Some((id, reqs)) = decode_batch(&bytes) else { return };
+        let Some((id, reqs)) = decode_batch(&bytes) else {
+            return;
+        };
         debug_assert_eq!(id.gid, self.id.group);
         // Charge verification of every client transaction's signature —
         // the local-consensus CPU cost the paper identifies (§VI-B).
@@ -819,7 +844,11 @@ impl Node {
                         // Forward to the master for sequencing + fan-out.
                         ctx.send(
                             self.params.leader_of(0),
-                            Msg::Entry { id, bytes: bytes.clone(), cert: cert.clone() },
+                            Msg::Entry {
+                                id,
+                                bytes: bytes.clone(),
+                                cert: cert.clone(),
+                            },
                         );
                     }
                 }
@@ -868,7 +897,10 @@ impl Node {
             for t in plan.outgoing_of(self.id.node) {
                 ctx.send(
                     NodeId::new(dst_group, t.receiver),
-                    Msg::Chunk { chunk: all[t.chunk as usize].clone(), cert: cert.clone() },
+                    Msg::Chunk {
+                        chunk: all[t.chunk as usize].clone(),
+                        cert: cert.clone(),
+                    },
                 );
             }
         }
@@ -895,7 +927,11 @@ impl Node {
             if (self.id.node as usize) < senders {
                 ctx.send(
                     NodeId::new(dst_group, self.id.node),
-                    Msg::Entry { id, bytes: bytes.to_vec(), cert: cert.clone() },
+                    Msg::Entry {
+                        id,
+                        bytes: bytes.to_vec(),
+                        cert: cert.clone(),
+                    },
                 );
             }
         }
@@ -914,13 +950,15 @@ impl Node {
             if dst_group == self.id.group || dst_group == id.gid {
                 continue;
             }
-            let f = massbft_crypto::cert::max_faulty(
-                self.params.group_sizes[dst_group as usize],
-            );
+            let f = massbft_crypto::cert::max_faulty(self.params.group_sizes[dst_group as usize]);
             for i in 0..(f + 1) as u32 {
                 ctx.send(
                     NodeId::new(dst_group, i),
-                    Msg::Entry { id, bytes: bytes.to_vec(), cert: cert.clone() },
+                    Msg::Entry {
+                        id,
+                        bytes: bytes.to_vec(),
+                        cert: cert.clone(),
+                    },
                 );
             }
         }
@@ -938,8 +976,13 @@ impl Node {
             let Some(rep) = self.rep.as_mut() else { return };
             // Stamps travel on the dedicated stamp stream (see new()),
             // never on entry instances.
-            let cmd = GlobalCmd { entry: Some((id, digest)), stamps: Vec::new() };
-            let Some(raft) = rep.rafts.get_mut(&instance) else { return };
+            let cmd = GlobalCmd {
+                entry: Some((id, digest)),
+                stamps: Vec::new(),
+            };
+            let Some(raft) = rep.rafts.get_mut(&instance) else {
+                return;
+            };
             match raft.propose(cmd) {
                 Some((_, o)) => o,
                 None => return,
@@ -955,8 +998,13 @@ impl Node {
         };
         let outputs = {
             let Some(rep) = self.rep.as_mut() else { return };
-            let Some(raft) = rep.rafts.get_mut(&0) else { return };
-            let cmd = GlobalCmd { entry: Some((id, digest)), stamps: Vec::new() };
+            let Some(raft) = rep.rafts.get_mut(&0) else {
+                return;
+            };
+            let cmd = GlobalCmd {
+                entry: Some((id, digest)),
+                stamps: Vec::new(),
+            };
             match raft.propose(cmd) {
                 Some((_, o)) => o,
                 None => return,
@@ -988,7 +1036,10 @@ impl Node {
                 if stamps.is_empty() {
                     continue;
                 }
-                let cmd = GlobalCmd { entry: None, stamps };
+                let cmd = GlobalCmd {
+                    entry: None,
+                    stamps,
+                };
                 match rep.rafts.get_mut(&inst).and_then(|r| r.propose(cmd)) {
                     Some((_, o)) => o,
                     None => continue,
@@ -1021,7 +1072,11 @@ impl Node {
                     // LAN round-trip delay before the reply leaves.
                     let is_resp = matches!(msg, RaftMsg::AppendResp { .. });
                     let dst = self.params.leader_of(to);
-                    let m = Msg::Raft { instance, rmsg: msg, cert_bytes };
+                    let m = Msg::Raft {
+                        instance,
+                        rmsg: msg,
+                        cert_bytes,
+                    };
                     if is_resp {
                         ctx.send_after(600, dst, m);
                     } else {
@@ -1070,7 +1125,10 @@ impl Node {
                     // entry achieves consensus, costing an extra round.
                     if rep.stamped.insert((my_group, id)) {
                         let ts = rep.clock;
-                        rep.pending_stamps.entry(my_stream).or_default().push((id, ts));
+                        rep.pending_stamps
+                            .entry(my_stream)
+                            .or_default()
+                            .push((id, ts));
                     }
                 }
                 // Takeover stamping (§V-C, crashed groups): if we lead
@@ -1085,16 +1143,27 @@ impl Node {
                     .collect();
                 for (g, clk) in frozen {
                     if rep.stamped.insert((g, id)) {
-                        rep.pending_stamps.entry(ng + g).or_default().push((id, clk));
+                        rep.pending_stamps
+                            .entry(ng + g)
+                            .or_default()
+                            .push((id, clk));
                     }
                 }
             }
         }
         // Stamp commands only travel on stamp streams; the stamping group
         // is the stream owner.
-        let stamper = if instance >= ng { instance - ng } else { instance };
+        let stamper = if instance >= ng {
+            instance - ng
+        } else {
+            instance
+        };
         for (target, ts) in cmd.stamps {
-            feed.push(FeedEvent::Stamp { stamper, target, ts });
+            feed.push(FeedEvent::Stamp {
+                stamper,
+                target,
+                ts,
+            });
         }
     }
 
@@ -1145,7 +1214,10 @@ impl Node {
             .collect();
         for id in targets {
             if rep.stamped.insert((owner, id)) {
-                rep.pending_stamps.entry(instance).or_default().push((id, frozen));
+                rep.pending_stamps
+                    .entry(instance)
+                    .or_default()
+                    .push((id, frozen));
             }
         }
     }
@@ -1153,7 +1225,12 @@ impl Node {
     fn broadcast_feed(&mut self, ctx: &mut Ctx<Msg>, events: Vec<FeedEvent>) {
         // Apply locally first, then LAN-broadcast to the group.
         let peers = self.other_group_members();
-        ctx.send_many(peers, Msg::Feed { events: events.clone() });
+        ctx.send_many(
+            peers,
+            Msg::Feed {
+                events: events.clone(),
+            },
+        );
         self.apply_feed(ctx, events);
     }
 
@@ -1161,7 +1238,11 @@ impl Node {
         for ev in events {
             match ev {
                 FeedEvent::Committed(id) => self.mark_committed(id),
-                FeedEvent::Stamp { stamper, target, ts } => {
+                FeedEvent::Stamp {
+                    stamper,
+                    target,
+                    ts,
+                } => {
                     if let OrderingState::Vts(eng) = &mut self.ordering {
                         eng.on_timestamp(stamper, target, ts);
                     }
@@ -1188,8 +1269,12 @@ impl Node {
 
     /// Round ordering needs both the commit and the content.
     fn feed_round_if_complete(&mut self, id: EntryId) {
-        let OrderingState::Round(r) = &mut self.ordering else { return };
-        let Some(t) = self.tracking.get_mut(&id) else { return };
+        let OrderingState::Round(r) = &mut self.ordering else {
+            return;
+        };
+        let Some(t) = self.tracking.get_mut(&id) else {
+            return;
+        };
         if t.committed && t.bytes.is_some() && !t.fed_to_round {
             t.fed_to_round = true;
             r.on_entry(id);
@@ -1241,17 +1326,22 @@ impl Node {
     }
 
     fn execute_entry(&mut self, ctx: &mut Ctx<Msg>, id: EntryId, bytes: &[u8]) {
-        let Some((decoded_id, requests)) = decode_batch(bytes) else { return };
+        let Some((decoded_id, requests)) = decode_batch(bytes) else {
+            return;
+        };
         debug_assert_eq!(decoded_id, id);
-        let txns: Vec<Request> =
-            requests.iter().filter_map(|r| Request::decode(r).ok()).collect();
+        let txns: Vec<Request> = requests
+            .iter()
+            .filter_map(|r| Request::decode(r).ok())
+            .collect();
         let out = self.executor.execute_batch(&mut self.store, &txns);
         ctx.spend_cpu(txns.len() as Time * self.params.exec_us);
         self.executed_txns += out.committed as u64;
         self.executed_entries += 1;
         self.executed_by_group[id.gid as usize] += out.committed as u64;
         self.exec_log.push(id);
-        self.ledger.append(id, entry_digest(bytes), self.store.content_hash());
+        self.ledger
+            .append(id, entry_digest(bytes), self.store.content_hash());
 
         let my_group = self.id.group;
         let mut latency_sample = None;
@@ -1340,7 +1430,9 @@ impl Node {
         // senders' encodings.
         let byzantine = self.is_byzantine(ctx.now());
         let outcome = {
-            let Some(asm) = self.assemblers.get_mut(&origin) else { return };
+            let Some(asm) = self.assemblers.get_mut(&origin) else {
+                return;
+            };
             asm.on_chunk(chunk.clone(), &cert)
         };
         match outcome {
@@ -1354,7 +1446,13 @@ impl Node {
             ChunkOutcome::Rebuilt(bytes) => {
                 if from_wan && !byzantine {
                     let peers = self.other_group_members();
-                    ctx.send_many(peers, Msg::Chunk { chunk, cert: cert.clone() });
+                    ctx.send_many(
+                        peers,
+                        Msg::Chunk {
+                            chunk,
+                            cert: cert.clone(),
+                        },
+                    );
                 }
                 self.tracking.entry(origin_entry).or_default().cert = Some(cert);
                 self.on_entry_content(ctx, bytes);
@@ -1389,7 +1487,14 @@ impl Node {
                 self.send_leader_copies(ctx, id, &bytes, &cert);
                 // The master's own group also needs the content.
                 let peers = self.other_group_members();
-                ctx.send_many(peers, Msg::Entry { id, bytes: bytes.clone(), cert: cert.clone() });
+                ctx.send_many(
+                    peers,
+                    Msg::Entry {
+                        id,
+                        bytes: bytes.clone(),
+                        cert: cert.clone(),
+                    },
+                );
                 self.steward_propose(ctx, id);
                 self.try_execute(ctx);
             }
@@ -1398,7 +1503,10 @@ impl Node {
         if id.gid == self.id.group {
             return; // own-group entries arrive via local PBFT
         }
-        if cert.validate_for(&entry_digest(&bytes), &self.registry).is_err() {
+        if cert
+            .validate_for(&entry_digest(&bytes), &self.registry)
+            .is_err()
+        {
             return; // tampered copy
         }
         let already = {
@@ -1418,14 +1526,23 @@ impl Node {
         // First receipt from WAN: forward over LAN to the whole group.
         if from.group != self.id.group {
             let peers = self.other_group_members();
-            ctx.send_many(peers, Msg::Entry { id, bytes: bytes.clone(), cert });
+            ctx.send_many(
+                peers,
+                Msg::Entry {
+                    id,
+                    bytes: bytes.clone(),
+                    cert,
+                },
+            );
         }
         self.on_entry_content(ctx, bytes);
     }
 
     /// Entry content became available (rebuilt or copied).
     fn on_entry_content(&mut self, ctx: &mut Ctx<Msg>, bytes: Vec<u8>) {
-        let Some((id, _)) = decode_batch(&bytes) else { return };
+        let Some((id, _)) = decode_batch(&bytes) else {
+            return;
+        };
         {
             let t = self.tracking.entry(id).or_default();
             if t.bytes.is_none() && !t.executed {
@@ -1477,13 +1594,18 @@ impl Node {
             // committing ahead of an unsafe entry in the same log.
             let missing = appended.iter().any(|id| !self.entry_safely_replicated(*id));
             if missing {
-                self.held_appends.entry(instance).or_default().push((from, rmsg));
+                self.held_appends
+                    .entry(instance)
+                    .or_default()
+                    .push((from, rmsg));
                 return;
             }
         }
         let outputs = {
             let Some(rep) = self.rep.as_mut() else { return };
-            let Some(raft) = rep.rafts.get_mut(&instance) else { return };
+            let Some(raft) = rep.rafts.get_mut(&instance) else {
+                return;
+            };
             raft.step(from.group, rmsg)
         };
         // Direct accept broadcast (§V-C): we hold these entries (the
@@ -1551,7 +1673,10 @@ impl Node {
                 rep.accept_tally.remove(&id);
                 if id.gid != my_group && rep.stamped.insert((my_group, id)) {
                     let ts = rep.clock;
-                    rep.pending_stamps.entry(my_stream).or_default().push((id, ts));
+                    rep.pending_stamps
+                        .entry(my_stream)
+                        .or_default()
+                        .push((id, ts));
                 }
             }
             // Majority-accepted == committed under Raft's election
@@ -1577,8 +1702,7 @@ impl Node {
     /// Re-dispatches every held append whose carried entries are all safe
     /// now; still-unsafe ones re-hold themselves.
     fn replay_held_appends(&mut self, ctx: &mut Ctx<Msg>) {
-        let held: Vec<(u32, Vec<(NodeId, RaftMsg<GlobalCmd>)>)> =
-            self.held_appends.drain().collect();
+        let held: Vec<_> = self.held_appends.drain().collect();
         for (instance, msgs) in held {
             for (from, rmsg) in msgs {
                 self.on_raft_msg(ctx, from, instance, rmsg);
@@ -1652,7 +1776,9 @@ impl Node {
         for inst in instances {
             let outputs = {
                 let Some(rep) = self.rep.as_mut() else { return };
-                let Some(raft) = rep.rafts.get_mut(&inst) else { continue };
+                let Some(raft) = rep.rafts.get_mut(&inst) else {
+                    continue;
+                };
                 // Bound log memory: applied entries live in the tracking/
                 // archive layers, so the Raft log only needs a
                 // retransmission margin (stragglers use entry repair).
@@ -1683,14 +1809,18 @@ impl Node {
         for inst in instances {
             let should_elect = {
                 let Some(rep) = self.rep.as_ref() else { return };
-                let Some(raft) = rep.rafts.get(&inst) else { continue };
+                let Some(raft) = rep.rafts.get(&inst) else {
+                    continue;
+                };
                 let last = rep.last_append.get(&inst).copied().unwrap_or(0);
                 !raft.is_leader() && now.saturating_sub(last) > timeout + my_stagger
             };
             if should_elect {
                 let outputs = {
                     let Some(rep) = self.rep.as_mut() else { return };
-                    let Some(raft) = rep.rafts.get_mut(&inst) else { continue };
+                    let Some(raft) = rep.rafts.get_mut(&inst) else {
+                        continue;
+                    };
                     raft.on_election_timeout()
                 };
                 if let Some(rep) = self.rep.as_mut() {
@@ -1711,7 +1841,10 @@ impl Node {
         if matches!(self.params.protocol, Protocol::Iss) {
             let sealed_epoch = ctx.now() / self.params.epoch_us;
             if sealed_epoch > 0 {
-                let msg = Msg::EpochClose { group: self.id.group, epoch: sealed_epoch - 1 };
+                let msg = Msg::EpochClose {
+                    group: self.id.group,
+                    epoch: sealed_epoch - 1,
+                };
                 let leaders: Vec<NodeId> = (0..self.ng() as u32)
                     .filter(|&g| g != self.id.group)
                     .map(|g| self.params.leader_of(g))
@@ -1758,9 +1891,10 @@ impl Actor for Node {
             Msg::Raft { instance, rmsg, .. } => self.on_raft_msg(ctx, from, instance, rmsg),
             Msg::Feed { events } => self.apply_feed(ctx, events),
             Msg::EntryRequest { id } => self.on_entry_request(ctx, from, id),
-            Msg::AcceptNotice { from_group, entries } => {
-                self.on_accept_notice(ctx, from_group, entries)
-            }
+            Msg::AcceptNotice {
+                from_group,
+                entries,
+            } => self.on_accept_notice(ctx, from_group, entries),
             Msg::EpochClose { group, epoch } => self.on_epoch_close(group, epoch),
         }
     }
@@ -1818,8 +1952,15 @@ mod tests {
             &registry,
             (0..3).map(|i| massbft_crypto::keys::NodeId::new(0, i)),
         );
-        let entry_msg = Msg::Entry { id, bytes: bytes.clone(), cert: cert.clone() };
-        assert!(entry_msg.wire_size() > 1000, "entry copy carries the payload");
+        let entry_msg = Msg::Entry {
+            id,
+            bytes: bytes.clone(),
+            cert: cert.clone(),
+        };
+        assert!(
+            entry_msg.wire_size() > 1000,
+            "entry copy carries the payload"
+        );
 
         let small = Msg::EntryRequest { id };
         assert!(small.wire_size() <= 64, "requests are control-sized");
@@ -1827,13 +1968,20 @@ mod tests {
         let feed = Msg::Feed {
             events: vec![
                 FeedEvent::Committed(id),
-                FeedEvent::Stamp { stamper: 1, target: id, ts: 3 },
+                FeedEvent::Stamp {
+                    stamper: 1,
+                    target: id,
+                    ts: 3,
+                },
             ],
         };
         assert!(feed.wire_size() < 200);
 
         // Raft append with one entry command: dominated by cert bytes.
-        let cmd = GlobalCmd { entry: Some((id, entry_digest(&bytes))), stamps: vec![(id, 5)] };
+        let cmd = GlobalCmd {
+            entry: Some((id, entry_digest(&bytes))),
+            stamps: vec![(id, 5)],
+        };
         let append = Msg::Raft {
             instance: 0,
             rmsg: RaftMsg::AppendEntries {
@@ -1846,15 +1994,24 @@ mod tests {
             cert_bytes: 256,
         };
         let size = append.wire_size();
-        assert!(size > 256 && size < 1500, "append is control-lane sized: {size}");
+        assert!(
+            size > 256 && size < 1500,
+            "append is control-lane sized: {size}"
+        );
     }
 
     #[test]
     fn global_cmd_wire_size() {
         let id = EntryId::new(0, 1);
         let digest = Digest::of(b"x");
-        let with_entry = GlobalCmd { entry: Some((id, digest)), stamps: vec![] };
-        let stamps_only = GlobalCmd { entry: None, stamps: vec![(id, 1), (id, 2)] };
+        let with_entry = GlobalCmd {
+            entry: Some((id, digest)),
+            stamps: vec![],
+        };
+        let stamps_only = GlobalCmd {
+            entry: None,
+            stamps: vec![(id, 1), (id, 2)],
+        };
         assert!(with_entry.wire_size() > stamps_only.wire_size() - 40);
         assert_eq!(stamps_only.wire_size(), 2 * 20 + 24);
     }

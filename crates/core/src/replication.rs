@@ -18,20 +18,27 @@
 use crate::{
     entry::{entry_digest, EntryId},
     plan::TransferPlan,
+    stats,
 };
+use bytes::Bytes;
 use massbft_codec::chunker::EntryCodec;
 use massbft_crypto::{Digest, KeyRegistry, MerkleProof, MerkleTree, QuorumCert};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// One chunk in flight, as shipped over the WAN and re-broadcast on LAN.
+///
+/// The payload is a [`Bytes`] handle into the encoding's shard storage, so
+/// cloning a message for fan-out or LAN re-broadcast bumps a refcount
+/// instead of copying chunk bytes.
 #[derive(Debug, Clone)]
 pub struct ChunkMsg {
     /// The entry this chunk encodes.
     pub entry: EntryId,
     /// Chunk index in `0..n_total`.
     pub chunk_id: u32,
-    /// Chunk bytes.
-    pub data: Vec<u8>,
+    /// Chunk bytes (shared, immutable).
+    pub data: Bytes,
     /// Root of the Merkle tree over all chunks of this encoding.
     pub root: Digest,
     /// Inclusion proof of `data` at `chunk_id`.
@@ -60,9 +67,7 @@ impl ChunkSender {
         entry: EntryId,
         entry_bytes: &[u8],
     ) -> Result<Vec<(u32, ChunkMsg)>, massbft_codec::CodecError> {
-        let codec = EntryCodec::new(plan.n_data, plan.n_total)?;
-        let chunks = codec.encode(entry_bytes)?;
-        let tree = MerkleTree::build(&chunks);
+        let (chunks, tree) = Self::encode_and_prove(plan, entry_bytes)?;
         let root = tree.root();
         Ok(plan
             .outgoing_of(sender)
@@ -89,9 +94,7 @@ impl ChunkSender {
         entry: EntryId,
         entry_bytes: &[u8],
     ) -> Result<Vec<ChunkMsg>, massbft_codec::CodecError> {
-        let codec = EntryCodec::new(plan.n_data, plan.n_total)?;
-        let chunks = codec.encode(entry_bytes)?;
-        let tree = MerkleTree::build(&chunks);
+        let (chunks, tree) = Self::encode_and_prove(plan, entry_bytes)?;
         let root = tree.root();
         Ok(chunks
             .into_iter()
@@ -104,6 +107,27 @@ impl ChunkSender {
                 proof: tree.prove(c),
             })
             .collect())
+    }
+
+    /// Shared encode path: fetch the process-wide codec for the plan's
+    /// geometry, encode, and build the Merkle tree over the chunks. The
+    /// shards are frozen into [`Bytes`] once; every chunk message holds a
+    /// refcounted handle.
+    fn encode_and_prove(
+        plan: &TransferPlan,
+        entry_bytes: &[u8],
+    ) -> Result<(Vec<Bytes>, MerkleTree), massbft_codec::CodecError> {
+        let codec = EntryCodec::shared(plan.n_data, plan.n_total)?;
+        let chunks: Vec<Bytes> = codec
+            .encode(entry_bytes)?
+            .into_iter()
+            .map(Bytes::from)
+            .collect();
+        // The framed copy of the entry inside `encode` is the only
+        // byte-for-byte copy the send path still performs.
+        stats::record_copied_bytes(entry_bytes.len());
+        let tree = MerkleTree::build(&chunks);
+        Ok((chunks, tree))
     }
 }
 
@@ -135,8 +159,9 @@ pub enum ChunkOutcome {
 
 /// Per-entry reassembly state at one receiver node.
 struct EntryAssembly {
-    /// Buckets keyed by Merkle root: chunk id → data.
-    buckets: HashMap<Digest, BTreeMap<u32, Vec<u8>>>,
+    /// Buckets keyed by Merkle root: chunk id → data. Chunk payloads stay
+    /// in their received [`Bytes`] buffers; bucketing never copies them.
+    buckets: HashMap<Digest, BTreeMap<u32, Bytes>>,
     /// Chunk ids condemned by failed rebuilds.
     blacklist: BTreeSet<u32>,
     rebuilt: bool,
@@ -145,7 +170,11 @@ struct EntryAssembly {
 /// Reassembles entries from chunks at a receiver node (one per origin
 /// group, since each origin uses its own transfer-plan geometry).
 pub struct ChunkAssembler {
-    plan: TransferPlan,
+    plan: Arc<TransferPlan>,
+    /// Process-wide codec for the plan's geometry — carries the coefficient
+    /// tables and the decode-plan cache shared with every other user of the
+    /// same `(n_data, n_total)`.
+    codec: Arc<EntryCodec>,
     registry: KeyRegistry,
     entries: HashMap<EntryId, EntryAssembly>,
     /// Completed entries, kept until taken by the protocol layer.
@@ -154,10 +183,15 @@ pub struct ChunkAssembler {
 
 impl ChunkAssembler {
     /// Creates an assembler for entries of one origin group, whose
-    /// encoding geometry is fixed by `plan`.
-    pub fn new(plan: TransferPlan, registry: KeyRegistry) -> Self {
+    /// encoding geometry is fixed by `plan`. The plan is shared via `Arc`
+    /// so the protocol layer, the assembler, and tests reference one
+    /// allocation instead of cloning the transfer table around.
+    pub fn new(plan: Arc<TransferPlan>, registry: KeyRegistry) -> Self {
+        let codec = EntryCodec::shared(plan.n_data, plan.n_total)
+            .expect("transfer plans always carry a valid codec geometry");
         ChunkAssembler {
             plan,
+            codec,
             registry,
             entries: HashMap::new(),
             completed: HashMap::new(),
@@ -171,8 +205,7 @@ impl ChunkAssembler {
 
     /// Whether `entry` has been rebuilt (content may have been taken).
     pub fn is_rebuilt(&self, entry: EntryId) -> bool {
-        self.completed.contains_key(&entry)
-            || self.entries.get(&entry).is_some_and(|a| a.rebuilt)
+        self.completed.contains_key(&entry) || self.entries.get(&entry).is_some_and(|a| a.rebuilt)
     }
 
     /// Takes the rebuilt bytes of `entry`, if available.
@@ -189,11 +222,14 @@ impl ChunkAssembler {
         {
             return ChunkOutcome::Rejected(ChunkReject::BadGeometry);
         }
-        let asm = self.entries.entry(msg.entry).or_insert_with(|| EntryAssembly {
-            buckets: HashMap::new(),
-            blacklist: BTreeSet::new(),
-            rebuilt: false,
-        });
+        let asm = self
+            .entries
+            .entry(msg.entry)
+            .or_insert_with(|| EntryAssembly {
+                buckets: HashMap::new(),
+                blacklist: BTreeSet::new(),
+                rebuilt: false,
+            });
         if asm.rebuilt {
             return ChunkOutcome::Rejected(ChunkReject::AlreadyRebuilt);
         }
@@ -209,21 +245,28 @@ impl ChunkAssembler {
         }
         bucket.insert(msg.chunk_id, msg.data);
 
-        // Optimistic rebuild once the bucket holds n_data chunks.
+        // Optimistic rebuild once the bucket holds n_data chunks. The
+        // decode borrows the bucketed chunk buffers in place — no shard
+        // copies — and hits the codec's decode-plan cache whenever the
+        // same erasure pattern recurs.
         if bucket.len() >= self.plan.n_data {
-            let mut shards: Vec<Option<Vec<u8>>> = vec![None; self.plan.n_total];
+            let mut shards: Vec<Option<&[u8]>> = vec![None; self.plan.n_total];
             for (&cid, data) in bucket.iter() {
-                shards[cid as usize] = Some(data.clone());
+                shards[cid as usize] = Some(data.as_ref());
             }
-            let codec = EntryCodec::new(self.plan.n_data, self.plan.n_total)
-                .expect("plan geometry validated at construction");
-            let rebuilt = codec.decode(&mut shards);
+            let rebuilt = self.codec.decode_from(&shards);
             let valid = match &rebuilt {
-                Ok(bytes) => cert.validate_for(&entry_digest(bytes), &self.registry).is_ok(),
+                Ok(bytes) => cert
+                    .validate_for(&entry_digest(bytes), &self.registry)
+                    .is_ok(),
                 Err(_) => false,
             };
             if valid {
                 let bytes = rebuilt.expect("checked");
+                // Two copies survive on the rebuild path: reassembling the
+                // framed entry out of the shards, and retaining it for
+                // take_rebuilt while handing one to the caller.
+                stats::record_copied_bytes(bytes.len() * 2);
                 asm.rebuilt = true;
                 asm.buckets.clear();
                 self.completed.insert(msg.entry, bytes.clone());
@@ -257,8 +300,11 @@ mod tests {
     use super::*;
     use massbft_crypto::keys::NodeId;
 
-    fn setup(n1: usize, n2: usize) -> (TransferPlan, KeyRegistry, Vec<u8>, QuorumCert, EntryId) {
-        let plan = TransferPlan::generate(n1, n2).unwrap();
+    fn setup(
+        n1: usize,
+        n2: usize,
+    ) -> (Arc<TransferPlan>, KeyRegistry, Vec<u8>, QuorumCert, EntryId) {
+        let plan = Arc::new(TransferPlan::generate(n1, n2).unwrap());
         let registry = KeyRegistry::generate(5, &[n1, n2]);
         let id = EntryId::new(0, 1);
         let entry = crate::entry::encode_batch(id, &[b"tx-a".to_vec(), b"tx-b".to_vec()]);
@@ -275,7 +321,7 @@ mod tests {
     #[test]
     fn full_honest_path_rebuilds() {
         let (plan, registry, entry, cert, id) = setup(4, 7);
-        let mut asm = ChunkAssembler::new(plan.clone(), registry);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
         let mut rebuilt = None;
         'outer: for sender in 0..4u32 {
             let outgoing = ChunkSender::encode_for(&plan, sender, id, &entry).unwrap();
@@ -301,7 +347,7 @@ mod tests {
         // Drop all chunks of 1 faulty sender and all chunks taken by 2
         // faulty receivers: the remaining n_data must still rebuild.
         let (plan, registry, entry, cert, id) = setup(4, 7);
-        let mut asm = ChunkAssembler::new(plan.clone(), registry);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
         let all = ChunkSender::encode_all(&plan, id, &entry).unwrap();
         let lost: BTreeSet<u32> = plan
             .transfers
@@ -326,7 +372,7 @@ mod tests {
     #[test]
     fn tampered_chunks_bucket_separately_and_get_blacklisted() {
         let (plan, registry, entry, cert, id) = setup(4, 7);
-        let mut asm = ChunkAssembler::new(plan.clone(), registry);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
 
         // Byzantine nodes hold a *different* entry (collusion per §VI-E)
         // and encode it consistently: same geometry, different root.
@@ -371,9 +417,12 @@ mod tests {
     #[test]
     fn flipped_byte_fails_merkle_proof() {
         let (plan, registry, entry, cert, id) = setup(4, 7);
-        let mut asm = ChunkAssembler::new(plan, registry);
-        let mut all = ChunkSender::encode_all(&asm.plan.clone(), id, &entry).unwrap();
-        all[0].data[0] ^= 0xff;
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
+        let mut all = ChunkSender::encode_all(&plan, id, &entry).unwrap();
+        // Chunk payloads are immutable shared buffers; corrupt a copy.
+        let mut corrupt = all[0].data.to_vec();
+        corrupt[0] ^= 0xff;
+        all[0].data = corrupt.into();
         assert!(matches!(
             asm.on_chunk(all[0].clone(), &cert),
             ChunkOutcome::Rejected(ChunkReject::BadProof)
@@ -381,11 +430,53 @@ mod tests {
     }
 
     #[test]
+    fn data_plane_counters_track_encode_and_rebuild() {
+        // Counters are process-global and monotonic; assert deltas so the
+        // test stays valid when other tests run concurrently.
+        let before = crate::stats::data_plane_stats();
+        let (plan, registry, entry, cert, id) = setup(4, 7);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
+        let all = ChunkSender::encode_all(&plan, id, &entry).unwrap();
+
+        let after_encode = crate::stats::data_plane_stats();
+        assert!(
+            after_encode.bytes_copied >= before.bytes_copied + entry.len() as u64,
+            "encode frames (copies) the entry once"
+        );
+
+        // Withhold the first data chunk so the rebuild must go through the
+        // decode matrix (and therefore the decode-plan cache).
+        let mut got = None;
+        for msg in all.into_iter().skip(1) {
+            if let ChunkOutcome::Rebuilt(bytes) = asm.on_chunk(msg, &cert) {
+                got = Some(bytes);
+                break;
+            }
+        }
+        assert_eq!(got.unwrap(), entry);
+
+        let after = crate::stats::data_plane_stats();
+        assert!(
+            after.bytes_copied >= after_encode.bytes_copied + 2 * entry.len() as u64,
+            "rebuild reassembles and retains the entry"
+        );
+        let decodes_before = before.decode_cache_hits + before.decode_cache_misses;
+        let decodes_after = after.decode_cache_hits + after.decode_cache_misses;
+        assert!(
+            decodes_after > decodes_before,
+            "matrix decode consulted the cache"
+        );
+    }
+
+    #[test]
     fn duplicate_chunks_rejected() {
         let (plan, registry, entry, cert, id) = setup(7, 7);
-        let mut asm = ChunkAssembler::new(plan.clone(), registry);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
         let all = ChunkSender::encode_all(&plan, id, &entry).unwrap();
-        assert!(matches!(asm.on_chunk(all[0].clone(), &cert), ChunkOutcome::Accepted));
+        assert!(matches!(
+            asm.on_chunk(all[0].clone(), &cert),
+            ChunkOutcome::Accepted
+        ));
         assert!(matches!(
             asm.on_chunk(all[0].clone(), &cert),
             ChunkOutcome::Rejected(ChunkReject::Duplicate)
@@ -395,7 +486,7 @@ mod tests {
     #[test]
     fn geometry_violations_rejected() {
         let (plan, registry, entry, cert, id) = setup(4, 7);
-        let mut asm = ChunkAssembler::new(plan.clone(), registry);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
         let all = ChunkSender::encode_all(&plan, id, &entry).unwrap();
         let mut bad = all[0].clone();
         bad.chunk_id = plan.n_total as u32 + 5;
@@ -415,7 +506,7 @@ mod tests {
     #[test]
     fn chunks_after_rebuild_are_ignored() {
         let (plan, registry, entry, cert, id) = setup(4, 7);
-        let mut asm = ChunkAssembler::new(plan.clone(), registry);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
         let all = ChunkSender::encode_all(&plan, id, &entry).unwrap();
         let mut done = false;
         for msg in all.iter().take(plan.n_data).cloned() {
@@ -433,7 +524,7 @@ mod tests {
     #[test]
     fn gc_drops_state() {
         let (plan, registry, entry, cert, id) = setup(4, 7);
-        let mut asm = ChunkAssembler::new(plan.clone(), registry);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
         let all = ChunkSender::encode_all(&plan, id, &entry).unwrap();
         for msg in all.into_iter().take(plan.n_data) {
             let _ = asm.on_chunk(msg, &cert);

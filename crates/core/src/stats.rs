@@ -1,6 +1,44 @@
-//! Run statistics: throughput windows and latency distributions.
+//! Run statistics: throughput windows, latency distributions, and
+//! data-plane counters (decode-cache effectiveness, residual byte copies).
 
 use massbft_sim_net::Time;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes the replication data plane still copies after the zero-copy work
+/// (entry framing on encode, framed reassembly + retained copy on rebuild).
+static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// Counts `n` bytes that were memcpy'd on the chunk encode/rebuild path.
+/// Called by the replication layer; monotonic for the process lifetime.
+pub fn record_copied_bytes(n: usize) {
+    BYTES_COPIED.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Process-wide data-plane counters.
+///
+/// Hits and misses come from the codec's decode-plan cache (one inverted
+/// matrix per erasure pattern); `bytes_copied` counts the residual copies
+/// the chunk path performs. All three are monotonic, so callers measure
+/// deltas across a window of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DataPlaneStats {
+    /// Entry rebuilds that reused a cached decode matrix.
+    pub decode_cache_hits: u64,
+    /// Entry rebuilds that inverted a fresh decode matrix.
+    pub decode_cache_misses: u64,
+    /// Bytes memcpy'd by the encode/rebuild path.
+    pub bytes_copied: u64,
+}
+
+/// Snapshot of the process-wide data-plane counters.
+pub fn data_plane_stats() -> DataPlaneStats {
+    let cache = massbft_codec::rs::global_cache_stats();
+    DataPlaneStats {
+        decode_cache_hits: cache.hits,
+        decode_cache_misses: cache.misses,
+        bytes_copied: BYTES_COPIED.load(Ordering::Relaxed),
+    }
+}
 
 /// Online latency accumulator with reservoir-free exact percentiles
 /// (latencies are few per run — one per entry — so storing them is fine).
@@ -132,7 +170,10 @@ mod tests {
 
     #[test]
     fn throughput_math() {
-        let t = Throughput { txns: 50_000, window_us: 1_000_000 };
+        let t = Throughput {
+            txns: 50_000,
+            window_us: 1_000_000,
+        };
         assert!((t.tps() - 50_000.0).abs() < 1e-9);
         assert!((t.ktps() - 50.0).abs() < 1e-9);
         let zero = Throughput::default();

@@ -19,7 +19,11 @@ fn saturated(protocol: Protocol, seed: u64) {
         "{} seed {seed}: replicas diverged under saturation",
         protocol.name()
     );
-    assert!(report.throughput.tps() > 1000.0, "{}: underloaded", protocol.name());
+    assert!(
+        report.throughput.tps() > 1000.0,
+        "{}: underloaded",
+        protocol.name()
+    );
 }
 
 #[test]

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a minimal wall-clock benchmarking harness exposing the subset of
+//! criterion's API that MassBFT's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! No statistics engine: each benchmark warms up briefly, then runs timed
+//! batches until a wall-clock budget is spent and reports the mean
+//! time/iteration (plus derived throughput when declared). That is enough
+//! to compare the data-plane fast path against its baseline and to feed
+//! the `BENCH_*.json` trajectory emitters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Wall-clock budget spent warming each benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors criterion's CLI-arg hook; accepts and ignores filters.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration volume for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&label, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Ends the group (report flushing is per-benchmark here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier built from a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Per-iteration data volume, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measures closures; handed to each benchmark body.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_spi: f64,
+}
+
+impl Bencher {
+    /// Times `f`, recording the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: establishes caches and gives a per-iter estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1 << 20 {
+                break;
+            }
+        }
+        let est_spi = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Measure in batches sized to ~10ms so Instant overhead vanishes.
+        let batch = ((0.01 / est_spi.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_iters += batch;
+        }
+        self.mean_spi = measure_start.elapsed().as_secs_f64() / total_iters as f64;
+    }
+}
+
+fn run_benchmark<F: FnOnce(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: F) {
+    let mut b = Bencher { mean_spi: 0.0 };
+    f(&mut b);
+    let mut line = format!("bench: {label:<46} {}", format_time(b.mean_spi));
+    if let Some(t) = throughput {
+        match t {
+            Throughput::Bytes(n) => {
+                let mibs = n as f64 / b.mean_spi.max(1e-12) / (1024.0 * 1024.0);
+                let _ = write!(line, "  ({mibs:.1} MiB/s)");
+            }
+            Throughput::Elements(n) => {
+                let eps = n as f64 / b.mean_spi.max(1e-12);
+                let _ = write!(line, "  ({eps:.0} elem/s)");
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>9.3} s/iter ")
+    } else if secs >= 1e-3 {
+        format!("{:>9.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:>9.3} µs/iter", secs * 1e6)
+    } else {
+        format!("{:>9.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_spi: 0.0 };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.mean_spi > 0.0);
+        assert!(
+            b.mean_spi < 0.1,
+            "trivial op should be far under 100ms/iter"
+        );
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("100KiB", "4to7").label(), "100KiB/4to7");
+        assert_eq!(BenchmarkId::from_parameter(4096).label(), "4096");
+    }
+
+    #[test]
+    fn groups_run_to_completion() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::new("x", 1), &5u64, |b, &v| {
+            b.iter(|| v.wrapping_mul(3))
+        });
+        g.bench_function("plain", |b| b.iter(|| 1u32 + 1));
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2u32 * 2));
+    }
+}

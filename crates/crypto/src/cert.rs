@@ -78,7 +78,11 @@ impl QuorumCert {
             .filter_map(|id| registry.key_of(id))
             .map(|k| k.sign_digest(&digest))
             .collect();
-        QuorumCert { digest, group, signatures }
+        QuorumCert {
+            digest,
+            group,
+            signatures,
+        }
     }
 
     /// Validates the certificate: `2f+1` distinct in-group signers, all
@@ -108,11 +112,7 @@ impl QuorumCert {
     }
 
     /// Validates and additionally checks the certificate covers `expected`.
-    pub fn validate_for(
-        &self,
-        expected: &Digest,
-        registry: &KeyRegistry,
-    ) -> Result<(), CertError> {
+    pub fn validate_for(&self, expected: &Digest, registry: &KeyRegistry) -> Result<(), CertError> {
         if self.digest != *expected {
             // A mismatched digest means every signature is over the wrong
             // message; report the first signer for diagnostics.
@@ -197,7 +197,10 @@ mod tests {
         let (reg, d) = setup();
         let mut cert = QuorumCert::assemble(d, 0, &reg, signer_range(0, 5));
         cert.digest = Digest::of(b"tampered entry");
-        assert!(matches!(cert.validate(&reg), Err(CertError::BadSignature(_))));
+        assert!(matches!(
+            cert.validate(&reg),
+            Err(CertError::BadSignature(_))
+        ));
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub struct NodeKey {
 impl NodeKey {
     /// Signs a message.
     pub fn sign(&self, msg: &[u8]) -> Signature {
-        Signature { signer: self.id, tag: hmac::hmac_sha256(&self.secret, msg) }
+        Signature {
+            signer: self.id,
+            tag: hmac::hmac_sha256(&self.secret, msg),
+        }
     }
 
     /// Signs a digest (the common case: PBFT votes sign entry digests).
@@ -102,12 +105,17 @@ impl KeyRegistry {
                 secrets.insert(id, derive_secret(seed, id));
             }
         }
-        KeyRegistry { inner: Arc::new(RegistryInner { secrets }) }
+        KeyRegistry {
+            inner: Arc::new(RegistryInner { secrets }),
+        }
     }
 
     /// Returns the signing key for `id`, if it is a registered node.
     pub fn key_of(&self, id: NodeId) -> Option<NodeKey> {
-        self.inner.secrets.get(&id).map(|&secret| NodeKey { id, secret })
+        self.inner
+            .secrets
+            .get(&id)
+            .map(|&secret| NodeKey { id, secret })
     }
 
     /// Verifies `sig` over `msg`.
@@ -133,11 +141,7 @@ impl KeyRegistry {
 
     /// Number of nodes in group `g`.
     pub fn group_size(&self, g: u32) -> usize {
-        self.inner
-            .secrets
-            .keys()
-            .filter(|id| id.group == g)
-            .count()
+        self.inner.secrets.keys().filter(|id| id.group == g).count()
     }
 }
 
@@ -179,7 +183,10 @@ mod tests {
     #[test]
     fn unknown_signer_rejected() {
         let reg = registry();
-        let fake = Signature { signer: NodeId::new(9, 9), tag: [0; 32] };
+        let fake = Signature {
+            signer: NodeId::new(9, 9),
+            tag: [0; 32],
+        };
         assert!(!reg.verify(b"m", &fake));
         assert!(reg.key_of(NodeId::new(9, 9)).is_none());
     }

@@ -17,6 +17,17 @@ use crate::{sha256::Sha256, Digest};
 const LEAF_PREFIX: u8 = 0x00;
 const NODE_PREFIX: u8 = 0x01;
 
+/// Minimum leaf count before [`MerkleTree::build`] hashes leaves on scoped
+/// worker threads. Chunked entries at paper scale (tens of leaves, each a
+/// sizeable erasure-coded chunk) clear this easily; tiny trees stay on the
+/// calling thread.
+pub const PARALLEL_LEAF_COUNT: usize = 4;
+
+/// Minimum total leaf bytes before leaf hashing goes parallel. Hashing is
+/// ~100 MiB/s-scale work, so below this the thread-spawn cost outweighs
+/// the win even when the leaf count clears [`PARALLEL_LEAF_COUNT`].
+const PARALLEL_LEAF_BYTES: usize = 256 * 1024;
+
 fn hash_leaf(data: &[u8]) -> Digest {
     let mut h = Sha256::new();
     h.update(&[LEAF_PREFIX]);
@@ -63,13 +74,54 @@ pub struct MerkleProof {
 impl MerkleTree {
     /// Builds a tree over `leaves`.
     ///
+    /// Leaf hashing — the dominant cost, proportional to total leaf bytes —
+    /// fans out over scoped threads once the leaf set is large enough
+    /// ([`PARALLEL_LEAF_COUNT`] leaves and ≥256 KiB of data). The inner
+    /// levels hash fixed-size digests and always stay sequential.
+    ///
     /// # Panics
     /// Panics on an empty leaf set — the replication layer never encodes
     /// zero chunks.
     pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> Self {
         assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
-        let mut levels = Vec::new();
-        levels.push(leaves.iter().map(|l| hash_leaf(l.as_ref())).collect::<Vec<_>>());
+        let total_bytes: usize = leaves.iter().map(|l| l.as_ref().len()).sum();
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if leaves.len() < PARALLEL_LEAF_COUNT || total_bytes < PARALLEL_LEAF_BYTES || workers < 2 {
+            return Self::build_sequential(leaves);
+        }
+
+        let refs: Vec<&[u8]> = leaves.iter().map(AsRef::as_ref).collect();
+        let band = refs.len().div_ceil(workers.min(refs.len()));
+        let leaf_hashes: Vec<Digest> = std::thread::scope(|s| {
+            let handles: Vec<_> = refs
+                .chunks(band)
+                .map(|chunk| {
+                    s.spawn(move || chunk.iter().map(|l| hash_leaf(l)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("leaf hash worker panicked"))
+                .collect()
+        });
+        Self::from_leaf_hashes(leaf_hashes)
+    }
+
+    /// Builds a tree over `leaves` entirely on the calling thread.
+    ///
+    /// Same tree as [`MerkleTree::build`]; kept public so tests and benches
+    /// can compare the two paths.
+    ///
+    /// # Panics
+    /// Panics on an empty leaf set.
+    pub fn build_sequential<T: AsRef<[u8]>>(leaves: &[T]) -> Self {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        Self::from_leaf_hashes(leaves.iter().map(|l| hash_leaf(l.as_ref())).collect())
+    }
+
+    /// Builds the inner levels above an already-hashed leaf row.
+    fn from_leaf_hashes(leaf_hashes: Vec<Digest>) -> Self {
+        let mut levels = vec![leaf_hashes];
         while levels.last().expect("nonempty").len() > 1 {
             let prev = levels.last().expect("nonempty");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
@@ -107,7 +159,7 @@ impl MerkleTree {
         let mut path = Vec::new();
         let mut i = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if i % 2 == 0 { i + 1 } else { i - 1 };
+            let sibling = if i.is_multiple_of(2) { i + 1 } else { i - 1 };
             if sibling < level.len() {
                 path.push(ProofStep {
                     sibling: level[sibling],
@@ -116,7 +168,11 @@ impl MerkleTree {
             }
             i /= 2;
         }
-        MerkleProof { leaf_index: index, leaf_count: self.leaf_count(), path }
+        MerkleProof {
+            leaf_index: index,
+            leaf_count: self.leaf_count(),
+            path,
+        }
     }
 }
 
@@ -134,9 +190,15 @@ impl MerkleProof {
         let mut width = self.leaf_count;
         let mut step_iter = self.path.iter();
         while width > 1 {
-            let has_sibling = if i % 2 == 0 { i + 1 < width } else { true };
+            let has_sibling = if i.is_multiple_of(2) {
+                i + 1 < width
+            } else {
+                true
+            };
             if has_sibling {
-                let Some(step) = step_iter.next() else { return false };
+                let Some(step) = step_iter.next() else {
+                    return false;
+                };
                 let expected_side = i % 2 == 1;
                 if step.sibling_on_left != expected_side {
                     return false;
@@ -213,6 +275,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_sequential() {
+        // Big enough to cross both parallel thresholds (16 leaves, 512 KiB).
+        let ls: Vec<Vec<u8>> = (0..16).map(|i| vec![i as u8 * 3 + 1; 32 * 1024]).collect();
+        let par = MerkleTree::build(&ls);
+        let seq = MerkleTree::build_sequential(&ls);
+        assert_eq!(par.root(), seq.root());
+        for (i, l) in ls.iter().enumerate() {
+            assert_eq!(par.prove(i), seq.prove(i), "leaf {i}");
+            assert!(seq.prove(i).verify(&par.root(), l));
+        }
+        // Odd leaf counts exercise promotion in the banded parallel path.
+        let odd = &ls[..13];
+        assert_eq!(
+            MerkleTree::build(odd).root(),
+            MerkleTree::build_sequential(odd).root()
+        );
+    }
+
+    #[test]
     fn different_leaf_sets_different_roots() {
         let a = MerkleTree::build(&leaves(5));
         let mut ls = leaves(5);
@@ -241,7 +322,10 @@ mod tests {
         let ls = leaves(4);
         let t = MerkleTree::build(&ls);
         let mut p = t.prove(0);
-        p.path.push(ProofStep { sibling: Digest::of(b"pad"), sibling_on_left: false });
+        p.path.push(ProofStep {
+            sibling: Digest::of(b"pad"),
+            sibling_on_left: false,
+        });
         assert!(!p.verify(&t.root(), &ls[0]));
     }
 

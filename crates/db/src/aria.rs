@@ -13,8 +13,9 @@
 //!      to a smaller id, or
 //!    - a **RAW** conflict: it read a key whose write reservation belongs
 //!      to a smaller id (its snapshot read is stale).
-//!    Aborted transactions are reported so the caller can retry them in a
-//!    later batch.
+//!
+//! Aborted transactions are reported so the caller can retry them in a
+//! later batch.
 //!
 //! Because all three phases depend only on the batch contents and the
 //! snapshot, every replica that executes the same ordered batch commits
@@ -151,7 +152,17 @@ impl AriaExecutor {
         }
         store.bump_version();
 
-        BatchOutcome { outcomes, committed, conflict_aborted }
+        BatchOutcome {
+            outcomes,
+            committed,
+            conflict_aborted,
+        }
+    }
+}
+
+impl DetTransaction for Box<dyn DetTransaction> {
+    fn execute(&self, view: &KvStore) -> TxnEffects {
+        (**self).execute(view)
     }
 }
 
@@ -297,9 +308,7 @@ mod tests {
         // The Fig. 8d effect: many transactions touching one hot key in a
         // single batch ⇒ only the first commits.
         let mut store = bank(&[(b"hot", 1_000_000)]);
-        let batch: Vec<_> = (0..64)
-            .map(|_| transfer(b"hot", b"sink", 1))
-            .collect();
+        let batch: Vec<_> = (0..64).map(|_| transfer(b"hot", b"sink", 1)).collect();
         let out = AriaExecutor::new().execute_batch(&mut store, &batch);
         assert_eq!(out.committed, 1);
         assert!(out.abort_rate() > 0.95);
@@ -328,11 +337,5 @@ mod tests {
         assert_eq!(out.committed, 0);
         assert_eq!(out.abort_rate(), 0.0);
         assert_eq!(store.version(), 1);
-    }
-}
-
-impl DetTransaction for Box<dyn DetTransaction> {
-    fn execute(&self, view: &KvStore) -> TxnEffects {
-        (**self).execute(view)
     }
 }

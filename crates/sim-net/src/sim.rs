@@ -105,7 +105,10 @@ impl<M> Ctx<M> {
         M: Clone,
     {
         for dst in dsts {
-            self.out.push(Command::Send { dst, msg: msg.clone() });
+            self.out.push(Command::Send {
+                dst,
+                msg: msg.clone(),
+            });
         }
     }
 
@@ -127,11 +130,24 @@ impl<M> Ctx<M> {
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { src: NodeId, dst: NodeId, msg: M },
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        msg: M,
+    },
     /// A SendAfter whose delay elapsed: route it now.
-    Route { src: NodeId, dst: NodeId, msg: M },
-    Timer { node: NodeId, token: u64 },
-    Start { node: NodeId },
+    Route {
+        src: NodeId,
+        dst: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Start {
+        node: NodeId,
+    },
 }
 
 struct Event<M> {
@@ -186,8 +202,7 @@ impl<A: Actor> Simulation<A> {
     /// Builds a simulation. `make_actor` constructs the actor for each node
     /// in the topology.
     pub fn new(topology: Topology, mut make_actor: impl FnMut(NodeId) -> A) -> Self {
-        let actors: BTreeMap<NodeId, A> =
-            topology.nodes().map(|id| (id, make_actor(id))).collect();
+        let actors: BTreeMap<NodeId, A> = topology.nodes().map(|id| (id, make_actor(id))).collect();
         Simulation {
             topology,
             actors,
@@ -290,7 +305,11 @@ impl<A: Actor> Simulation<A> {
     /// request) for delivery at `at`.
     pub fn inject_at(&mut self, at: Time, src: NodeId, dst: NodeId, msg: A::Msg) {
         let seq = self.next_seq();
-        self.heap.push(Event { at, seq, kind: EventKind::Deliver { src, dst, msg } });
+        self.heap.push(Event {
+            at,
+            seq,
+            kind: EventKind::Deliver { src, dst, msg },
+        });
     }
 
     /// Runs `on_start` for every node (idempotent; run_* call it lazily).
@@ -302,7 +321,11 @@ impl<A: Actor> Simulation<A> {
         let ids: Vec<NodeId> = self.actors.keys().copied().collect();
         for id in ids {
             let seq = self.next_seq();
-            self.heap.push(Event { at: self.now, seq, kind: EventKind::Start { node: id } });
+            self.heap.push(Event {
+                at: self.now,
+                seq,
+                kind: EventKind::Start { node: id },
+            });
         }
     }
 
@@ -375,7 +398,11 @@ impl<A: Actor> Simulation<A> {
                     dst,
                     bytes: msg.wire_size(),
                 });
-                let mut ctx = Ctx { now: self.now, self_id: dst, out: Vec::new() };
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: dst,
+                    out: Vec::new(),
+                };
                 self.actors
                     .get_mut(&dst)
                     .expect("actor exists")
@@ -396,7 +423,11 @@ impl<A: Actor> Simulation<A> {
                     dst: node,
                     bytes: 0,
                 });
-                let mut ctx = Ctx { now: self.now, self_id: node, out: Vec::new() };
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: node,
+                    out: Vec::new(),
+                };
                 self.actors
                     .get_mut(&node)
                     .expect("actor exists")
@@ -407,7 +438,11 @@ impl<A: Actor> Simulation<A> {
                 if self.crashed.contains(&node) {
                     return;
                 }
-                let mut ctx = Ctx { now: self.now, self_id: node, out: Vec::new() };
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: node,
+                    out: Vec::new(),
+                };
                 self.actors
                     .get_mut(&node)
                     .expect("actor exists")
@@ -569,7 +604,13 @@ mod tests {
             // Reply only to original (tag < 1000) messages so two Echo
             // actors don't ping-pong forever.
             if self.reply && msg.tag < 1000 {
-                ctx.send(from, TestMsg { tag: msg.tag + 1000, size: msg.size });
+                ctx.send(
+                    from,
+                    TestMsg {
+                        tag: msg.tag + 1000,
+                        size: msg.size,
+                    },
+                );
             }
         }
         fn on_timer(&mut self, ctx: &mut Ctx<TestMsg>, token: u64) {
@@ -583,14 +624,23 @@ mod tests {
             .wan_bandwidth_mbps(8) // 1 MB/s → 1 byte = 1 µs
             .lan_latency_us(300)
             .build();
-        Simulation::new(topo, |id| Echo { id, received: Vec::new(), reply })
+        Simulation::new(topo, |id| Echo {
+            id,
+            received: Vec::new(),
+            reply,
+        })
     }
 
     #[test]
     fn wan_delivery_time_includes_tx_and_latency() {
         let mut s = sim(false);
         // 1000 bytes at 8 Mbps = 1 ms tx + 10 ms latency = 11 ms.
-        s.inject_at(0, NodeId::new(0, 0), NodeId::new(1, 0), TestMsg { tag: 1, size: 1000 });
+        s.inject_at(
+            0,
+            NodeId::new(0, 0),
+            NodeId::new(1, 0),
+            TestMsg { tag: 1, size: 1000 },
+        );
         // Wait: inject delivers directly at `at`; route() is only for
         // actor-emitted sends. Use an actor-driven send instead.
         s.run_until(SECOND);
@@ -600,7 +650,12 @@ mod tests {
     #[test]
     fn reply_round_trip_latency() {
         let mut s = sim(true);
-        s.inject_at(0, NodeId::new(1, 0), NodeId::new(0, 0), TestMsg { tag: 5, size: 1000 });
+        s.inject_at(
+            0,
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            TestMsg { tag: 5, size: 1000 },
+        );
         s.run_until(SECOND);
         // N0,0 gets tag 5 at t=0 (injected directly), replies; the reply
         // takes 1 ms tx + 10 ms WAN latency.
@@ -653,7 +708,13 @@ mod tests {
             type Msg = TestMsg;
             fn on_start(&mut self, ctx: &mut Ctx<TestMsg>) {
                 if ctx.id() == NodeId::new(0, 0) {
-                    ctx.send(NodeId::new(1, 0), TestMsg { tag: 1, size: 1_000_000 });
+                    ctx.send(
+                        NodeId::new(1, 0),
+                        TestMsg {
+                            tag: 1,
+                            size: 1_000_000,
+                        },
+                    );
                     ctx.send(NodeId::new(1, 0), TestMsg { tag: 2, size: 100 });
                 }
             }
@@ -676,7 +737,12 @@ mod tests {
     #[test]
     fn lan_is_fast_and_not_queued() {
         let mut s = sim(true);
-        s.inject_at(0, NodeId::new(0, 1), NodeId::new(0, 0), TestMsg { tag: 9, size: 1000 });
+        s.inject_at(
+            0,
+            NodeId::new(0, 1),
+            NodeId::new(0, 0),
+            TestMsg { tag: 9, size: 1000 },
+        );
         s.run_until(SECOND);
         let n01 = &s.actor(NodeId::new(0, 1)).received;
         assert_eq!(n01.len(), 1);
@@ -688,13 +754,23 @@ mod tests {
     fn crashed_node_receives_nothing_and_sends_nothing() {
         let mut s = sim(true);
         s.crash(NodeId::new(0, 0));
-        s.inject_at(0, NodeId::new(1, 0), NodeId::new(0, 0), TestMsg { tag: 1, size: 10 });
+        s.inject_at(
+            0,
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            TestMsg { tag: 1, size: 10 },
+        );
         s.run_until(SECOND);
         assert!(s.actor(NodeId::new(0, 0)).received.is_empty());
         assert_eq!(s.metrics().dropped_messages, 1);
         // Recover and try again: delivery works, state intact.
         s.recover(NodeId::new(0, 0));
-        s.inject_at(s.now() + 1, NodeId::new(1, 0), NodeId::new(0, 0), TestMsg { tag: 2, size: 10 });
+        s.inject_at(
+            s.now() + 1,
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            TestMsg { tag: 2, size: 10 },
+        );
         s.run_until(2 * SECOND);
         assert_eq!(s.actor(NodeId::new(0, 0)).received.len(), 1);
     }
@@ -712,7 +788,12 @@ mod tests {
     fn partition_drops_wan_traffic_until_healed() {
         let mut s = sim(true);
         s.partition(0, 1);
-        s.inject_at(0, NodeId::new(1, 0), NodeId::new(0, 0), TestMsg { tag: 1, size: 10 });
+        s.inject_at(
+            0,
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            TestMsg { tag: 1, size: 10 },
+        );
         s.run_until(SECOND);
         // The injected delivery arrives (injection bypasses the network),
         // but the reply is dropped at the severed WAN link.
@@ -721,7 +802,12 @@ mod tests {
         assert_eq!(s.metrics().dropped_messages, 1);
 
         s.heal(0, 1);
-        s.inject_at(s.now() + 1, NodeId::new(1, 0), NodeId::new(0, 0), TestMsg { tag: 2, size: 10 });
+        s.inject_at(
+            s.now() + 1,
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            TestMsg { tag: 2, size: 10 },
+        );
         s.run_until(2 * SECOND);
         assert_eq!(s.actor(NodeId::new(1, 0)).received.len(), 1);
     }
@@ -764,7 +850,10 @@ mod tests {
                     i * 100,
                     NodeId::new(1, (i % 2) as u32),
                     NodeId::new(0, (i % 2) as u32),
-                    TestMsg { tag: seed_tag + i, size: 100 + (i as usize * 37) % 400 },
+                    TestMsg {
+                        tag: seed_tag + i,
+                        size: 100 + (i as usize * 37) % 400,
+                    },
                 );
             }
             s.run_until(10 * SECOND);
@@ -790,9 +879,19 @@ mod tests {
     fn trace_records_deliveries_and_drops() {
         let mut s = sim(true);
         s.trace_mut().set_enabled(true);
-        s.inject_at(0, NodeId::new(1, 0), NodeId::new(0, 0), TestMsg { tag: 5, size: 1000 });
+        s.inject_at(
+            0,
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            TestMsg { tag: 5, size: 1000 },
+        );
         s.crash(NodeId::new(0, 1));
-        s.inject_at(1, NodeId::new(1, 0), NodeId::new(0, 1), TestMsg { tag: 6, size: 10 });
+        s.inject_at(
+            1,
+            NodeId::new(1, 0),
+            NodeId::new(0, 1),
+            TestMsg { tag: 6, size: 10 },
+        );
         s.run_until(SECOND);
         let trace = s.trace();
         assert!(trace.of_kind(crate::trace::TraceKind::Deliver).count() >= 2);
@@ -805,7 +904,12 @@ mod tests {
     #[test]
     fn trace_disabled_by_default() {
         let mut s = sim(true);
-        s.inject_at(0, NodeId::new(1, 0), NodeId::new(0, 0), TestMsg { tag: 5, size: 100 });
+        s.inject_at(
+            0,
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            TestMsg { tag: 5, size: 100 },
+        );
         s.run_until(SECOND);
         assert_eq!(s.trace().total_recorded(), 0);
     }
@@ -818,7 +922,10 @@ mod tests {
         impl Actor for Forever {
             type Msg = TestMsg;
             fn on_start(&mut self, ctx: &mut Ctx<TestMsg>) {
-                ctx.send(NodeId::new(0, 1 - ctx.id().node), TestMsg { tag: 0, size: 1 });
+                ctx.send(
+                    NodeId::new(0, 1 - ctx.id().node),
+                    TestMsg { tag: 0, size: 1 },
+                );
             }
             fn on_message(&mut self, ctx: &mut Ctx<TestMsg>, from: NodeId, m: TestMsg) {
                 ctx.send(from, m);

@@ -42,9 +42,10 @@ impl Topology {
 
     /// All node ids in (group, node) order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.group_sizes.iter().enumerate().flat_map(|(g, &size)| {
-            (0..size).map(move |n| NodeId::new(g as u32, n as u32))
-        })
+        self.group_sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(g, &size)| (0..size).map(move |n| NodeId::new(g as u32, n as u32)))
     }
 
     /// Node ids of one group.
@@ -55,7 +56,10 @@ impl Topology {
 
     /// WAN uplink bandwidth of a node, bits per second.
     pub fn wan_bw_bps(&self, id: NodeId) -> u64 {
-        self.wan_bw_overrides.get(&id).copied().unwrap_or(self.default_wan_bw_bps)
+        self.wan_bw_overrides
+            .get(&id)
+            .copied()
+            .unwrap_or(self.default_wan_bw_bps)
     }
 
     /// Virtual time to serialize `bytes` onto `id`'s WAN uplink.
@@ -113,10 +117,10 @@ impl TopologyBuilder {
             group_sizes: group_sizes.to_vec(),
             wan_latency_us: None,
             uniform_wan_latency_us: 17 * MILLISECOND,
-            lan_latency_us: 300, // 0.3 ms, typical intra-DC
+            lan_latency_us: 300,            // 0.3 ms, typical intra-DC
             default_wan_bw_bps: 20_000_000, // 20 Mbps, the paper's default
             wan_bw_overrides: BTreeMap::new(),
-            lan_bw_bps: 2_500_000_000, // 2.5 Gbps
+            lan_bw_bps: 2_500_000_000,  // 2.5 Gbps
             control_cutoff_bytes: 1500, // one MTU
         }
     }
@@ -223,7 +227,13 @@ impl TopologyBuilder {
             (0..n)
                 .map(|a| {
                     (0..n)
-                        .map(|b| if a == b { 0 } else { self.uniform_wan_latency_us })
+                        .map(|b| {
+                            if a == b {
+                                0
+                            } else {
+                                self.uniform_wan_latency_us
+                            }
+                        })
                         .collect()
                 })
                 .collect()
@@ -299,7 +309,9 @@ mod tests {
 
     #[test]
     fn latency_selects_lan_or_wan() {
-        let t = TopologyBuilder::new(&[2, 2]).uniform_wan_latency_ms(17).build();
+        let t = TopologyBuilder::new(&[2, 2])
+            .uniform_wan_latency_ms(17)
+            .build();
         assert_eq!(t.latency(NodeId::new(0, 0), NodeId::new(0, 1)), 300);
         assert_eq!(t.latency(NodeId::new(0, 0), NodeId::new(1, 0)), 17_000);
         assert!(!t.is_wan(NodeId::new(0, 0), NodeId::new(0, 1)));
@@ -322,7 +334,9 @@ mod tests {
     fn uniform_builder_supports_many_groups() {
         // The named presets cover ≤ 7 groups; the uniform builder has no
         // such limit (scale-out experiments beyond the paper's clusters).
-        let t = TopologyBuilder::new(&[3; 12]).uniform_wan_latency_ms(25).build();
+        let t = TopologyBuilder::new(&[3; 12])
+            .uniform_wan_latency_ms(25)
+            .build();
         assert_eq!(t.group_count(), 12);
         assert_eq!(t.latency(NodeId::new(0, 0), NodeId::new(11, 2)), 25_000);
         assert_eq!(t.latency(NodeId::new(4, 0), NodeId::new(4, 1)), 300);

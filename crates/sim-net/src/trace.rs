@@ -52,7 +52,12 @@ pub struct TraceBuffer {
 impl TraceBuffer {
     /// Creates a disabled buffer with the given capacity.
     pub fn new(capacity: usize) -> Self {
-        TraceBuffer { records: VecDeque::new(), capacity, enabled: false, total: 0 }
+        TraceBuffer {
+            records: VecDeque::new(),
+            capacity,
+            enabled: false,
+            total: 0,
+        }
     }
 
     /// Enables or disables recording (disabled costs ~nothing).
@@ -89,12 +94,16 @@ impl TraceBuffer {
 
     /// Records involving `node` (as source or destination).
     pub fn involving(&self, node: NodeId) -> impl Iterator<Item = &TraceRecord> {
-        self.records.iter().filter(move |r| r.src == node || r.dst == node)
+        self.records
+            .iter()
+            .filter(move |r| r.src == node || r.dst == node)
     }
 
     /// Records within `[from, to)` virtual time.
     pub fn window(&self, from: Time, to: Time) -> impl Iterator<Item = &TraceRecord> {
-        self.records.iter().filter(move |r| r.at >= from && r.at < to)
+        self.records
+            .iter()
+            .filter(move |r| r.at >= from && r.at < to)
     }
 
     /// Records of one kind.

@@ -138,15 +138,18 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_per_seed() {
-        for kind in [WorkloadKind::YcsbA, WorkloadKind::SmallBank, WorkloadKind::TpcC] {
+        for kind in [
+            WorkloadKind::YcsbA,
+            WorkloadKind::SmallBank,
+            WorkloadKind::TpcC,
+        ] {
             let mut a = WorkloadGen::new(kind, 3);
             let mut b = WorkloadGen::new(kind, 3);
             for _ in 0..50 {
                 assert_eq!(a.next_request().encode(), b.next_request().encode());
             }
             let mut c = WorkloadGen::new(kind, 4);
-            let differs = (0..50)
-                .any(|_| a.next_request().encode() != c.next_request().encode());
+            let differs = (0..50).any(|_| a.next_request().encode() != c.next_request().encode());
             assert!(differs, "different seeds should differ for {}", kind.name());
         }
     }

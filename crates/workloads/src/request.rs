@@ -192,7 +192,11 @@ impl Request {
                 b.push(*field);
                 pad_to(&mut b, YCSB_READ_BYTES);
             }
-            Request::YcsbWrite { key, field, value_seed } => {
+            Request::YcsbWrite {
+                key,
+                field,
+                value_seed,
+            } => {
                 b.push(K_YCSB_WRITE);
                 b.extend_from_slice(&key.to_le_bytes());
                 b.push(*field);
@@ -235,7 +239,12 @@ impl Request {
                 b.extend_from_slice(&amount.to_le_bytes());
                 pad_to(&mut b, SMALLBANK_BYTES);
             }
-            Request::TpccNewOrder { warehouse, district, customer, items } => {
+            Request::TpccNewOrder {
+                warehouse,
+                district,
+                customer,
+                items,
+            } => {
                 b.push(K_TPCC_NEWORDER);
                 b.extend_from_slice(&warehouse.to_le_bytes());
                 b.push(*district);
@@ -247,60 +256,12 @@ impl Request {
                 }
                 pad_to(&mut b, TPCC_NEW_ORDER_BYTES);
             }
-            Request::TpccOrderStatus { warehouse, district, customer } => {
-                // Read the customer row and the district's latest order id.
-                eff.read(c_key(*warehouse, *district, *customer));
-                let dk = d_key(*warehouse, *district);
-                eff.read(dk.clone());
-                let latest = read_i64(view, &dk, 1) - 1;
-                if latest >= 1 {
-                    eff.read(order_key(*warehouse, *district, latest));
-                }
-            }
-            Request::TpccDelivery { warehouse, carrier } => {
-                // Deliver the oldest undelivered order per district: read
-                // the delivery cursor, advance it, tag the order with the
-                // carrier.
-                for district in 0..crate::tpcc::TPCC_DISTRICTS {
-                    let cursor = format!("dlv:{warehouse}:{district}").into_bytes();
-                    eff.read(cursor.clone());
-                    let next_undelivered = read_i64(view, &cursor, 1);
-                    let dk = d_key(*warehouse, district);
-                    eff.read(dk.clone());
-                    let next_oid = read_i64(view, &dk, 1);
-                    if next_undelivered < next_oid {
-                        let ok = order_key(*warehouse, district, next_undelivered);
-                        eff.read(ok.clone());
-                        eff.write(
-                            format!("ocar:{warehouse}:{district}:{next_undelivered}")
-                                .into_bytes(),
-                            (*carrier as i64).to_le_bytes().to_vec(),
-                        );
-                        eff.write(cursor, (next_undelivered + 1).to_le_bytes().to_vec());
-                    }
-                }
-            }
-            Request::TpccStockLevel { warehouse, district, threshold } => {
-                // Read the stock rows of the last 20 orders' first items.
-                let dk = d_key(*warehouse, *district);
-                eff.read(dk.clone());
-                let next_oid = read_i64(view, &dk, 1);
-                let from = (next_oid - 20).max(1);
-                for oid in from..next_oid {
-                    eff.read(order_key(*warehouse, *district, oid));
-                }
-                // Sample a fixed slice of stock rows; count below threshold.
-                let mut low = 0i64;
-                for i in 0..20u32 {
-                    let sk = stock_key(*warehouse, i * 37 + *district as u32);
-                    eff.read(sk.clone());
-                    if read_i64(view, &sk, 100) < *threshold as i64 {
-                        low += 1;
-                    }
-                }
-                let _ = low; // read-only: result returned to the client
-            }
-            Request::TpccPayment { warehouse, district, customer, amount } => {
+            Request::TpccPayment {
+                warehouse,
+                district,
+                customer,
+                amount,
+            } => {
                 b.push(K_TPCC_PAYMENT);
                 b.extend_from_slice(&warehouse.to_le_bytes());
                 b.push(*district);
@@ -308,7 +269,11 @@ impl Request {
                 b.extend_from_slice(&amount.to_le_bytes());
                 pad_to(&mut b, TPCC_PAYMENT_BYTES);
             }
-            Request::TpccOrderStatus { warehouse, district, customer } => {
+            Request::TpccOrderStatus {
+                warehouse,
+                district,
+                customer,
+            } => {
                 b.push(K_TPCC_ORDERSTATUS);
                 b.extend_from_slice(&warehouse.to_le_bytes());
                 b.push(*district);
@@ -321,7 +286,11 @@ impl Request {
                 b.push(*carrier);
                 pad_to(&mut b, TPCC_DELIVERY_BYTES);
             }
-            Request::TpccStockLevel { warehouse, district, threshold } => {
+            Request::TpccStockLevel {
+                warehouse,
+                district,
+                threshold,
+            } => {
                 b.push(K_TPCC_STOCKLEVEL);
                 b.extend_from_slice(&warehouse.to_le_bytes());
                 b.push(*district);
@@ -337,20 +306,37 @@ impl Request {
         let mut r = Reader { b: bytes, pos: 0 };
         let kind = r.u8()?;
         let req = match kind {
-            K_YCSB_READ => Request::YcsbRead { key: r.u64()?, field: r.u8()? },
-            K_YCSB_WRITE => {
-                Request::YcsbWrite { key: r.u64()?, field: r.u8()?, value_seed: r.u64()? }
-            }
+            K_YCSB_READ => Request::YcsbRead {
+                key: r.u64()?,
+                field: r.u8()?,
+            },
+            K_YCSB_WRITE => Request::YcsbWrite {
+                key: r.u64()?,
+                field: r.u8()?,
+                value_seed: r.u64()?,
+            },
             K_SB_BALANCE => Request::SbBalance { acct: r.u64()? },
-            K_SB_DEPOSIT => Request::SbDepositChecking { acct: r.u64()?, amount: r.u32()? },
-            K_SB_TRANSACT => {
-                Request::SbTransactSavings { acct: r.u64()?, amount: r.u32()? as i32 }
-            }
-            K_SB_AMALGAMATE => Request::SbAmalgamate { src: r.u64()?, dst: r.u64()? },
-            K_SB_WRITECHECK => Request::SbWriteCheck { acct: r.u64()?, amount: r.u32()? },
-            K_SB_SENDPAYMENT => {
-                Request::SbSendPayment { src: r.u64()?, dst: r.u64()?, amount: r.u32()? }
-            }
+            K_SB_DEPOSIT => Request::SbDepositChecking {
+                acct: r.u64()?,
+                amount: r.u32()?,
+            },
+            K_SB_TRANSACT => Request::SbTransactSavings {
+                acct: r.u64()?,
+                amount: r.u32()? as i32,
+            },
+            K_SB_AMALGAMATE => Request::SbAmalgamate {
+                src: r.u64()?,
+                dst: r.u64()?,
+            },
+            K_SB_WRITECHECK => Request::SbWriteCheck {
+                acct: r.u64()?,
+                amount: r.u32()?,
+            },
+            K_SB_SENDPAYMENT => Request::SbSendPayment {
+                src: r.u64()?,
+                dst: r.u64()?,
+                amount: r.u32()?,
+            },
             K_TPCC_NEWORDER => {
                 let warehouse = r.u16()?;
                 let district = r.u8()?;
@@ -360,7 +346,12 @@ impl Request {
                 for _ in 0..n {
                     items.push((r.u32()?, r.u8()?));
                 }
-                Request::TpccNewOrder { warehouse, district, customer, items }
+                Request::TpccNewOrder {
+                    warehouse,
+                    district,
+                    customer,
+                    items,
+                }
             }
             K_TPCC_PAYMENT => Request::TpccPayment {
                 warehouse: r.u16()?,
@@ -373,7 +364,10 @@ impl Request {
                 district: r.u8()?,
                 customer: r.u32()?,
             },
-            K_TPCC_DELIVERY => Request::TpccDelivery { warehouse: r.u16()?, carrier: r.u8()? },
+            K_TPCC_DELIVERY => Request::TpccDelivery {
+                warehouse: r.u16()?,
+                carrier: r.u8()?,
+            },
             K_TPCC_STOCKLEVEL => Request::TpccStockLevel {
                 warehouse: r.u16()?,
                 district: r.u8()?,
@@ -386,7 +380,11 @@ impl Request {
 }
 
 fn pad_to(b: &mut Vec<u8>, size: usize) {
-    debug_assert!(b.len() <= size, "fields overflow wire size {size}: {}", b.len());
+    debug_assert!(
+        b.len() <= size,
+        "fields overflow wire size {size}: {}",
+        b.len()
+    );
     b.resize(size, 0);
 }
 
@@ -431,7 +429,9 @@ fn ycsb_value(seed: u64) -> Vec<u8> {
     let mut v = Vec::with_capacity(100);
     let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
     while v.len() < 100 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         v.extend_from_slice(&x.to_le_bytes());
     }
     v.truncate(100);
@@ -475,7 +475,11 @@ impl DetTransaction for Request {
             Request::YcsbRead { key, field } => {
                 eff.read(ycsb_key(*key, *field));
             }
-            Request::YcsbWrite { key, field, value_seed } => {
+            Request::YcsbWrite {
+                key,
+                field,
+                value_seed,
+            } => {
                 eff.write(ycsb_key(*key, *field), ycsb_value(*value_seed));
             }
             Request::SbBalance { acct } => {
@@ -519,8 +523,11 @@ impl DetTransaction for Request {
                     + read_i64(view, &sk, SB_INITIAL_BALANCE);
                 let cbal = read_i64(view, &ck, SB_INITIAL_BALANCE);
                 // Overdraft penalty of 1 if the check exceeds total funds.
-                let debit =
-                    if total < *amount as i64 { *amount as i64 + 1 } else { *amount as i64 };
+                let debit = if total < *amount as i64 {
+                    *amount as i64 + 1
+                } else {
+                    *amount as i64
+                };
                 eff.write(ck, (cbal - debit).to_le_bytes().to_vec());
             }
             Request::SbSendPayment { src, dst, amount } => {
@@ -536,7 +543,12 @@ impl DetTransaction for Request {
                     eff.write(dk, (dbal + *amount as i64).to_le_bytes().to_vec());
                 }
             }
-            Request::TpccNewOrder { warehouse, district, customer, items } => {
+            Request::TpccNewOrder {
+                warehouse,
+                district,
+                customer,
+                items,
+            } => {
                 // Reads: warehouse tax, customer discount.
                 eff.read(w_key(*warehouse));
                 eff.read(c_key(*warehouse, *district, *customer));
@@ -564,7 +576,11 @@ impl DetTransaction for Request {
                     eff.write(sk, new.to_le_bytes().to_vec());
                 }
             }
-            Request::TpccOrderStatus { warehouse, district, customer } => {
+            Request::TpccOrderStatus {
+                warehouse,
+                district,
+                customer,
+            } => {
                 // Read the customer row and the district's latest order id.
                 eff.read(c_key(*warehouse, *district, *customer));
                 let dk = d_key(*warehouse, *district);
@@ -589,15 +605,18 @@ impl DetTransaction for Request {
                         let ok = order_key(*warehouse, district, next_undelivered);
                         eff.read(ok.clone());
                         eff.write(
-                            format!("ocar:{warehouse}:{district}:{next_undelivered}")
-                                .into_bytes(),
+                            format!("ocar:{warehouse}:{district}:{next_undelivered}").into_bytes(),
                             (*carrier as i64).to_le_bytes().to_vec(),
                         );
                         eff.write(cursor, (next_undelivered + 1).to_le_bytes().to_vec());
                     }
                 }
             }
-            Request::TpccStockLevel { warehouse, district, threshold } => {
+            Request::TpccStockLevel {
+                warehouse,
+                district,
+                threshold,
+            } => {
                 // Read the stock rows of the last 20 orders' first items.
                 let dk = d_key(*warehouse, *district);
                 eff.read(dk.clone());
@@ -617,7 +636,12 @@ impl DetTransaction for Request {
                 }
                 let _ = low; // read-only: result returned to the client
             }
-            Request::TpccPayment { warehouse, district, customer, amount } => {
+            Request::TpccPayment {
+                warehouse,
+                district,
+                customer,
+                amount,
+            } => {
                 // Warehouse YTD: the per-warehouse hotspot row.
                 let wk = w_key(*warehouse);
                 eff.read(wk.clone());
@@ -651,14 +675,32 @@ mod tests {
 
     #[test]
     fn encode_sizes_are_exact() {
-        assert_eq!(Request::YcsbRead { key: 1, field: 2 }.encode().len(), YCSB_READ_BYTES);
         assert_eq!(
-            Request::YcsbWrite { key: 1, field: 2, value_seed: 3 }.encode().len(),
+            Request::YcsbRead { key: 1, field: 2 }.encode().len(),
+            YCSB_READ_BYTES
+        );
+        assert_eq!(
+            Request::YcsbWrite {
+                key: 1,
+                field: 2,
+                value_seed: 3
+            }
+            .encode()
+            .len(),
             YCSB_WRITE_BYTES
         );
-        assert_eq!(Request::SbBalance { acct: 1 }.encode().len(), SMALLBANK_BYTES);
         assert_eq!(
-            Request::SbSendPayment { src: 1, dst: 2, amount: 3 }.encode().len(),
+            Request::SbBalance { acct: 1 }.encode().len(),
+            SMALLBANK_BYTES
+        );
+        assert_eq!(
+            Request::SbSendPayment {
+                src: 1,
+                dst: 2,
+                amount: 3
+            }
+            .encode()
+            .len(),
             SMALLBANK_BYTES
         );
         assert_eq!(
@@ -673,9 +715,14 @@ mod tests {
             TPCC_NEW_ORDER_BYTES
         );
         assert_eq!(
-            Request::TpccPayment { warehouse: 1, district: 2, customer: 3, amount: 4 }
-                .encode()
-                .len(),
+            Request::TpccPayment {
+                warehouse: 1,
+                district: 2,
+                customer: 3,
+                amount: 4
+            }
+            .encode()
+            .len(),
             TPCC_PAYMENT_BYTES
         );
     }
@@ -684,23 +731,56 @@ mod tests {
     fn roundtrip_every_variant() {
         let reqs = vec![
             Request::YcsbRead { key: 77, field: 9 },
-            Request::YcsbWrite { key: 77, field: 9, value_seed: 1234 },
+            Request::YcsbWrite {
+                key: 77,
+                field: 9,
+                value_seed: 1234,
+            },
             Request::SbBalance { acct: 42 },
-            Request::SbDepositChecking { acct: 42, amount: 17 },
-            Request::SbTransactSavings { acct: 42, amount: -5 },
+            Request::SbDepositChecking {
+                acct: 42,
+                amount: 17,
+            },
+            Request::SbTransactSavings {
+                acct: 42,
+                amount: -5,
+            },
             Request::SbAmalgamate { src: 1, dst: 2 },
-            Request::SbWriteCheck { acct: 42, amount: 99 },
-            Request::SbSendPayment { src: 1, dst: 2, amount: 3 },
+            Request::SbWriteCheck {
+                acct: 42,
+                amount: 99,
+            },
+            Request::SbSendPayment {
+                src: 1,
+                dst: 2,
+                amount: 3,
+            },
             Request::TpccNewOrder {
                 warehouse: 12,
                 district: 3,
                 customer: 456,
                 items: vec![(100, 2), (200, 7)],
             },
-            Request::TpccPayment { warehouse: 12, district: 3, customer: 456, amount: 5000 },
-            Request::TpccOrderStatus { warehouse: 12, district: 3, customer: 456 },
-            Request::TpccDelivery { warehouse: 12, carrier: 7 },
-            Request::TpccStockLevel { warehouse: 12, district: 3, threshold: 15 },
+            Request::TpccPayment {
+                warehouse: 12,
+                district: 3,
+                customer: 456,
+                amount: 5000,
+            },
+            Request::TpccOrderStatus {
+                warehouse: 12,
+                district: 3,
+                customer: 456,
+            },
+            Request::TpccDelivery {
+                warehouse: 12,
+                carrier: 7,
+            },
+            Request::TpccStockLevel {
+                warehouse: 12,
+                district: 3,
+                threshold: 15,
+            },
         ];
         for r in reqs {
             let bytes = r.encode();
@@ -721,9 +801,20 @@ mod tests {
         }];
         AriaExecutor::new().execute_batch(&mut store, &seed);
         let batch = vec![
-            Request::TpccOrderStatus { warehouse: 0, district: 0, customer: 1 },
-            Request::TpccStockLevel { warehouse: 0, district: 0, threshold: 15 },
-            Request::TpccDelivery { warehouse: 0, carrier: 3 },
+            Request::TpccOrderStatus {
+                warehouse: 0,
+                district: 0,
+                customer: 1,
+            },
+            Request::TpccStockLevel {
+                warehouse: 0,
+                district: 0,
+                threshold: 15,
+            },
+            Request::TpccDelivery {
+                warehouse: 0,
+                carrier: 3,
+            },
         ];
         let out = AriaExecutor::new().execute_batch(&mut store, &batch);
         // Reads commit; Delivery writes the carrier + advances its cursor.
@@ -731,7 +822,10 @@ mod tests {
         assert!(store.get(b"ocar:0:0:1".as_slice()).is_some());
         assert_eq!(read_i64(&store, b"dlv:0:0", 1), 2);
         // A second Delivery finds nothing undelivered and writes nothing.
-        let again = vec![Request::TpccDelivery { warehouse: 0, carrier: 4 }];
+        let again = vec![Request::TpccDelivery {
+            warehouse: 0,
+            carrier: 4,
+        }];
         AriaExecutor::new().execute_batch(&mut store, &again);
         assert!(store.get(b"ocar:0:0:2".as_slice()).is_none());
     }
@@ -758,16 +852,30 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(Request::decode(&[]).unwrap_err(), DecodeError::Truncated);
-        assert_eq!(Request::decode(&[99]).unwrap_err(), DecodeError::UnknownKind(99));
-        assert_eq!(Request::decode(&[K_YCSB_READ, 1, 2]).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            Request::decode(&[99]).unwrap_err(),
+            DecodeError::UnknownKind(99)
+        );
+        assert_eq!(
+            Request::decode(&[K_YCSB_READ, 1, 2]).unwrap_err(),
+            DecodeError::Truncated
+        );
     }
 
     #[test]
     fn smallbank_money_is_conserved_by_send_payment() {
         let mut store = KvStore::new();
         let batch = vec![
-            Request::SbSendPayment { src: 1, dst: 2, amount: 500 },
-            Request::SbSendPayment { src: 3, dst: 4, amount: 700 },
+            Request::SbSendPayment {
+                src: 1,
+                dst: 2,
+                amount: 500,
+            },
+            Request::SbSendPayment {
+                src: 3,
+                dst: 4,
+                amount: 700,
+            },
         ];
         let out = AriaExecutor::new().execute_batch(&mut store, &batch);
         assert_eq!(out.committed, 2);
@@ -780,7 +888,11 @@ mod tests {
     #[test]
     fn send_payment_aborts_on_insufficient_funds() {
         let mut store = KvStore::new();
-        let batch = vec![Request::SbSendPayment { src: 1, dst: 2, amount: 1_000_000 }];
+        let batch = vec![Request::SbSendPayment {
+            src: 1,
+            dst: 2,
+            amount: 1_000_000,
+        }];
         let out = AriaExecutor::new().execute_batch(&mut store, &batch);
         assert_eq!(out.committed, 0);
         assert_eq!(out.outcomes[0], massbft_db::TxnOutcome::LogicAborted);
@@ -790,7 +902,10 @@ mod tests {
     fn write_check_applies_overdraft_penalty() {
         let mut store = KvStore::new();
         // Total funds 20_000; check of 30_000 → penalty.
-        let batch = vec![Request::SbWriteCheck { acct: 5, amount: 30_000 }];
+        let batch = vec![Request::SbWriteCheck {
+            acct: 5,
+            amount: 30_000,
+        }];
         AriaExecutor::new().execute_batch(&mut store, &batch);
         let bal = read_i64(&store, &sb_checking(5), SB_INITIAL_BALANCE);
         assert_eq!(bal, SB_INITIAL_BALANCE - 30_001);
@@ -820,12 +935,12 @@ mod tests {
         };
         // Two NewOrders in one batch hit the same district row: the second
         // conflict-aborts (the paper's hotspot effect).
-        let out = AriaExecutor::new().execute_batch(&mut store, &vec![mk(1), mk(2)]);
+        let out = AriaExecutor::new().execute_batch(&mut store, &[mk(1), mk(2)]);
         assert_eq!(out.committed, 1);
         assert_eq!(out.conflict_aborted, vec![1]);
         assert_eq!(read_i64(&store, &d_key(0, 0), 1), 2);
         // Sequential batches both commit.
-        let out2 = AriaExecutor::new().execute_batch(&mut store, &vec![mk(2)]);
+        let out2 = AriaExecutor::new().execute_batch(&mut store, &[mk(2)]);
         assert_eq!(out2.committed, 1);
         assert_eq!(read_i64(&store, &d_key(0, 0), 1), 3);
         assert!(store.get(&order_key(0, 0, 1)).is_some());
@@ -835,9 +950,14 @@ mod tests {
     #[test]
     fn tpcc_payments_same_warehouse_conflict() {
         let mut store = KvStore::new();
-        let mk = |d: u8| Request::TpccPayment { warehouse: 3, district: d, customer: 1, amount: 10 };
+        let mk = |d: u8| Request::TpccPayment {
+            warehouse: 3,
+            district: d,
+            customer: 1,
+            amount: 10,
+        };
         // Different districts, same warehouse YTD row.
-        let out = AriaExecutor::new().execute_batch(&mut store, &vec![mk(0), mk(1)]);
+        let out = AriaExecutor::new().execute_batch(&mut store, &[mk(0), mk(1)]);
         assert_eq!(out.committed, 1);
         assert_eq!(out.conflict_aborted.len(), 1);
     }

@@ -26,7 +26,10 @@ impl SmallBankGen {
         let acct = rng.gen_range(0..SB_ACCOUNTS);
         match rng.gen_range(0..6u8) {
             0 => Request::SbBalance { acct },
-            1 => Request::SbDepositChecking { acct, amount: rng.gen_range(1..100) },
+            1 => Request::SbDepositChecking {
+                acct,
+                amount: rng.gen_range(1..100),
+            },
             2 => Request::SbTransactSavings {
                 acct,
                 amount: rng.gen_range(-100i32..200),
@@ -35,10 +38,17 @@ impl SmallBankGen {
                 let dst = distinct(rng, acct);
                 Request::SbAmalgamate { src: acct, dst }
             }
-            4 => Request::SbWriteCheck { acct, amount: rng.gen_range(1..200) },
+            4 => Request::SbWriteCheck {
+                acct,
+                amount: rng.gen_range(1..200),
+            },
             _ => {
                 let dst = distinct(rng, acct);
-                Request::SbSendPayment { src: acct, dst, amount: rng.gen_range(1..100) }
+                Request::SbSendPayment {
+                    src: acct,
+                    dst,
+                    amount: rng.gen_range(1..100),
+                }
             }
         }
     }

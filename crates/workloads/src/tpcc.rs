@@ -48,7 +48,12 @@ impl TpccGen {
             let items = (0..n_items)
                 .map(|_| (nurand(rng, 8191, TPCC_ITEMS), rng.gen_range(1..=10u8)))
                 .collect();
-            Request::TpccNewOrder { warehouse, district, customer, items }
+            Request::TpccNewOrder {
+                warehouse,
+                district,
+                customer,
+                items,
+            }
         };
         let payment = |rng: &mut dyn rand::RngCore| Request::TpccPayment {
             warehouse,
@@ -57,13 +62,24 @@ impl TpccGen {
             amount: rng.gen_range(100..500_000),
         };
         if !self.full_mix {
-            return if rng.gen_bool(0.5) { new_order(rng) } else { payment(rng) };
+            return if rng.gen_bool(0.5) {
+                new_order(rng)
+            } else {
+                payment(rng)
+            };
         }
         match rng.gen_range(0..100u8) {
             0..=44 => new_order(rng),
             45..=87 => payment(rng),
-            88..=91 => Request::TpccOrderStatus { warehouse, district, customer },
-            92..=95 => Request::TpccDelivery { warehouse, carrier: rng.gen_range(0..10) },
+            88..=91 => Request::TpccOrderStatus {
+                warehouse,
+                district,
+                customer,
+            },
+            92..=95 => Request::TpccDelivery {
+                warehouse,
+                carrier: rng.gen_range(0..10),
+            },
             _ => Request::TpccStockLevel {
                 warehouse,
                 district,
@@ -74,7 +90,7 @@ impl TpccGen {
 }
 
 /// TPC-C NURand(A, x): non-uniform random over `0..n`.
-fn nurand(rng: &mut impl Rng, a: u32, n: u32) -> u32 {
+fn nurand<R: Rng + ?Sized>(rng: &mut R, a: u32, n: u32) -> u32 {
     const C: u32 = 42; // the run constant
     ((rng.gen_range(0..=a) | rng.gen_range(0..n)) + C) % n
 }
@@ -101,7 +117,13 @@ mod tests {
         let mut gen = TpccGen::new();
         let mut rng = SmallRng::seed_from_u64(12);
         for _ in 0..2000 {
-            if let Request::TpccNewOrder { items, warehouse, district, .. } = gen.next(&mut rng) {
+            if let Request::TpccNewOrder {
+                items,
+                warehouse,
+                district,
+                ..
+            } = gen.next(&mut rng)
+            {
                 assert!((5..=15).contains(&items.len()));
                 assert!(warehouse < TPCC_WAREHOUSES);
                 assert!(district < TPCC_DISTRICTS);

@@ -25,7 +25,10 @@ impl YcsbGen {
             WorkloadKind::YcsbB => 0.05,
             _ => 0.50,
         };
-        YcsbGen { zipf: Zipfian::new(YCSB_ROWS, 0.99), write_fraction }
+        YcsbGen {
+            zipf: Zipfian::new(YCSB_ROWS, 0.99),
+            write_fraction,
+        }
     }
 
     /// Draws the next request.
@@ -33,7 +36,11 @@ impl YcsbGen {
         let key = self.zipf.sample_scrambled(rng);
         let field = rng.gen_range(0..YCSB_FIELDS);
         if rng.gen_bool(self.write_fraction) {
-            Request::YcsbWrite { key, field, value_seed: rng.gen() }
+            Request::YcsbWrite {
+                key,
+                field,
+                value_seed: rng.gen(),
+            }
         } else {
             Request::YcsbRead { key, field }
         }

@@ -35,24 +35,27 @@ fn main() {
     let digest = entry_digest(&entry);
 
     // 2f+1 = 3 signatures from the 4-node proposing group.
-    let cert = QuorumCert::assemble(
-        digest,
-        0,
-        &registry,
-        (0..3).map(|i| NodeId::new(0, i)),
+    let cert = QuorumCert::assemble(digest, 0, &registry, (0..3).map(|i| NodeId::new(0, i)));
+    cert.validate_for(&digest, &registry)
+        .expect("quorum certificate");
+    println!(
+        "entry {id}: {} bytes, certified by {} signers",
+        entry.len(),
+        cert.signatures.len()
     );
-    cert.validate_for(&digest, &registry).expect("quorum certificate");
-    println!("entry {id}: {} bytes, certified by {} signers", entry.len(), cert.signatures.len());
 
     // --- 2. erasure-coded bijective transfer -------------------------------
     // 4-node group sends to a 7-node group: the paper's Fig. 5b geometry.
-    let plan = TransferPlan::generate(4, 7).expect("plan");
+    let plan = std::sync::Arc::new(TransferPlan::generate(4, 7).expect("plan"));
     println!(
         "transfer plan: {} chunks total, {} data + {} parity, {:.2}x WAN amplification",
-        plan.n_total, plan.n_data, plan.n_parity, plan.amplification()
+        plan.n_total,
+        plan.n_data,
+        plan.n_parity,
+        plan.amplification()
     );
 
-    let mut assembler = ChunkAssembler::new(plan.clone(), registry.clone());
+    let mut assembler = ChunkAssembler::new(std::sync::Arc::clone(&plan), registry.clone());
     let mut rebuilt = None;
     'send: for sender in 0..4u32 {
         // Sender 3 is faulty and sends nothing; receivers 5 and 6 are
@@ -79,7 +82,9 @@ fn main() {
     // --- 3. deterministic execution on two replicas ------------------------
     let decode = |bytes: &[u8]| -> Vec<Request> {
         let (_, reqs) = massbft::core::entry::decode_batch(bytes).expect("framing");
-        reqs.iter().filter_map(|r| Request::decode(r).ok()).collect()
+        reqs.iter()
+            .filter_map(|r| Request::decode(r).ok())
+            .collect()
     };
 
     let executor = AriaExecutor::new();
@@ -96,5 +101,8 @@ fn main() {
     );
     assert_eq!(out_a.committed, out_b.committed);
     assert_eq!(replica_a.content_hash(), replica_b.content_hash());
-    println!("replica states agree: content hash {:#018x}", replica_a.content_hash());
+    println!(
+        "replica states agree: content hash {:#018x}",
+        replica_a.content_hash()
+    );
 }

@@ -61,7 +61,10 @@ fn main() {
     // The invariants the paper's §VI-E argues for:
     // 1. Byzantine chunks never corrupt state — the certificate check
     //    condemns tampered buckets, so replicas agree throughout.
-    assert!(cluster.check_consistency(), "replicas diverged under faults");
+    assert!(
+        cluster.check_consistency(),
+        "replicas diverged under faults"
+    );
     // 2. The cluster keeps committing after losing a whole group
     //    (n_g = 3 ≥ 2 f_g + 1 with f_g = 1).
     let before_crash = CRASH_AT;

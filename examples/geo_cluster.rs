@@ -67,5 +67,8 @@ fn main() {
          (paper reports 5.49–29.96x on real WAN hardware)",
         massbft_ktps / best_other
     );
-    assert!(massbft_ktps > best_other, "MassBFT should lead the comparison");
+    assert!(
+        massbft_ktps > best_other,
+        "MassBFT should lead the comparison"
+    );
 }

@@ -42,6 +42,12 @@ fn main() {
     );
     println!("replicas agree  : {}", report.all_nodes_consistent);
 
-    assert!(report.all_nodes_consistent, "replicas must execute identically");
-    assert!(report.throughput.tps() > 0.0, "the cluster must make progress");
+    assert!(
+        report.all_nodes_consistent,
+        "replicas must execute identically"
+    );
+    assert!(
+        report.throughput.tps() > 0.0,
+        "the cluster must make progress"
+    );
 }

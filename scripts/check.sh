@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 build+test suite.
+# Usage: scripts/check.sh [--fast]   (--fast skips the release build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo build --release (tier-1)"
+  cargo build --release --workspace
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q --workspace
+
+echo "OK"

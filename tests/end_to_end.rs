@@ -27,7 +27,12 @@ fn every_workload_commits_and_agrees() {
             .arrival_tps(4000.0)
             .max_batch(80);
         let (_, r) = run(cfg, 3);
-        assert!(r.throughput.tps() > 500.0, "{}: {:.0} tps", w.name(), r.throughput.tps());
+        assert!(
+            r.throughput.tps() > 500.0,
+            "{}: {:.0} tps",
+            w.name(),
+            r.throughput.tps()
+        );
         assert!(r.all_nodes_consistent, "{}: replicas diverged", w.name());
     }
 }
@@ -115,7 +120,11 @@ fn per_group_throughput_sums_to_total() {
     let sum: f64 = r.per_group_tps.iter().sum();
     // per_group counters cover all executed txns since start; throughput
     // covers the window only — the sum must be at least the window rate.
-    assert!(sum >= r.throughput.tps() * 0.9, "sum {sum:.0} vs {:.0}", r.throughput.tps());
+    assert!(
+        sum >= r.throughput.tps() * 0.9,
+        "sum {sum:.0} vs {:.0}",
+        r.throughput.tps()
+    );
 }
 
 #[test]
@@ -145,7 +154,11 @@ fn ledgers_chain_and_agree_across_nodes() {
     let r = c.run_secs(3);
     assert!(r.all_nodes_consistent);
     let reference = c.node(NodeId::new(0, 0)).ledger();
-    assert!(reference.height() > 10, "ledger too short: {}", reference.height());
+    assert!(
+        reference.height() > 10,
+        "ledger too short: {}",
+        reference.height()
+    );
     assert!(reference.verify_chain());
     for g in 0..3u32 {
         for i in 0..4u32 {

@@ -23,7 +23,10 @@ fn byzantine_senders_cannot_corrupt_state() {
     let byz: Vec<NodeId> = (0..3).map(|g| NodeId::new(g, 3)).collect();
     let mut faulty = Cluster::new(small(Protocol::MassBft).byzantine(&byz, 0));
     let r = faulty.run_secs(3);
-    assert!(r.throughput.tps() > 500.0, "tampering throttled the cluster");
+    assert!(
+        r.throughput.tps() > 500.0,
+        "tampering throttled the cluster"
+    );
     assert!(r.all_nodes_consistent);
 }
 

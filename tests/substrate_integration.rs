@@ -36,24 +36,31 @@ fn worst_case_faults_never_block_rebuild_across_geometries() {
     // For a sweep of (sender, receiver) group sizes: lose every chunk a
     // worst-case fault pattern can take, feed the survivors, and demand a
     // rebuild. This is Algorithm 1's parity bound, end to end.
-    for (n1, n2) in [(4usize, 4usize), (4, 7), (7, 4), (7, 7), (10, 7), (13, 13), (4, 10)] {
+    for (n1, n2) in [
+        (4usize, 4usize),
+        (4, 7),
+        (7, 4),
+        (7, 7),
+        (10, 7),
+        (13, 13),
+        (4, 10),
+    ] {
         let Ok(plan) = TransferPlan::generate(n1, n2) else {
             continue;
         };
+        let plan = std::sync::Arc::new(plan);
         let registry = KeyRegistry::generate(77, &[n1, n2]);
         let (id, entry, cert) = certified_entry(&registry, 0, n1, 40);
         let f1 = max_faulty(n1);
         let f2 = max_faulty(n2);
 
-        let mut asm = ChunkAssembler::new(plan.clone(), registry.clone());
+        let mut asm = ChunkAssembler::new(std::sync::Arc::clone(&plan), registry.clone());
         let all = ChunkSender::encode_all(&plan, id, &entry).expect("encode");
         // Faulty senders: the last f1; faulty receivers: the last f2.
         let lost: std::collections::BTreeSet<u32> = plan
             .transfers
             .iter()
-            .filter(|t| {
-                (t.sender as usize) >= n1 - f1 || (t.receiver as usize) >= n2 - f2
-            })
+            .filter(|t| (t.sender as usize) >= n1 - f1 || (t.receiver as usize) >= n2 - f2)
             .map(|t| t.chunk)
             .collect();
         let mut rebuilt = None;
@@ -75,7 +82,7 @@ fn tampered_and_honest_chunk_streams_interleave_safely() {
     // Adversarial interleaving: honest and tampered chunks alternate;
     // the honest encoding must win and the tampered one must never pass
     // certificate validation.
-    let plan = TransferPlan::generate(7, 7).expect("plan");
+    let plan = std::sync::Arc::new(TransferPlan::generate(7, 7).expect("plan"));
     let registry = KeyRegistry::generate(3, &[7, 7]);
     let (id, entry, cert) = certified_entry(&registry, 0, 7, 25);
     let evil_entry = encode_batch(id, &[b"forged".to_vec()]);
@@ -108,8 +115,12 @@ fn certificates_are_not_transferable_between_entries() {
     let id_b = EntryId::new(0, 2);
     let entry_b = encode_batch(id_b, &[b"other".to_vec()]);
     // cert_a validates entry_a but must reject entry_b.
-    assert!(cert_a.validate_for(&entry_digest(&entry_a), &registry).is_ok());
-    assert!(cert_a.validate_for(&entry_digest(&entry_b), &registry).is_err());
+    assert!(cert_a
+        .validate_for(&entry_digest(&entry_a), &registry)
+        .is_ok());
+    assert!(cert_a
+        .validate_for(&entry_digest(&entry_b), &registry)
+        .is_err());
 }
 
 proptest! {
@@ -125,6 +136,7 @@ proptest! {
         let Ok(plan) = TransferPlan::generate(n1, n2) else {
             return Ok(()); // geometry outside GF(2^8) limits
         };
+        let plan = std::sync::Arc::new(plan);
         let registry = KeyRegistry::generate(9, &[n1.max(4), n2.max(4)]);
         let (id, entry, cert) = certified_entry(&registry, 0, n1.max(4), txns);
 
@@ -136,7 +148,7 @@ proptest! {
         let lost: std::collections::BTreeSet<u32> =
             order.into_iter().take(plan.n_parity).collect();
 
-        let mut asm = ChunkAssembler::new(plan.clone(), registry);
+        let mut asm = ChunkAssembler::new(std::sync::Arc::clone(&plan), registry);
         let all = ChunkSender::encode_all(&plan, id, &entry).expect("encode");
         let mut rebuilt = None;
         for msg in all {
