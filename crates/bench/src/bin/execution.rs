@@ -1,0 +1,261 @@
+//! Emits `BENCH_execution.json`: serial vs multi-worker Aria execution
+//! throughput over the paper's transaction mixes.
+//!
+//! ```text
+//! cargo run -p massbft-bench --release --bin execution
+//! cargo run -p massbft-bench --release --bin execution -- --quick
+//! ```
+//!
+//! Three batch workloads, each executed through the full Aria pipeline
+//! (snapshot execution → reservations → commit checks → sharded apply):
+//!
+//! - `ycsb_uniform` — 1M-row YCSB, uniform keys, 50/50 read/write: the
+//!   embarrassingly parallel case (near-zero conflicts) that measures raw
+//!   pipeline scaling.
+//! - `ycsb_zipf` — the paper's Zipf(0.99) hotspot mix: scaling under
+//!   skew, where reservation merging actually has collisions.
+//! - `smallbank` — SmallBank over 1M accounts: RMW transactions with
+//!   logic aborts.
+//!
+//! The serial baseline is `AriaExecutor::new()` — the exact pre-PR code
+//! path — and every parallel run is checked for bit-identical committed
+//! counts and store fingerprints against it before any number is
+//! reported (determinism is the acceptance constraint, speed second).
+//! Worker sweeps cover 1/2/4/8 lanes; `host_cores` is recorded because
+//! speedup on a single-core container is physically capped at 1x — the
+//! ≥2.5x acceptance target applies to multi-core hosts.
+
+use massbft_core::stats::{execution_stats, ExecStats};
+use massbft_db::{AriaExecutor, KvStore};
+use massbft_workloads::{zipf::Zipfian, Request};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// YCSB/SmallBank domain (paper §VI: 1M rows / accounts).
+const ROWS: u64 = 1_000_000;
+
+fn gen_ycsb_uniform(rng: &mut SmallRng) -> Request {
+    let key = rng.gen_range(0..ROWS);
+    let field = rng.gen_range(0..10u8);
+    if rng.gen_bool(0.5) {
+        Request::YcsbWrite {
+            key,
+            field,
+            value_seed: rng.gen(),
+        }
+    } else {
+        Request::YcsbRead { key, field }
+    }
+}
+
+fn gen_smallbank(rng: &mut SmallRng) -> Request {
+    let acct = rng.gen_range(0..ROWS);
+    match rng.gen_range(0..5u8) {
+        0 => Request::SbBalance { acct },
+        1 => Request::SbDepositChecking {
+            acct,
+            amount: rng.gen_range(1..100),
+        },
+        2 => Request::SbTransactSavings {
+            acct,
+            amount: rng.gen_range(-50..100),
+        },
+        3 => Request::SbWriteCheck {
+            acct,
+            amount: rng.gen_range(1..100),
+        },
+        _ => Request::SbSendPayment {
+            src: acct,
+            dst: rng.gen_range(0..ROWS),
+            amount: rng.gen_range(1..50),
+        },
+    }
+}
+
+/// Pre-builds the batch stream for one workload so every executor config
+/// chews through identical transactions.
+fn build_batches(name: &str, batch: usize, batches: usize, seed: u64) -> Vec<Vec<Request>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let zipf = Zipfian::new(ROWS, 0.99);
+    (0..batches)
+        .map(|_| {
+            (0..batch)
+                .map(|_| match name {
+                    "ycsb_uniform" => gen_ycsb_uniform(&mut rng),
+                    "ycsb_zipf" => {
+                        // Hotspot mix: scrambled-Zipf keys, 50/50 r/w.
+                        let key = zipf.sample_scrambled(&mut rng);
+                        let field = rng.gen_range(0..10u8);
+                        if rng.gen_bool(0.5) {
+                            Request::YcsbWrite {
+                                key,
+                                field,
+                                value_seed: rng.gen(),
+                            }
+                        } else {
+                            Request::YcsbRead { key, field }
+                        }
+                    }
+                    _ => gen_smallbank(&mut rng),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct RunResult {
+    workers: usize,
+    ktps: f64,
+    committed: u64,
+    fingerprint: u64,
+    stats: ExecStats,
+}
+
+/// Runs all batches through one executor config on a fresh store.
+fn run(exec: &AriaExecutor, workers: usize, batches: &[Vec<Request>]) -> RunResult {
+    let before = execution_stats();
+    let mut store = KvStore::new();
+    let mut committed = 0u64;
+    let t0 = Instant::now();
+    for b in batches {
+        committed += exec.execute_batch(&mut store, b).committed as u64;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let txns: usize = batches.iter().map(Vec::len).sum();
+    RunResult {
+        workers,
+        ktps: txns as f64 / secs / 1e3,
+        committed,
+        fingerprint: store.content_hash(),
+        stats: execution_stats().since(&before),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (batch, batches) = if quick { (4096, 4) } else { (8192, 12) };
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let worker_sweep = [1usize, 2, 4, 8];
+
+    println!(
+        "execution pipeline bench: {batches} batches x {batch} txns, host cores = {host_cores}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"execution_pipeline\",\n");
+    let _ = writeln!(json, "  \"batch_txns\": {batch},");
+    let _ = writeln!(json, "  \"batches\": {batches},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"workloads\": [\n");
+
+    let mut uniform_speedup_at_4 = 0.0f64;
+    let workloads = ["ycsb_uniform", "ycsb_zipf", "smallbank"];
+    for (wi, name) in workloads.iter().enumerate() {
+        let stream = build_batches(name, batch, batches, 0xB0B + wi as u64);
+
+        // Serial baseline: the pre-PR executor, exact code path.
+        let baseline = run(&AriaExecutor::new(), 1, &stream);
+        println!(
+            "{name:>14}  serial baseline {:>8.1} ktps  abort_rate {:.4}",
+            baseline.ktps,
+            baseline.stats.abort_rate()
+        );
+
+        let mut rows = Vec::new();
+        for &w in &worker_sweep {
+            let r = run(&AriaExecutor::parallel(w), w, &stream);
+            // Determinism gate: a wrong parallel result invalidates the
+            // bench outright.
+            assert_eq!(
+                (r.committed, r.fingerprint),
+                (baseline.committed, baseline.fingerprint),
+                "parallel run (workers={w}) diverged from serial on {name}"
+            );
+            let speedup = r.ktps / baseline.ktps;
+            if *name == "ycsb_uniform" && w == 4 {
+                uniform_speedup_at_4 = speedup;
+            }
+            println!(
+                "{name:>14}  workers={w}  {:>8.1} ktps  speedup {speedup:>5.2}x  util {:.2}",
+                r.ktps,
+                r.stats.worker_utilization()
+            );
+            rows.push(r);
+        }
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{name}\",");
+        let _ = writeln!(
+            json,
+            "      \"serial_baseline\": {{\"ktps\": {:.1}, \"committed\": {}, \
+             \"abort_rate\": {:.4}, \"fingerprint\": \"{:016x}\"}},",
+            baseline.ktps,
+            baseline.committed,
+            baseline.stats.abort_rate(),
+            baseline.fingerprint
+        );
+        json.push_str("      \"parallel\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let s = &r.stats;
+            let phase_total = (s.execute_ns + s.reserve_ns + s.commit_ns).max(1) as f64;
+            let _ = writeln!(
+                json,
+                "        {{\"workers\": {}, \"ktps\": {:.1}, \"speedup\": {:.2}, \
+                 \"matches_serial\": true, \"worker_utilization\": {:.3}, \
+                 \"abort_rate\": {:.4}, \
+                 \"phase_share\": {{\"execute\": {:.3}, \"reserve\": {:.3}, \"commit\": {:.3}}}}}{}",
+                r.workers,
+                r.ktps,
+                r.ktps / baseline.ktps,
+                s.worker_utilization(),
+                s.abort_rate(),
+                s.execute_ns as f64 / phase_total,
+                s.reserve_ns as f64 / phase_total,
+                s.commit_ns as f64 / phase_total,
+                if i + 1 == rows.len() { "" } else { "," },
+            );
+        }
+        json.push_str("      ]\n");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 == workloads.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+
+    // Acceptance: >= 2.5x at 4 workers on uniform YCSB — only physically
+    // measurable when the host has >= 4 cores; a 1-core container caps
+    // every speedup at ~1x no matter how good the pipeline is.
+    let multi_core = host_cores >= 4;
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"workload\": \"ycsb_uniform\", \"workers\": 4, \
+         \"speedup\": {:.2}, \"target\": 2.5, \"multi_core_host\": {}, \"pass\": {}}}",
+        uniform_speedup_at_4,
+        multi_core,
+        if multi_core {
+            if uniform_speedup_at_4 >= 2.5 {
+                "true"
+            } else {
+                "false"
+            }
+        } else {
+            "\"not evaluable on single-core host (speedup physically capped at 1x); \
+             parity checked instead\""
+        }
+    );
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_execution.json", &json).expect("write BENCH_execution.json");
+    println!("wrote BENCH_execution.json");
+    println!(
+        "acceptance: uniform-YCSB speedup at 4 workers = {uniform_speedup_at_4:.2}x \
+         (target 2.5x on multi-core; host has {host_cores})"
+    );
+}

@@ -85,6 +85,20 @@ impl ClusterConfig {
         self
     }
 
+    /// Sets the Aria worker lanes per node (1 = serial). Any width
+    /// produces bit-identical runs; see `tests/determinism.rs`.
+    pub fn exec_workers(mut self, n: usize) -> Self {
+        self.params.exec_workers = n;
+        self
+    }
+
+    /// Re-queues conflict-aborted transactions at the front of the next
+    /// entry's batch (off by default).
+    pub fn retry_aborts(mut self, on: bool) -> Self {
+        self.params.retry_aborts = on;
+        self
+    }
+
     /// Sets the default WAN uplink bandwidth in Mbps.
     pub fn wan_mbps(mut self, mbps: u64) -> Self {
         self.wan_mbps = mbps;

@@ -12,6 +12,9 @@
 //!   timestamps (§V).
 //! - [`round`] — the round-based synchronous ordering used by Baseline,
 //!   GeoBFT, and ISS (§II-A).
+//! - [`exec`] — the batched ordering→execution handoff feeding the
+//!   (optionally multi-core) Aria executor, with the deterministic
+//!   conflict-retry queue.
 //! - [`protocol`] — the unified node actor: one implementation with
 //!   configuration presets for **MassBFT**, **Baseline**, **GeoBFT**,
 //!   **Steward**, **ISS**, **BR** (bijective-only), and **EBR**
@@ -42,6 +45,7 @@
 
 pub mod cluster;
 pub mod entry;
+pub mod exec;
 pub mod ledger;
 pub mod ordering;
 pub mod plan;
@@ -51,6 +55,7 @@ pub mod round;
 pub mod stats;
 
 pub use entry::EntryId;
+pub use exec::{ExecutionPipeline, PreparedEntry};
 pub use ordering::OrderingEngine;
 pub use plan::TransferPlan;
 pub use replication::{ChunkAssembler, ChunkMsg, ChunkSender};

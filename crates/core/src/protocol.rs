@@ -34,6 +34,7 @@
 
 use crate::{
     entry::{decode_batch, encode_batch, entry_digest, EntryId},
+    exec::{ExecutionPipeline, PreparedEntry},
     ledger::Ledger,
     ordering::OrderingEngine,
     plan::TransferPlan,
@@ -46,7 +47,7 @@ use massbft_consensus::{
     raft::{RaftConfig, RaftMsg, RaftNode, RaftOutput},
 };
 use massbft_crypto::{cert::quorum, Digest, KeyRegistry, QuorumCert};
-use massbft_db::{AriaExecutor, KvStore};
+use massbft_db::WorkerPool;
 use massbft_sim_net::{Actor, Ctx, NodeId, SimMessage, Time, MILLISECOND};
 use massbft_workloads::{Request, WorkloadGen, WorkloadKind};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
@@ -137,6 +138,14 @@ pub struct ProtocolParams {
     pub byzantine_from_us: Time,
     /// RNG / key derivation seed.
     pub seed: u64,
+    /// Aria worker lanes for the execution pipeline (1 = serial).
+    /// Results are bit-identical at any width; this only changes how
+    /// fast the host chews through a batch.
+    pub exec_workers: usize,
+    /// Re-queue conflict-aborted transactions at the front of the next
+    /// entry's batch. Off by default to preserve the paper's
+    /// drop-on-conflict abort accounting (Fig. 8d).
+    pub retry_aborts: bool,
 }
 
 impl ProtocolParams {
@@ -169,6 +178,10 @@ impl ProtocolParams {
             byzantine_nodes: BTreeSet::new(),
             byzantine_from_us: 0,
             seed: 1,
+            // `MASSBFT_EXEC_WORKERS` lets check.sh force the whole test
+            // suite through the parallel executor.
+            exec_workers: WorkerPool::from_env().workers(),
+            retry_aborts: false,
         }
     }
 
@@ -362,8 +375,7 @@ pub struct Node {
     /// Execution.
     ordering: OrderingState,
     exec_queue: VecDeque<EntryId>,
-    store: KvStore,
-    executor: AriaExecutor,
+    pipeline: ExecutionPipeline,
     /// Raft appends carrying entries whose content has not arrived yet:
     /// the accept is withheld until the entry is held locally (paper
     /// Lemma V.1), keyed by instance.
@@ -559,8 +571,7 @@ impl Node {
             last_stalled: None,
             ordering,
             exec_queue: VecDeque::new(),
-            store: KvStore::new(),
-            executor: AriaExecutor::new(),
+            pipeline: ExecutionPipeline::new(params.exec_workers, params.retry_aborts),
             rep,
             executed_txns: 0,
             executed_entries: 0,
@@ -601,7 +612,7 @@ impl Node {
 
     /// Content hash of the node's database (replica-consistency checks).
     pub fn state_hash(&self) -> u64 {
-        self.store.content_hash()
+        self.pipeline.store().content_hash()
     }
 
     /// The executed entry ids, in execution order.
@@ -1300,13 +1311,18 @@ impl Node {
 
     // --- execution ----------------------------------------------------------
 
+    /// Drains every execution-ready entry off the queue front in one
+    /// pass (pop-and-take, no rescans) and hands the whole run to the
+    /// pipeline in a single batched call. The drain stops at the first
+    /// entry whose content hasn't arrived — order must be preserved.
     fn try_execute(&mut self, ctx: &mut Ctx<Msg>) {
+        let mut ready: Vec<(EntryId, Vec<u8>)> = Vec::new();
         while let Some(&id) = self.exec_queue.front() {
-            let ready = self
+            let runnable = self
                 .tracking
                 .get(&id)
                 .is_some_and(|t| t.bytes.is_some() && !t.executed);
-            if !ready {
+            if !runnable {
                 // Already-executed duplicates are dropped; missing content
                 // stalls the queue (order must be preserved).
                 if self.tracking.get(&id).is_some_and(|t| t.executed) {
@@ -1321,35 +1337,78 @@ impl Node {
                 .get_mut(&id)
                 .and_then(|t| t.bytes.take())
                 .expect("checked above");
-            self.execute_entry(ctx, id, &bytes);
+            ready.push((id, bytes));
+        }
+        if !ready.is_empty() {
+            self.execute_ready(ctx, ready);
         }
     }
 
-    fn execute_entry(&mut self, ctx: &mut Ctx<Msg>, id: EntryId, bytes: &[u8]) {
-        let Some((decoded_id, requests)) = decode_batch(bytes) else {
+    /// Executes a drained run of entries: one pipeline call for the
+    /// whole run (decoded up front), then per-entry ledger/latency/
+    /// archive bookkeeping. Replication-state cleanup that used to
+    /// rescan per entry (`stamped.retain`) now does a single pass over
+    /// the whole executed set.
+    fn execute_ready(&mut self, ctx: &mut Ctx<Msg>, ready: Vec<(EntryId, Vec<u8>)>) {
+        let mut prepared: Vec<PreparedEntry> = Vec::with_capacity(ready.len());
+        let mut contents: Vec<(EntryId, Vec<u8>)> = Vec::with_capacity(ready.len());
+        for (id, bytes) in ready {
+            let Some((decoded_id, requests)) = decode_batch(&bytes) else {
+                continue;
+            };
+            debug_assert_eq!(decoded_id, id);
+            let txns: Vec<Request> = requests
+                .iter()
+                .filter_map(|r| Request::decode(r).ok())
+                .collect();
+            prepared.push(PreparedEntry { id, txns });
+            contents.push((id, bytes));
+        }
+        if prepared.is_empty() {
             return;
-        };
-        debug_assert_eq!(decoded_id, id);
-        let txns: Vec<Request> = requests
-            .iter()
-            .filter_map(|r| Request::decode(r).ok())
-            .collect();
-        let out = self.executor.execute_batch(&mut self.store, &txns);
-        ctx.spend_cpu(txns.len() as Time * self.params.exec_us);
-        self.executed_txns += out.committed as u64;
+        }
+        let results = self.pipeline.execute_entries(prepared);
+
+        // Replication-state cleanup, one pass for the whole run.
+        if let Some(rep) = self.rep.as_mut() {
+            for (id, _) in &contents {
+                rep.unexecuted.remove(id);
+                rep.accept_tally.remove(id);
+            }
+            if contents.len() == 1 {
+                let id = contents[0].0;
+                rep.stamped.retain(|&(_, e)| e != id);
+            } else {
+                let executed: BTreeSet<EntryId> = contents.iter().map(|(id, _)| *id).collect();
+                rep.stamped.retain(|&(_, e)| !executed.contains(&e));
+            }
+        }
+
+        for (result, (id, bytes)) in results.into_iter().zip(&contents) {
+            self.record_executed(ctx, *id, bytes, result);
+        }
+    }
+
+    /// Per-entry bookkeeping after the pipeline has run an entry's batch.
+    fn record_executed(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        id: EntryId,
+        bytes: &[u8],
+        result: crate::exec::EntryResult,
+    ) {
+        ctx.spend_cpu(result.executed as Time * self.params.exec_us);
+        self.executed_txns += result.committed as u64;
         self.executed_entries += 1;
-        self.executed_by_group[id.gid as usize] += out.committed as u64;
+        self.executed_by_group[id.gid as usize] += result.committed as u64;
         self.exec_log.push(id);
         self.ledger
-            .append(id, entry_digest(bytes), self.store.content_hash());
+            .append(id, entry_digest(bytes), result.state_fingerprint);
 
         let my_group = self.id.group;
         let mut latency_sample = None;
         let mut phases = None;
         if let Some(rep) = self.rep.as_mut() {
-            rep.unexecuted.remove(&id);
-            rep.stamped.retain(|&(_, e)| e != id);
-            rep.accept_tally.remove(&id);
             if id.gid == my_group {
                 rep.in_flight.remove(&id);
                 let created = rep.created_at.remove(&id);

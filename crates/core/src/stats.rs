@@ -1,8 +1,21 @@
-//! Run statistics: throughput windows, latency distributions, and
-//! data-plane counters (decode-cache effectiveness, residual byte copies).
+//! Run statistics: throughput windows, latency distributions,
+//! data-plane counters (decode-cache effectiveness, residual byte
+//! copies), and execution-pipeline counters (per-phase Aria timings,
+//! worker utilization, abort rates — re-exported from `massbft-db`,
+//! which records them at the executor hot path).
 
 use massbft_sim_net::Time;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use massbft_db::stats::{exec_stats, BatchSample, ExecStats};
+
+/// Snapshot of the process-wide execution-pipeline counters: batch and
+/// transaction totals, commit/abort splits, execute/reserve/commit phase
+/// wall time, and busy-vs-capacity worker utilization. Monotonic;
+/// callers measure deltas via [`ExecStats::since`].
+pub fn execution_stats() -> ExecStats {
+    exec_stats()
+}
 
 /// Bytes the replication data plane still copies after the zero-copy work
 /// (entry framing on encode, framed reassembly + retained copy on rebuild).

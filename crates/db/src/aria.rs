@@ -1,4 +1,4 @@
-//! Aria-style deterministic batch execution.
+//! Aria-style deterministic batch execution, optionally multi-core.
 //!
 //! Aria (Lu, Yu, Cao, Madden — VLDB'20) executes a batch of transactions
 //! in three deterministic phases:
@@ -23,9 +23,39 @@
 //! relies on. The paper's TPC-C observation (Fig. 8d: bigger batches ⇒
 //! more conflicts on hotspot rows ⇒ higher abort rate) falls straight out
 //! of this design and is covered by tests below.
+//!
+//! ## Parallel mode
+//!
+//! [`AriaExecutor::parallel`] runs every phase across a [`WorkerPool`]
+//! with *bit-identical* results to the serial executor, at any worker
+//! count:
+//!
+//! - **Execution** partitions the batch into contiguous chunks; each
+//!   worker runs its chunk against the shared immutable snapshot.
+//! - **Reservation** builds a per-worker reservation map over that
+//!   worker's chunk, then merges lowest-txn-id-wins. Minimum is
+//!   commutative and associative, so the merged map cannot depend on
+//!   worker interleaving.
+//! - **Commit checks** are pure per-transaction reads of the merged map,
+//!   chunked like phase 1. The **apply** step buckets committed writes by
+//!   store shard and applies shard groups concurrently; the WAW rule
+//!   guarantees one committed writer per key, so per-shard order is
+//!   irrelevant (see [`KvStore`]'s striping docs).
+//!
+//! Small batches skip the fork-join entirely and take the exact serial
+//! path, so a parallel executor never pays thread overhead for work that
+//! doesn't amortize it.
 
+use crate::pool::WorkerPool;
+use crate::stats::{record_batch, BatchSample};
 use crate::{store::KvStore, DetTransaction, Key, Value};
 use std::collections::HashMap;
+use std::time::Instant;
+
+/// Write-reservation map: key → lowest transaction id writing it.
+type ReserveMap<'e> = HashMap<&'e [u8], usize>;
+/// One worker-lane task producing a chunk-local reservation map.
+type ReserveTask<'e, 's> = Box<dyn FnOnce() -> ReserveMap<'e> + Send + 's>;
 
 /// What a transaction did during the execution phase.
 #[derive(Debug, Clone, Default)]
@@ -63,7 +93,7 @@ pub enum TxnOutcome {
 }
 
 /// Batch-level result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchOutcome {
     /// Outcome per transaction, batch order.
     pub outcomes: Vec<TxnOutcome>,
@@ -86,44 +116,63 @@ impl BatchOutcome {
 
 /// The deterministic batch executor.
 #[derive(Debug, Clone, Default)]
-pub struct AriaExecutor;
+pub struct AriaExecutor {
+    pool: WorkerPool,
+}
 
 impl AriaExecutor {
-    /// Creates an executor.
+    /// Creates a serial executor (one lane, no thread overhead).
     pub fn new() -> Self {
-        AriaExecutor
+        AriaExecutor {
+            pool: WorkerPool::new(1),
+        }
+    }
+
+    /// Creates an executor that fans each phase out over `workers` lanes.
+    /// `parallel(1)` is exactly [`AriaExecutor::new`].
+    pub fn parallel(workers: usize) -> Self {
+        AriaExecutor {
+            pool: WorkerPool::new(workers),
+        }
+    }
+
+    /// Worker count from [`crate::pool::WORKERS_ENV`], defaulting to
+    /// serial.
+    pub fn from_env() -> Self {
+        AriaExecutor {
+            pool: WorkerPool::from_env(),
+        }
+    }
+
+    /// Configured worker lanes.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Executes one ordered batch against `store`, applying the writes of
     /// committed transactions and bumping the store's batch version.
-    pub fn execute_batch<T: DetTransaction>(
+    pub fn execute_batch<T: DetTransaction + Sync>(
         &self,
         store: &mut KvStore,
         batch: &[T],
     ) -> BatchOutcome {
+        let lanes = self.pool.effective_workers(batch.len());
+        let t0 = Instant::now();
+
         // Phase 1: execution against the shared snapshot.
-        let effects: Vec<TxnEffects> = batch.iter().map(|t| t.execute(store)).collect();
+        let view: &KvStore = store;
+        let effects: Vec<TxnEffects> = self.pool.map_chunks(batch, &|_, t: &T| t.execute(view));
+        let t1 = Instant::now();
 
         // Phase 2: write reservations — lowest writer id per key. Logic
         // aborts don't reserve (their writes will never apply).
-        let mut write_rsv: HashMap<&[u8], usize> = HashMap::new();
-        for (i, eff) in effects.iter().enumerate() {
-            if eff.abort {
-                continue;
-            }
-            for (k, _) in &eff.writes {
-                write_rsv.entry(k.as_slice()).or_insert(i);
-            }
-        }
+        let write_rsv = self.reserve(&effects, lanes);
+        let t2 = Instant::now();
 
-        // Phase 3: commit checks.
-        let mut outcomes = Vec::with_capacity(effects.len());
-        let mut conflict_aborted = Vec::new();
-        let mut committed = 0usize;
-        for (i, eff) in effects.iter().enumerate() {
+        // Phase 3: commit checks, a pure function of (effects, write_rsv).
+        let outcomes: Vec<TxnOutcome> = self.pool.map_chunks(&effects, &|i, eff: &TxnEffects| {
             if eff.abort {
-                outcomes.push(TxnOutcome::LogicAborted);
-                continue;
+                return TxnOutcome::LogicAborted;
             }
             let waw = eff
                 .writes
@@ -134,23 +183,43 @@ impl AriaExecutor {
                 .iter()
                 .any(|k| write_rsv.get(k.as_slice()).is_some_and(|&o| o < i));
             if waw || raw {
-                outcomes.push(TxnOutcome::ConflictAborted);
-                conflict_aborted.push(i);
+                TxnOutcome::ConflictAborted
             } else {
-                outcomes.push(TxnOutcome::Committed);
-                committed += 1;
+                TxnOutcome::Committed
+            }
+        });
+        let mut conflict_aborted = Vec::new();
+        let mut committed = 0usize;
+        let mut logic_aborted = 0usize;
+        for (i, o) in outcomes.iter().enumerate() {
+            match o {
+                TxnOutcome::Committed => committed += 1,
+                TxnOutcome::ConflictAborted => conflict_aborted.push(i),
+                TxnOutcome::LogicAborted => logic_aborted += 1,
             }
         }
 
-        // Apply committed writes, batch order.
-        for (i, eff) in effects.iter().enumerate() {
-            if outcomes[i] == TxnOutcome::Committed {
-                for (k, v) in &eff.writes {
-                    store.put(k.clone(), v.clone());
-                }
-            }
-        }
+        // Apply committed writes, batch order, shard-parallel when wide.
+        let writes: Vec<(&Key, &Value)> = effects
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| outcomes[*i] == TxnOutcome::Committed)
+            .flat_map(|(_, eff)| eff.writes.iter().map(|(k, v)| (k, v)))
+            .collect();
+        store.apply_writes(&self.pool, &writes);
         store.bump_version();
+        let t3 = Instant::now();
+
+        record_batch(BatchSample {
+            txns: batch.len() as u64,
+            committed: committed as u64,
+            conflict_aborted: conflict_aborted.len() as u64,
+            logic_aborted: logic_aborted as u64,
+            execute_ns: (t1 - t0).as_nanos() as u64,
+            reserve_ns: (t2 - t1).as_nanos() as u64,
+            commit_ns: (t3 - t2).as_nanos() as u64,
+            workers: lanes as u64,
+        });
 
         BatchOutcome {
             outcomes,
@@ -158,9 +227,70 @@ impl AriaExecutor {
             conflict_aborted,
         }
     }
+
+    /// Phase 2: the write-reservation map. Parallel lanes each build a
+    /// map over their contiguous chunk (ids ascend within a chunk, so
+    /// first-insert wins locally), then the chunk maps merge with
+    /// lowest-id-wins — a commutative/associative minimum, identical to
+    /// the serial left-to-right scan regardless of worker interleaving.
+    fn reserve<'e>(&self, effects: &'e [TxnEffects], lanes: usize) -> ReserveMap<'e> {
+        if lanes <= 1 {
+            let mut rsv: ReserveMap = HashMap::new();
+            for (i, eff) in effects.iter().enumerate() {
+                if eff.abort {
+                    continue;
+                }
+                for (k, _) in &eff.writes {
+                    rsv.entry(k.as_slice()).or_insert(i);
+                }
+            }
+            return rsv;
+        }
+        let chunk = effects.len().div_ceil(lanes);
+        let tasks: Vec<ReserveTask<'e, '_>> = effects
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let base = ci * chunk;
+                Box::new(move || {
+                    let mut rsv: ReserveMap = HashMap::new();
+                    for (off, eff) in slice.iter().enumerate() {
+                        if eff.abort {
+                            continue;
+                        }
+                        for (k, _) in &eff.writes {
+                            rsv.entry(k.as_slice()).or_insert(base + off);
+                        }
+                    }
+                    rsv
+                }) as ReserveTask<'e, '_>
+            })
+            .collect();
+        let mut maps = self.pool.run_tasks(tasks).into_iter();
+        let mut merged = maps.next().unwrap_or_default();
+        for m in maps {
+            for (k, i) in m {
+                merged
+                    .entry(k)
+                    .and_modify(|e| {
+                        if i < *e {
+                            *e = i;
+                        }
+                    })
+                    .or_insert(i);
+            }
+        }
+        merged
+    }
 }
 
 impl DetTransaction for Box<dyn DetTransaction> {
+    fn execute(&self, view: &KvStore) -> TxnEffects {
+        (**self).execute(view)
+    }
+}
+
+impl DetTransaction for Box<dyn DetTransaction + Send + Sync> {
     fn execute(&self, view: &KvStore) -> TxnEffects {
         (**self).execute(view)
     }
@@ -171,7 +301,7 @@ mod tests {
     use super::*;
 
     /// Transfer `amount` from `src` to `dst` if funds suffice.
-    fn transfer(src: &'static [u8], dst: &'static [u8], amount: u64) -> impl DetTransaction {
+    fn transfer(src: &'static [u8], dst: &'static [u8], amount: u64) -> impl DetTransaction + Sync {
         move |view: &KvStore| {
             let mut eff = TxnEffects::default();
             eff.read(src);
@@ -242,7 +372,7 @@ mod tests {
             eff.write(b"y".as_slice(), 1u64.to_le_bytes().to_vec());
             eff
         };
-        let batch: Vec<Box<dyn DetTransaction>> =
+        let batch: Vec<Box<dyn DetTransaction + Send + Sync>> =
             vec![Box::new(transfer(b"a", b"b", 10)), Box::new(t1)];
         let out = AriaExecutor::new().execute_batch(&mut store, &batch);
         assert_eq!(
@@ -278,7 +408,7 @@ mod tests {
             eff.write(b"c".as_slice(), a.to_le_bytes().to_vec());
             eff
         };
-        let batch: Vec<Box<dyn DetTransaction>> =
+        let batch: Vec<Box<dyn DetTransaction + Send + Sync>> =
             vec![Box::new(transfer(b"a", b"b", 40)), Box::new(snoop)];
         let out = AriaExecutor::new().execute_batch(&mut store, &batch);
         assert_eq!(out.committed, 2);
@@ -315,6 +445,48 @@ mod tests {
     }
 
     #[test]
+    fn parallel_hotspot_matches_serial_exactly() {
+        // Same Fig. 8d batch, every worker width: outcome vector, store
+        // hash, and version must be bit-identical to the serial run.
+        let batch: Vec<_> = (0..64).map(|_| transfer(b"hot", b"sink", 1)).collect();
+        let mut serial_store = bank(&[(b"hot", 1_000_000)]);
+        let serial = AriaExecutor::new().execute_batch(&mut serial_store, &batch);
+        for workers in [2, 3, 4, 8] {
+            let mut store = bank(&[(b"hot", 1_000_000)]);
+            let out = AriaExecutor::parallel(workers).execute_batch(&mut store, &batch);
+            assert_eq!(out, serial, "workers={workers}");
+            assert_eq!(store.content_hash(), serial_store.content_hash());
+            assert_eq!(store.version(), serial_store.version());
+        }
+    }
+
+    #[test]
+    fn parallel_wide_disjoint_batch_commits_everything() {
+        let keys: Vec<Vec<u8>> = (0..512u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let mut store = KvStore::new();
+        for k in &keys {
+            store.put(k.clone(), 100u64.to_le_bytes().to_vec());
+        }
+        let batch: Vec<_> = keys
+            .iter()
+            .map(|k| {
+                let k = k.clone();
+                move |view: &KvStore| {
+                    let mut eff = TxnEffects::default();
+                    eff.read(k.clone());
+                    let v = balance(view, &k);
+                    eff.write(k.clone(), (v + 1).to_le_bytes().to_vec());
+                    eff
+                }
+            })
+            .collect();
+        let out = AriaExecutor::parallel(8).execute_batch(&mut store, &batch);
+        assert_eq!(out.committed, 512);
+        assert!(out.conflict_aborted.is_empty());
+        assert_eq!(balance(&store, &keys[77]), 101);
+    }
+
+    #[test]
     fn retry_of_conflict_aborted_txn_succeeds_next_batch() {
         let mut store = bank(&[(b"a", 100), (b"b", 0), (b"c", 0)]);
         let batch = vec![transfer(b"a", b"b", 10), transfer(b"a", b"c", 10)];
@@ -332,8 +504,10 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop_with_version_bump() {
         let mut store = KvStore::new();
-        let out =
-            AriaExecutor::new().execute_batch(&mut store, &Vec::<Box<dyn DetTransaction>>::new());
+        let out = AriaExecutor::new().execute_batch(
+            &mut store,
+            &Vec::<Box<dyn DetTransaction + Send + Sync>>::new(),
+        );
         assert_eq!(out.committed, 0);
         assert_eq!(out.abort_rate(), 0.0);
         assert_eq!(store.version(), 1);

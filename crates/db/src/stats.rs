@@ -1,0 +1,192 @@
+//! Process-wide execution-pipeline counters.
+//!
+//! Mirrors the data-plane counter pattern in `massbft-core::stats`:
+//! relaxed atomics bumped on the hot path, snapshotted into a plain
+//! struct for reports and benches. The executor records one sample per
+//! batch ([`record_batch`]); the worker pool feeds per-task busy time
+//! ([`record_busy_ns`]) so utilization can be computed as
+//! `busy / (wall × workers)` over the parallel batches.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_BATCHES: AtomicU64 = AtomicU64::new(0);
+static TXNS: AtomicU64 = AtomicU64::new(0);
+static COMMITTED: AtomicU64 = AtomicU64::new(0);
+static CONFLICT_ABORTED: AtomicU64 = AtomicU64::new(0);
+static LOGIC_ABORTED: AtomicU64 = AtomicU64::new(0);
+static EXECUTE_NS: AtomicU64 = AtomicU64::new(0);
+static RESERVE_NS: AtomicU64 = AtomicU64::new(0);
+static COMMIT_NS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+static CAPACITY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// One executed batch, as recorded by the Aria executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchSample {
+    /// Transactions in the batch.
+    pub txns: u64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Conflict (WAW/RAW) aborts.
+    pub conflict_aborted: u64,
+    /// Logic-level aborts.
+    pub logic_aborted: u64,
+    /// Wall time of the snapshot-execution phase.
+    pub execute_ns: u64,
+    /// Wall time of the reservation phase.
+    pub reserve_ns: u64,
+    /// Wall time of the commit-check + apply phase.
+    pub commit_ns: u64,
+    /// Worker lanes actually used (1 = serial path).
+    pub workers: u64,
+}
+
+/// Records one batch's timings and outcome counts.
+pub fn record_batch(s: BatchSample) {
+    BATCHES.fetch_add(1, Relaxed);
+    TXNS.fetch_add(s.txns, Relaxed);
+    COMMITTED.fetch_add(s.committed, Relaxed);
+    CONFLICT_ABORTED.fetch_add(s.conflict_aborted, Relaxed);
+    LOGIC_ABORTED.fetch_add(s.logic_aborted, Relaxed);
+    EXECUTE_NS.fetch_add(s.execute_ns, Relaxed);
+    RESERVE_NS.fetch_add(s.reserve_ns, Relaxed);
+    COMMIT_NS.fetch_add(s.commit_ns, Relaxed);
+    if s.workers > 1 {
+        PARALLEL_BATCHES.fetch_add(1, Relaxed);
+        let wall = s.execute_ns + s.reserve_ns + s.commit_ns;
+        CAPACITY_NS.fetch_add(wall.saturating_mul(s.workers), Relaxed);
+    }
+}
+
+/// Adds per-task busy time measured inside the worker pool.
+pub fn record_busy_ns(ns: u64) {
+    BUSY_NS.fetch_add(ns, Relaxed);
+}
+
+/// Snapshot of the execution counters since process start.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches that took the parallel path (effective workers > 1).
+    pub parallel_batches: u64,
+    /// Transactions executed (including aborted ones).
+    pub txns: u64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Conflict (WAW/RAW) aborts.
+    pub conflict_aborted: u64,
+    /// Logic-level aborts.
+    pub logic_aborted: u64,
+    /// Cumulative snapshot-execution phase wall time.
+    pub execute_ns: u64,
+    /// Cumulative reservation phase wall time.
+    pub reserve_ns: u64,
+    /// Cumulative commit-check + apply phase wall time.
+    pub commit_ns: u64,
+    /// Cumulative per-worker busy time (pool tasks only).
+    pub busy_ns: u64,
+    /// Cumulative `wall × workers` over parallel batches.
+    pub capacity_ns: u64,
+}
+
+impl ExecStats {
+    /// Conflict-abort rate over all executed transactions.
+    pub fn abort_rate(&self) -> f64 {
+        if self.txns == 0 {
+            0.0
+        } else {
+            self.conflict_aborted as f64 / self.txns as f64
+        }
+    }
+
+    /// Fraction of parallel-batch worker capacity spent busy (0..=1);
+    /// 0 when no batch took the parallel path.
+    pub fn worker_utilization(&self) -> f64 {
+        if self.capacity_ns == 0 {
+            0.0
+        } else {
+            (self.busy_ns as f64 / self.capacity_ns as f64).min(1.0)
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot (for per-run reporting).
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            batches: self.batches - earlier.batches,
+            parallel_batches: self.parallel_batches - earlier.parallel_batches,
+            txns: self.txns - earlier.txns,
+            committed: self.committed - earlier.committed,
+            conflict_aborted: self.conflict_aborted - earlier.conflict_aborted,
+            logic_aborted: self.logic_aborted - earlier.logic_aborted,
+            execute_ns: self.execute_ns - earlier.execute_ns,
+            reserve_ns: self.reserve_ns - earlier.reserve_ns,
+            commit_ns: self.commit_ns - earlier.commit_ns,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+            capacity_ns: self.capacity_ns - earlier.capacity_ns,
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn exec_stats() -> ExecStats {
+    ExecStats {
+        batches: BATCHES.load(Relaxed),
+        parallel_batches: PARALLEL_BATCHES.load(Relaxed),
+        txns: TXNS.load(Relaxed),
+        committed: COMMITTED.load(Relaxed),
+        conflict_aborted: CONFLICT_ABORTED.load(Relaxed),
+        logic_aborted: LOGIC_ABORTED.load(Relaxed),
+        execute_ns: EXECUTE_NS.load(Relaxed),
+        reserve_ns: RESERVE_NS.load(Relaxed),
+        commit_ns: COMMIT_NS.load(Relaxed),
+        busy_ns: BUSY_NS.load(Relaxed),
+        capacity_ns: CAPACITY_NS.load(Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_sample_accumulates() {
+        let before = exec_stats();
+        record_batch(BatchSample {
+            txns: 10,
+            committed: 7,
+            conflict_aborted: 2,
+            logic_aborted: 1,
+            execute_ns: 100,
+            reserve_ns: 20,
+            commit_ns: 30,
+            workers: 4,
+        });
+        let d = exec_stats().since(&before);
+        assert_eq!(d.batches, 1);
+        assert_eq!(d.parallel_batches, 1);
+        assert_eq!(d.txns, 10);
+        assert_eq!(d.committed, 7);
+        assert_eq!(d.conflict_aborted, 2);
+        assert_eq!(d.logic_aborted, 1);
+        assert_eq!(d.capacity_ns, 150 * 4);
+        assert!((d.abort_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_batches_do_not_add_capacity() {
+        let before = exec_stats();
+        record_batch(BatchSample {
+            txns: 5,
+            committed: 5,
+            execute_ns: 50,
+            workers: 1,
+            ..Default::default()
+        });
+        let d = exec_stats().since(&before);
+        assert_eq!(d.parallel_batches, 0);
+        assert_eq!(d.capacity_ns, 0);
+        assert_eq!(d.worker_utilization(), 0.0);
+    }
+}

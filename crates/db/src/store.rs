@@ -1,7 +1,19 @@
-//! In-memory key-value store with batch versioning.
+//! In-memory key-value store with batch versioning, striped into shards.
+//!
+//! The table is split into [`SHARDS`] independent hash maps keyed by an
+//! FNV-1a hash of the key. Reads and single-key writes behave exactly as
+//! a flat map would; the striping exists so the Aria commit phase can
+//! apply a batch's write set with one worker per shard group — the WAW
+//! rule guarantees at most one committed writer per key per batch, so
+//! per-shard apply order cannot affect the result.
 
+use crate::pool::WorkerPool;
 use crate::{Key, Value};
 use std::collections::HashMap;
+
+/// Number of stripes. A power of two well above any realistic worker
+/// count, so shard groups stay balanced.
+pub const SHARDS: usize = 32;
 
 /// An in-memory hash-table store, the paper's execution-state backend.
 ///
@@ -9,10 +21,30 @@ use std::collections::HashMap;
 /// executor bumps it once per applied batch, which gives tests and the
 /// ledger layer a cheap way to assert replica convergence (same version +
 /// same content hash ⇒ same state).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct KvStore {
-    map: HashMap<Key, Value>,
+    shards: Vec<HashMap<Key, Value>>,
     version: u64,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        KvStore {
+            shards: vec![HashMap::new(); SHARDS],
+            version: 0,
+        }
+    }
+}
+
+/// Shard index for a key: FNV-1a over the key bytes, masked to [`SHARDS`].
+#[inline]
+pub(crate) fn shard_of(key: &[u8]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
 }
 
 impl KvStore {
@@ -23,28 +55,28 @@ impl KvStore {
 
     /// Reads a key.
     pub fn get(&self, key: &[u8]) -> Option<&Value> {
-        self.map.get(key)
+        self.shards[shard_of(key)].get(key)
     }
 
     /// Writes a key (used for loading initial state; transactional writes
     /// go through the executor).
     pub fn put(&mut self, key: Key, value: Value) {
-        self.map.insert(key, value);
+        self.shards[shard_of(&key)].insert(key, value);
     }
 
     /// Deletes a key. Returns the previous value.
     pub fn delete(&mut self, key: &[u8]) -> Option<Value> {
-        self.map.remove(key)
+        self.shards[shard_of(key)].remove(key)
     }
 
     /// Number of keys.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(HashMap::len).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.shards.iter().all(HashMap::is_empty)
     }
 
     /// The number of batches applied so far.
@@ -57,17 +89,57 @@ impl KvStore {
         self.version += 1;
     }
 
+    /// Applies a batch's committed writes, fanning shard groups out over
+    /// `pool`. Within one transaction, writes arrive in program order and
+    /// land in the same shard bucket in that order, so repeated writes of
+    /// one key keep last-write-wins semantics; across transactions the WAW
+    /// check has already ensured disjoint key sets, so the shard-parallel
+    /// apply is order-independent. Falls back to serial puts for small
+    /// write sets or a serial pool.
+    pub(crate) fn apply_writes(&mut self, pool: &WorkerPool, writes: &[(&Key, &Value)]) {
+        if pool.is_serial() || writes.len() < crate::pool::MIN_CHUNK * 2 {
+            for &(k, v) in writes {
+                self.put(k.clone(), v.clone());
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<(&Key, &Value)>> = vec![Vec::new(); SHARDS];
+        for &(k, v) in writes {
+            buckets[shard_of(k)].push((k, v));
+        }
+        let lanes = pool.workers().min(SHARDS);
+        let group = SHARDS.div_ceil(lanes);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+            .shards
+            .chunks_mut(group)
+            .zip(buckets.chunks(group))
+            .map(|(shard_group, bucket_group)| {
+                Box::new(move || {
+                    for (shard, bucket) in shard_group.iter_mut().zip(bucket_group) {
+                        for &(k, v) in bucket {
+                            shard.insert(k.clone(), v.clone());
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_tasks(tasks);
+    }
+
     /// Order-independent content fingerprint: XOR of per-pair hashes.
-    /// Two replicas that applied the same batches agree on this.
+    /// Two replicas that applied the same batches agree on this, and the
+    /// shard layout cannot affect it.
     pub fn content_hash(&self) -> u64 {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
         let mut acc = 0u64;
-        for (k, v) in &self.map {
-            let mut h = DefaultHasher::new();
-            k.hash(&mut h);
-            v.hash(&mut h);
-            acc ^= h.finish();
+        for shard in &self.shards {
+            for (k, v) in shard {
+                let mut h = DefaultHasher::new();
+                k.hash(&mut h);
+                v.hash(&mut h);
+                acc ^= h.finish();
+            }
         }
         acc
     }
@@ -107,5 +179,46 @@ mod tests {
     fn version_starts_at_zero() {
         let s = KvStore::new();
         assert_eq!(s.version(), 0);
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let hit: std::collections::HashSet<usize> =
+            (0..1000u32).map(|i| shard_of(&i.to_le_bytes())).collect();
+        assert!(hit.len() > SHARDS / 2, "only {} shards hit", hit.len());
+    }
+
+    #[test]
+    fn parallel_apply_matches_serial_puts() {
+        let keys: Vec<Key> = (0..500u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let vals: Vec<Value> = (0..500u32).map(|i| vec![i as u8; 8]).collect();
+        let writes: Vec<(&Key, &Value)> = keys.iter().zip(vals.iter()).collect();
+
+        let mut serial = KvStore::new();
+        for &(k, v) in &writes {
+            serial.put(k.clone(), v.clone());
+        }
+        let mut parallel = KvStore::new();
+        parallel.apply_writes(&WorkerPool::new(4), &writes);
+
+        assert_eq!(serial.len(), parallel.len());
+        assert_eq!(serial.content_hash(), parallel.content_hash());
+    }
+
+    #[test]
+    fn parallel_apply_keeps_last_write_wins_within_txn_order() {
+        // Same key written twice in the slice (as one txn's program order
+        // would produce): the later value must win, even on the pool path.
+        let key: Key = b"dup".to_vec();
+        let v1: Value = b"first".to_vec();
+        let v2: Value = b"second".to_vec();
+        let filler_keys: Vec<Key> = (0..100u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let filler_val: Value = b"x".to_vec();
+        let mut writes: Vec<(&Key, &Value)> = vec![(&key, &v1)];
+        writes.extend(filler_keys.iter().map(|k| (k, &filler_val)));
+        writes.push((&key, &v2));
+        let mut s = KvStore::new();
+        s.apply_writes(&WorkerPool::new(8), &writes);
+        assert_eq!(s.get(b"dup"), Some(&v2));
     }
 }

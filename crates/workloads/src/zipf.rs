@@ -5,6 +5,14 @@
 //! draws after an `O(n)`-ish one-time zeta estimation (we use the
 //! incremental approximation for large `n` so constructing a generator for
 //! 1,000,000 keys stays cheap).
+//!
+//! The zeta sums are memoized process-wide by `(n, theta)`: benches and
+//! multi-node simulations construct many generators over the same key
+//! domain, and the 100k-term harmonic sum is by far the dominant
+//! construction cost.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 /// A Zipf(θ) distribution over `0..n`.
 #[derive(Debug, Clone)]
@@ -25,8 +33,8 @@ impl Zipfian {
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "Zipfian needs a nonempty domain");
         assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
-        let zetan = Self::zeta(n, theta);
-        let zeta2 = Self::zeta(2, theta);
+        let zetan = zeta_cached(n, theta);
+        let zeta2 = zeta_cached(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
         Zipfian {
@@ -91,6 +99,22 @@ impl Zipfian {
     pub fn zeta2(&self) -> f64 {
         self.zeta2
     }
+}
+
+/// Process-wide zeta memo keyed by `(n, theta bits)`. Theta comes from a
+/// small fixed set (paper: 0.99 plus ablation points), so the map stays
+/// tiny; the mutex is touched once per generator construction, never per
+/// sample.
+fn zeta_cached(n: u64, theta: f64) -> f64 {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), f64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (n, theta.to_bits());
+    if let Some(&z) = cache.lock().unwrap().get(&key) {
+        return z;
+    }
+    let z = Zipfian::zeta(n, theta);
+    cache.lock().unwrap().insert(key, z);
+    z
 }
 
 /// FNV-1a on the rank's little-endian bytes.
@@ -174,5 +198,29 @@ mod tests {
     #[should_panic(expected = "nonempty domain")]
     fn zero_domain_panics() {
         let _ = Zipfian::new(0, 0.5);
+    }
+
+    #[test]
+    fn cached_zeta_matches_direct_computation() {
+        let (n, theta) = (345_678u64, 0.87);
+        let a = Zipfian::new(n, theta);
+        let b = Zipfian::new(n, theta); // cache hit
+        assert_eq!(a.zeta2().to_bits(), b.zeta2().to_bits());
+        assert_eq!(
+            zeta_cached(n, theta).to_bits(),
+            Zipfian::zeta(n, theta).to_bits()
+        );
+    }
+
+    #[test]
+    fn repeated_construction_is_cheap_after_first() {
+        let _warm = Zipfian::new(900_000, 0.99);
+        let t0 = std::time::Instant::now();
+        for _ in 0..200 {
+            let _ = Zipfian::new(900_000, 0.99);
+        }
+        // 200 constructions off the memo must beat one cold zeta sum by a
+        // wide margin; generous bound to stay robust on slow CI.
+        assert!(t0.elapsed().as_millis() < 200, "{:?}", t0.elapsed());
     }
 }

@@ -21,4 +21,13 @@ fi
 echo "==> cargo test -q (tier-1)"
 cargo test -q --workspace
 
+# Execution-parity gate: re-run the parity suites with the worker count
+# forced, so nondeterminism that only appears under real thread
+# interleaving (not the serial default path) fails the gate.
+for workers in 2 8; do
+  echo "==> execution parity under MASSBFT_EXEC_WORKERS=${workers}"
+  MASSBFT_EXEC_WORKERS=${workers} cargo test -q -p massbft-db --test parallel_parity
+  MASSBFT_EXEC_WORKERS=${workers} cargo test -q --test determinism
+done
+
 echo "OK"
