@@ -1,0 +1,277 @@
+//! Capture an entry-lifecycle trace of a geo-distributed run.
+//!
+//! Runs a deterministic cluster simulation with telemetry spans enabled,
+//! then exports the drained event stream as:
+//!
+//! - `TRACE_geo.json` — Chrome `trace_event` JSON, loadable in Perfetto
+//!   (ui.perfetto.dev) or `chrome://tracing`: one track per node, one
+//!   async span per entry covering Submitted → Executed, with instant
+//!   events for each lifecycle phase.
+//! - `TRACE_geo.jsonl` — one raw event per line, for ad-hoc analysis.
+//!
+//! It also prints the Fig. 11 per-phase latency breakdown derived from
+//! the trace, and cross-checks it against the protocol layer's own
+//! `phase_breakdown()` accounting (they must agree within 1%).
+//!
+//! ```text
+//! cargo run --release -p massbft-bench --bin trace -- \
+//!     --protocol massbft --groups 4,4,4 --secs 2 --seed 1 [--debug]
+//! ```
+
+use massbft_core::cluster::{Cluster, ClusterConfig, Region};
+use massbft_core::protocol::Protocol;
+use massbft_sim_net::NodeId;
+use massbft_telemetry as telemetry;
+use massbft_telemetry::export;
+use massbft_workloads::WorkloadKind;
+
+#[derive(Debug)]
+struct Args {
+    protocol: Protocol,
+    groups: Vec<usize>,
+    region: Region,
+    workload: WorkloadKind,
+    secs: u64,
+    seed: u64,
+    arrival_tps: f64,
+    max_batch: usize,
+    out: String,
+    debug: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace [--protocol massbft|baseline|geobft|steward|iss|br|ebr]
+             [--groups 4,4,4] [--workload ycsb-a|ycsb-b|smallbank|tpcc]
+             [--region nationwide|worldwide] [--secs N] [--seed N]
+             [--arrival-tps N] [--max-batch N] [--out PREFIX] [--debug]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        protocol: Protocol::MassBft,
+        groups: vec![4, 4, 4],
+        region: Region::Nationwide,
+        workload: WorkloadKind::YcsbA,
+        secs: 2,
+        seed: 1,
+        arrival_tps: 10_000.0,
+        max_batch: 200,
+        out: "TRACE_geo".to_string(),
+        debug: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--protocol" => {
+                args.protocol = match val().to_lowercase().as_str() {
+                    "massbft" => Protocol::MassBft,
+                    "baseline" => Protocol::Baseline,
+                    "geobft" => Protocol::GeoBft,
+                    "steward" => Protocol::Steward,
+                    "iss" => Protocol::Iss,
+                    "br" => Protocol::BijectiveOnly,
+                    "ebr" => Protocol::EncodedBijective,
+                    other => {
+                        eprintln!("unknown protocol: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--groups" => {
+                args.groups = val()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--workload" => {
+                args.workload = match val().to_lowercase().as_str() {
+                    "ycsb-a" => WorkloadKind::YcsbA,
+                    "ycsb-b" => WorkloadKind::YcsbB,
+                    "smallbank" => WorkloadKind::SmallBank,
+                    "tpcc" => WorkloadKind::TpcC,
+                    other => {
+                        eprintln!("unknown workload: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--region" => {
+                args.region = match val().to_lowercase().as_str() {
+                    "nationwide" => Region::Nationwide,
+                    "worldwide" => Region::Worldwide,
+                    other => {
+                        eprintln!("unknown region: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--secs" => args.secs = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--arrival-tps" => args.arrival_tps = val().parse().unwrap_or_else(|_| usage()),
+            "--max-batch" => args.max_batch = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = val(),
+            "--debug" => args.debug = true,
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// `|a - b|` within 1% of the larger magnitude (or within 1 µs for
+/// near-zero phases).
+fn within_one_percent(a: f64, b: f64) -> bool {
+    let tol = (a.abs().max(b.abs()) * 0.01).max(0.001);
+    (a - b).abs() <= tol
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Size the ring generously: a few seconds of spans across every node
+    // fits comfortably in 2^20 slots, and a drop would make the printed
+    // breakdown partial (we check and warn below).
+    telemetry::configure_ring(1 << 20);
+    telemetry::set_verbosity(if args.debug {
+        telemetry::Verbosity::Debug
+    } else {
+        telemetry::Verbosity::Spans
+    });
+
+    let cfg = match args.region {
+        Region::Nationwide => ClusterConfig::nationwide(&args.groups, args.protocol),
+        Region::Worldwide => ClusterConfig::worldwide(&args.groups, args.protocol),
+    }
+    .workload(args.workload)
+    .seed(args.seed)
+    .arrival_tps(args.arrival_tps)
+    .max_batch(args.max_batch);
+
+    eprintln!(
+        "tracing {} on {:?} groups ({:?}, {:?}), {}s measured ...",
+        args.protocol.name(),
+        args.groups,
+        args.region,
+        args.workload,
+        args.secs
+    );
+    let mut cluster = Cluster::new(cfg);
+    let report = cluster.run_secs(args.secs);
+
+    let drained = telemetry::drain();
+    if drained.dropped > 0 {
+        eprintln!(
+            "warning: ring wrapped, {} events lost — raise the ring capacity \
+             or shorten the run; the breakdown below is partial",
+            drained.dropped
+        );
+    }
+
+    // Export both formats.
+    let jsonl_path = format!("{}.jsonl", args.out);
+    let json_path = format!("{}.json", args.out);
+    let jsonl = export::to_jsonl(&drained.events);
+    std::fs::write(&jsonl_path, &jsonl).expect("write jsonl");
+    let chrome = export::to_chrome_trace(&drained.events);
+    std::fs::write(&json_path, &chrome).expect("write chrome trace");
+
+    // Round-trip / structural validation of what we just wrote.
+    let reparsed = export::parse_jsonl(&jsonl).expect("jsonl round-trip");
+    assert_eq!(reparsed.len(), drained.events.len(), "jsonl round-trip");
+    let summary = match export::validate_chrome_trace(&chrome) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: emitted Chrome trace is invalid: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "captured {} events ({} entry spans across {} node tracks)",
+        drained.events.len(),
+        summary.spans,
+        summary.tracks
+    );
+    println!("  {json_path}   (load in ui.perfetto.dev or chrome://tracing)");
+    println!("  {jsonl_path}  (one event per line)");
+    let mut kinds: Vec<(&String, &u64)> = summary.kind_counts.iter().collect();
+    kinds.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    let listed: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!("  events by kind: {}", listed.join(" "));
+
+    println!(
+        "\nrun: {:.1} ktps, mean latency {:.1} ms, consistent={}",
+        report.throughput.ktps(),
+        report.mean_latency_ms,
+        report.all_nodes_consistent
+    );
+
+    // Fig. 11 table from the trace, across every group's own entries.
+    let Some(bd) = export::breakdown(&drained.events) else {
+        eprintln!("error: no complete entry lifecycle in the trace");
+        std::process::exit(1);
+    };
+    println!("\nlatency breakdown from trace ({} entries):", bd.entries);
+    println!("  {:<22} {:>9}", "phase", "mean ms");
+    println!("  {:<22} {:>9.3}", "local consensus", bd.local_consensus_ms);
+    println!(
+        "  {:<22} {:>9.3}",
+        "global replication", bd.global_replication_ms
+    );
+    println!("  {:<22} {:>9.3}", "ordering", bd.ordering_ms);
+    println!("  {:<22} {:>9.3}", "execution", bd.execution_ms);
+    println!("  {:<22} {:>9.3}", "total", bd.total_ms());
+
+    // Cross-check against the protocol layer's own accounting at group
+    // 0's representative (PBFT view 0 puts it at node 0), over that
+    // group's entries only — the population `phase_breakdown()` measures.
+    let rep = NodeId::new(0, 0);
+    let Some(node_bd) = cluster.node(rep).phase_breakdown() else {
+        eprintln!("error: representative recorded no phase breakdown");
+        std::process::exit(1);
+    };
+    let g0_events: Vec<telemetry::Event> = drained
+        .events
+        .iter()
+        .filter(|e| e.entry.0 == rep.group)
+        .copied()
+        .collect();
+    let Some(trace_bd) = export::breakdown(&g0_events) else {
+        eprintln!("error: no group-0 entries in the trace");
+        std::process::exit(1);
+    };
+    let pairs = [
+        (
+            "local consensus",
+            trace_bd.local_consensus_ms,
+            node_bd.local_consensus_ms,
+        ),
+        (
+            "global replication",
+            trace_bd.global_replication_ms,
+            node_bd.global_replication_ms,
+        ),
+        ("ordering", trace_bd.ordering_ms, node_bd.ordering_ms),
+        ("execution", trace_bd.execution_ms, node_bd.execution_ms),
+    ];
+    println!("\ncross-check vs node accounting (group 0 rep):");
+    let mut ok = true;
+    for (name, t, n) in pairs {
+        let agree = within_one_percent(t, n);
+        ok &= agree;
+        println!(
+            "  {:<22} trace {:>9.3}  node {:>9.3}  {}",
+            name,
+            t,
+            n,
+            if agree { "ok" } else { "MISMATCH" }
+        );
+    }
+    if !ok && drained.dropped == 0 {
+        eprintln!("error: trace-derived breakdown disagrees with node accounting");
+        std::process::exit(1);
+    }
+}

@@ -27,7 +27,27 @@ use massbft_crypto::{
     keys::NodeId,
     Digest, KeyRegistry, NodeKey, QuorumCert, Signature,
 };
+use massbft_telemetry::registry::{counter, Counter};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Process-wide PBFT counters in the telemetry registry. The sans-io
+/// replica has no clock, so timing lives with the driver (protocol.rs
+/// spans); what belongs here is protocol-activity accounting.
+struct PbftCounters {
+    proposals: Counter,
+    committed: Counter,
+    view_changes: Counter,
+}
+
+fn counters() -> &'static PbftCounters {
+    static C: OnceLock<PbftCounters> = OnceLock::new();
+    C.get_or_init(|| PbftCounters {
+        proposals: counter("consensus.pbft.proposals"),
+        committed: counter("consensus.pbft.committed"),
+        view_changes: counter("consensus.pbft.view_changes"),
+    })
+}
 
 /// Static configuration of one PBFT replica.
 #[derive(Debug, Clone)]
@@ -235,6 +255,7 @@ impl PbftReplica {
         if !self.is_primary() || self.in_view_change {
             return Vec::new();
         }
+        counters().proposals.inc();
         let seq = self.next_seq;
         self.next_seq += 1;
         let digest = Digest::of(&payload);
@@ -293,6 +314,7 @@ impl PbftReplica {
             return Vec::new();
         }
         self.in_view_change = true;
+        counters().view_changes.inc();
         let prepared = self.prepared_requests();
         let claim = view_change_digest(self.cfg.group, new_view, self.exec_seq - 1);
         let sig = self.key.sign_digest(&claim);
@@ -483,6 +505,7 @@ impl PbftReplica {
                 signatures,
             };
             out.push(PbftOutput::Committed { seq, payload, cert });
+            counters().committed.inc();
             self.exec_seq += 1;
         }
         // Checkpoint GC: drop retired instances.

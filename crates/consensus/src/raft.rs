@@ -16,7 +16,27 @@
 //! change and snapshotting are out of scope: the paper's deployments have
 //! a fixed group roster.
 
+use massbft_telemetry::registry::{counter, Counter};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Process-wide Raft counters in the telemetry registry (activity
+/// accounting only — the sans-io node has no clock; timing spans are
+/// the driver's job).
+struct RaftCounters {
+    proposals: Counter,
+    elections: Counter,
+    committed: Counter,
+}
+
+fn counters() -> &'static RaftCounters {
+    static C: OnceLock<RaftCounters> = OnceLock::new();
+    C.get_or_init(|| RaftCounters {
+        proposals: counter("consensus.raft.proposals"),
+        elections: counter("consensus.raft.elections"),
+        committed: counter("consensus.raft.committed_entries"),
+    })
+}
 
 /// Member identifier: the group id acting as a logical replica.
 pub type MemberId = u32;
@@ -292,6 +312,7 @@ impl<T: Clone> RaftNode<T> {
         if self.role != RaftRole::Leader {
             return None;
         }
+        counters().proposals.inc();
         self.log.push(LogEntry {
             term: self.term,
             data,
@@ -315,6 +336,7 @@ impl<T: Clone> RaftNode<T> {
         if self.role == RaftRole::Leader {
             return Vec::new();
         }
+        counters().elections.inc();
         self.term += 1;
         self.role = RaftRole::Candidate;
         self.voted_for = Some(self.cfg.me);
@@ -625,6 +647,7 @@ impl<T: Clone> RaftNode<T> {
             }
         }
         if candidate > self.commit_index {
+            counters().committed.add(candidate - self.commit_index);
             self.commit_index = candidate;
             out.extend(self.apply_committed());
             // Propagate the new commit index right away instead of waiting

@@ -284,6 +284,9 @@ impl Cluster {
         }
 
         let metrics = self.sim.metrics();
+        // Mirror the run's network totals into the telemetry registry so a
+        // single snapshot carries them alongside the core.* / db.* series.
+        metrics.publish();
         let wan_bytes = metrics.total_wan_bytes();
         let max_node_wan_bytes = metrics.max_wan_sender().map(|(_, b)| b).unwrap_or(0);
         let lan_bytes = metrics.total_lan_bytes();

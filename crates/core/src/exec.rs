@@ -33,6 +33,14 @@ use crate::entry::EntryId;
 use massbft_db::{AriaExecutor, KvStore, TxnOutcome};
 use massbft_workloads::Request;
 use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// Distribution of per-entry batch sizes handed to Aria
+/// (`core.exec.entry_txns` histogram in the telemetry registry).
+fn entry_txns_histogram() -> &'static massbft_telemetry::registry::Histogram {
+    static H: OnceLock<massbft_telemetry::registry::Histogram> = OnceLock::new();
+    H.get_or_init(|| massbft_telemetry::registry::histogram("core.exec.entry_txns"))
+}
 
 /// A decoded, execution-ready entry.
 #[derive(Debug, Clone)]
@@ -119,6 +127,7 @@ impl ExecutionPipeline {
                     b.extend(entry.txns);
                     b
                 };
+                entry_txns_histogram().record(batch.len() as u64);
                 let out = self.executor.execute_batch(&mut self.store, &batch);
                 if self.retry_aborts {
                     for &i in &out.conflict_aborted {

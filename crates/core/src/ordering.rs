@@ -24,6 +24,14 @@
 
 use crate::entry::EntryId;
 use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
+
+/// Process-wide count of ordering decisions (`core.ordering.entries_ordered`
+/// in the telemetry registry; sums over every node hosted in the process).
+fn ordered_counter() -> &'static massbft_telemetry::registry::Counter {
+    static C: OnceLock<massbft_telemetry::registry::Counter> = OnceLock::new();
+    C.get_or_init(|| massbft_telemetry::registry::counter("core.ordering.entries_ordered"))
+}
 
 /// Per-entry VTS state tracked by the engine.
 #[derive(Debug, Clone)]
@@ -190,6 +198,7 @@ impl OrderingEngine {
             let pre = self.heads[g].clone();
             self.ready.push_back(pre.id);
             self.ordered_count += 1;
+            ordered_counter().inc();
 
             // Replace the head with its successor.
             let nxt_id = pre.id.successor();

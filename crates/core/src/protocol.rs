@@ -33,7 +33,7 @@
 //! time, which produces the paper's CPU plateau (Fig. 13a).
 
 use crate::{
-    entry::{decode_batch, encode_batch, entry_digest, EntryId},
+    entry::{decode_batch, encode_batch, entry_digest, peek_entry_id, EntryId},
     exec::{ExecutionPipeline, PreparedEntry},
     ledger::Ledger,
     ordering::OrderingEngine,
@@ -49,6 +49,7 @@ use massbft_consensus::{
 use massbft_crypto::{cert::quorum, Digest, KeyRegistry, QuorumCert};
 use massbft_db::WorkerPool;
 use massbft_sim_net::{Actor, Ctx, NodeId, SimMessage, Time, MILLISECOND};
+use massbft_telemetry as telemetry;
 use massbft_workloads::{Request, WorkloadGen, WorkloadKind};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
@@ -403,6 +404,11 @@ pub struct Node {
     /// local consensus, global replication, ordering wait, execution wait.
     phase_sums: [u64; 4],
     phase_count: u64,
+    /// PBFT sequence → entry id, learned from pre-prepare payload headers.
+    /// Only populated while telemetry spans are enabled (prepare/commit
+    /// messages carry digests, not payloads, so attributing PBFT phase
+    /// events to entries needs this map); GC'd on local commit.
+    pbft_entry_of_seq: HashMap<u64, EntryId>,
 }
 
 /// Mean per-entry latency breakdown at a representative (Fig. 11).
@@ -581,8 +587,25 @@ impl Node {
             ledger: Ledger::new(),
             phase_sums: [0; 4],
             phase_count: 0,
+            pbft_entry_of_seq: HashMap::new(),
             params,
         }
+    }
+
+    /// Emits one entry-lifecycle telemetry event at this node. A single
+    /// relaxed atomic load + branch when telemetry is disabled.
+    #[inline]
+    fn span(&self, at: Time, kind: telemetry::EventKind, id: EntryId, value: u64) {
+        if !telemetry::enabled() {
+            return;
+        }
+        telemetry::emit(telemetry::Event {
+            at,
+            kind,
+            node: (self.id.group, self.id.node),
+            entry: (id.gid, id.seq),
+            value,
+        });
     }
 
     /// Total transactions executed (committed by Aria).
@@ -790,6 +813,12 @@ impl Node {
         rep.next_seq += 1;
         rep.in_flight.insert(id);
         rep.created_at.insert(id, ctx.now());
+        self.span(
+            ctx.now(),
+            telemetry::EventKind::Submitted,
+            id,
+            requests.len() as u64,
+        );
         let bytes = encode_batch(id, &requests);
         let outputs = self.pbft.propose(bytes);
         self.handle_pbft_outputs(ctx, outputs);
@@ -804,14 +833,45 @@ impl Node {
                     ctx.send(NodeId::new(self.id.group, to), Msg::Pbft(msg));
                 }
                 PbftOutput::Broadcast(msg) => {
+                    self.note_pbft_phase(ctx.now(), &msg);
                     let peers = self.other_group_members();
                     ctx.send_many(peers, Msg::Pbft(msg));
                 }
-                PbftOutput::Committed { payload, cert, .. } => {
+                PbftOutput::Committed { seq, payload, cert } => {
+                    self.pbft_entry_of_seq.remove(&seq);
                     self.on_local_entry_certified(ctx, payload, cert);
                 }
                 PbftOutput::EnteredView(_) | PbftOutput::ArmViewTimer => {}
             }
+        }
+    }
+
+    /// Attributes an outgoing PBFT phase message to its entry and emits the
+    /// matching lifecycle event. Pre-prepares carry the payload (whose
+    /// header names the entry); prepares and commits carry only digests, so
+    /// the `seq → entry` map learned from pre-prepares bridges them.
+    fn note_pbft_phase(&mut self, at: Time, msg: &PbftMsg) {
+        if !telemetry::enabled() {
+            return;
+        }
+        match msg {
+            PbftMsg::PrePrepare { seq, payload, .. } => {
+                if let Some(id) = peek_entry_id(payload) {
+                    self.pbft_entry_of_seq.insert(*seq, id);
+                    self.span(at, telemetry::EventKind::PbftPrePrepare, id, *seq);
+                }
+            }
+            PbftMsg::Prepare { seq, .. } => {
+                if let Some(&id) = self.pbft_entry_of_seq.get(seq) {
+                    self.span(at, telemetry::EventKind::PbftPrepare, id, *seq);
+                }
+            }
+            PbftMsg::Commit { seq, .. } => {
+                if let Some(&id) = self.pbft_entry_of_seq.get(seq) {
+                    self.span(at, telemetry::EventKind::PbftCommit, id, *seq);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -832,6 +892,12 @@ impl Node {
         if let Some(rep) = self.rep.as_mut() {
             rep.certified_at.insert(id, ctx.now());
         }
+        self.span(
+            ctx.now(),
+            telemetry::EventKind::Certified,
+            id,
+            reqs.len() as u64,
+        );
 
         match self.params.protocol {
             Protocol::MassBft | Protocol::EncodedBijective => {
@@ -887,11 +953,18 @@ impl Node {
         } else {
             bytes
         };
+        self.span(
+            ctx.now(),
+            telemetry::EventKind::Encoded,
+            id,
+            payload.len() as u64,
+        );
         // Destination groups of equal size share one encoding geometry;
         // encode once per geometry and slice per transfer plan (a real
         // implementation caches exactly the same way).
         let mut encoded: HashMap<(usize, usize), Vec<crate::replication::ChunkMsg>> =
             HashMap::new();
+        let mut wan_bytes: u64 = 0;
         for dst_group in 0..self.ng() as u32 {
             if dst_group == self.id.group {
                 continue;
@@ -906,14 +979,24 @@ impl Node {
                 ChunkSender::encode_all(&plan, id, payload).expect("encodable entry")
             });
             for t in plan.outgoing_of(self.id.node) {
+                let chunk = all[t.chunk as usize].clone();
+                wan_bytes += chunk.wire_size() as u64;
                 ctx.send(
                     NodeId::new(dst_group, t.receiver),
                     Msg::Chunk {
-                        chunk: all[t.chunk as usize].clone(),
+                        chunk,
                         cert: cert.clone(),
                     },
                 );
             }
+        }
+        if wan_bytes > 0 {
+            self.span(
+                ctx.now(),
+                telemetry::EventKind::WanTransferStart,
+                id,
+                wan_bytes,
+            );
         }
     }
 
@@ -926,6 +1009,7 @@ impl Node {
     ) {
         // BR (§IV-A): f1 + f2 + 1 nodes each send a complete copy to a
         // distinct receiver.
+        let mut sent = false;
         for dst_group in 0..self.ng() as u32 {
             if dst_group == self.id.group {
                 continue;
@@ -936,6 +1020,7 @@ impl Node {
             let f2 = massbft_crypto::cert::max_faulty(n2);
             let senders = (f1 + f2 + 1).min(n1).min(n2);
             if (self.id.node as usize) < senders {
+                sent = true;
                 ctx.send(
                     NodeId::new(dst_group, self.id.node),
                     Msg::Entry {
@@ -945,6 +1030,14 @@ impl Node {
                     },
                 );
             }
+        }
+        if sent {
+            self.span(
+                ctx.now(),
+                telemetry::EventKind::WanTransferStart,
+                id,
+                bytes.len() as u64,
+            );
         }
     }
 
@@ -957,12 +1050,14 @@ impl Node {
     ) {
         // Leader one-way replication with the GeoBFT optimization: send to
         // f+1 nodes of each remote group (§VI, Competitors).
+        let mut sent = false;
         for dst_group in 0..self.ng() as u32 {
             if dst_group == self.id.group || dst_group == id.gid {
                 continue;
             }
             let f = massbft_crypto::cert::max_faulty(self.params.group_sizes[dst_group as usize]);
             for i in 0..(f + 1) as u32 {
+                sent = true;
                 ctx.send(
                     NodeId::new(dst_group, i),
                     Msg::Entry {
@@ -972,6 +1067,14 @@ impl Node {
                     },
                 );
             }
+        }
+        if sent {
+            self.span(
+                ctx.now(),
+                telemetry::EventKind::WanTransferStart,
+                id,
+                bytes.len() as u64,
+            );
         }
     }
 
@@ -1119,9 +1222,11 @@ impl Node {
     ) {
         let ng = self.params.ng() as u32;
         if let Some((id, _digest)) = cmd.entry {
+            self.span(now, telemetry::EventKind::GlobalCommit, id, instance as u64);
             feed.push(FeedEvent::Committed(id));
             let my_group = self.id.group;
             let overlap = self.params.overlap_vts;
+            let mut own_stamp = None;
             if let Some(rep) = self.rep.as_mut() {
                 let high = rep.committed_high.entry(id.gid).or_insert(0);
                 *high = (*high).max(id.seq);
@@ -1140,6 +1245,7 @@ impl Node {
                             .entry(my_stream)
                             .or_default()
                             .push((id, ts));
+                        own_stamp = Some(ts);
                     }
                 }
                 // Takeover stamping (§V-C, crashed groups): if we lead
@@ -1161,6 +1267,9 @@ impl Node {
                     }
                 }
             }
+            if let Some(ts) = own_stamp {
+                self.span(now, telemetry::EventKind::VtsAssigned, id, ts);
+            }
         }
         // Stamp commands only travel on stamp streams; the stamping group
         // is the stream owner.
@@ -1180,23 +1289,32 @@ impl Node {
 
     /// Representative learned entries were proposed (Raft append): assign
     /// our clock to them (overlapped VTS assignment, Fig. 7b).
-    fn stamp_appended_entries(&mut self, appended: Vec<EntryId>) {
+    fn stamp_appended_entries(&mut self, now: Time, appended: Vec<EntryId>) {
         if !matches!(self.params.protocol, Protocol::MassBft) || !self.params.overlap_vts {
             return;
         }
         let my_group = self.id.group;
-        let Some(rep) = self.rep.as_mut() else { return };
-        for id in appended {
-            if id.gid == my_group || !rep.stamped.insert((my_group, id)) {
-                continue; // own entries implicit; dedup retransmissions
+        let mut stamped: Vec<(EntryId, u64)> = Vec::new();
+        {
+            let Some(rep) = self.rep.as_mut() else { return };
+            for id in appended {
+                if id.gid == my_group || !rep.stamped.insert((my_group, id)) {
+                    continue; // own entries implicit; dedup retransmissions
+                }
+                // Stamp with our clock, replicated via our stamp stream.
+                // Frozen-clock stamps for taken-over instances are handled at
+                // commit time (on_global_commit), which also covers our own
+                // entries and entries appended before the takeover.
+                let ts = rep.clock;
+                let stream = self.params.ng() as u32 + my_group;
+                rep.pending_stamps.entry(stream).or_default().push((id, ts));
+                if telemetry::enabled() {
+                    stamped.push((id, ts));
+                }
             }
-            // Stamp with our clock, replicated via our stamp stream.
-            // Frozen-clock stamps for taken-over instances are handled at
-            // commit time (on_global_commit), which also covers our own
-            // entries and entries appended before the takeover.
-            let ts = rep.clock;
-            let stream = self.params.ng() as u32 + my_group;
-            rep.pending_stamps.entry(stream).or_default().push((id, ts));
+        }
+        for (id, ts) in stamped {
+            self.span(now, telemetry::EventKind::VtsAssigned, id, ts);
         }
     }
 
@@ -1301,8 +1419,13 @@ impl Node {
             };
             let Some(id) = next else { break };
             if id.gid == self.id.group {
+                let mut first = false;
                 if let Some(rep) = self.rep.as_mut() {
+                    first = !rep.ordered_at.contains_key(&id);
                     rep.ordered_at.entry(id).or_insert(now);
+                }
+                if first {
+                    self.span(now, telemetry::EventKind::Ordered, id, 0);
                 }
             }
             self.exec_queue.push_back(id);
@@ -1404,6 +1527,12 @@ impl Node {
         self.exec_log.push(id);
         self.ledger
             .append(id, entry_digest(bytes), result.state_fingerprint);
+        self.span(
+            ctx.now(),
+            telemetry::EventKind::Executed,
+            id,
+            result.committed as u64,
+        );
 
         let my_group = self.id.group;
         let mut latency_sample = None;
@@ -1514,6 +1643,18 @@ impl Node {
                     );
                 }
                 self.tracking.entry(origin_entry).or_default().cert = Some(cert);
+                self.span(
+                    ctx.now(),
+                    telemetry::EventKind::WanTransferDone,
+                    origin_entry,
+                    bytes.len() as u64,
+                );
+                self.span(
+                    ctx.now(),
+                    telemetry::EventKind::ChunkRebuilt,
+                    origin_entry,
+                    bytes.len() as u64,
+                );
                 self.on_entry_content(ctx, bytes);
             }
             ChunkOutcome::Rejected(_) => {}
@@ -1584,6 +1725,12 @@ impl Node {
         }
         // First receipt from WAN: forward over LAN to the whole group.
         if from.group != self.id.group {
+            self.span(
+                ctx.now(),
+                telemetry::EventKind::WanTransferDone,
+                id,
+                bytes.len() as u64,
+            );
             let peers = self.other_group_members();
             ctx.send_many(
                 peers,
@@ -1684,7 +1831,7 @@ impl Node {
             // Count our own acceptance locally too.
             self.on_accept_notice(ctx, self.id.group, appended.clone());
         }
-        self.stamp_appended_entries(appended);
+        self.stamp_appended_entries(ctx.now(), appended);
         self.handle_raft_outputs(ctx, instance, outputs);
     }
 
@@ -1726,6 +1873,7 @@ impl Node {
         let mut feed = Vec::new();
         for id in replicated {
             // Stamp without content (the §V-C fast path).
+            let mut fast_stamp = None;
             {
                 let my_stream = ng as u32 + my_group;
                 let Some(rep) = self.rep.as_mut() else { return };
@@ -1736,7 +1884,11 @@ impl Node {
                         .entry(my_stream)
                         .or_default()
                         .push((id, ts));
+                    fast_stamp = Some(ts);
                 }
+            }
+            if let Some(ts) = fast_stamp {
+                self.span(ctx.now(), telemetry::EventKind::VtsAssigned, id, ts);
             }
             // Majority-accepted == committed under Raft's election
             // restriction; surface it to the ordering layer now.
@@ -1942,6 +2094,16 @@ impl Actor for Node {
     fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::Pbft(m) => {
+                // Learn the seq → entry mapping from incoming pre-prepares
+                // so this replica's own prepare/commit broadcasts can be
+                // attributed (see note_pbft_phase).
+                if telemetry::enabled() {
+                    if let PbftMsg::PrePrepare { seq, payload, .. } = &m {
+                        if let Some(id) = peek_entry_id(payload) {
+                            self.pbft_entry_of_seq.insert(*seq, id);
+                        }
+                    }
+                }
                 let outputs = self.pbft.on_message(from.node, m);
                 self.handle_pbft_outputs(ctx, outputs);
             }

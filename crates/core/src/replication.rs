@@ -23,8 +23,26 @@ use crate::{
 use bytes::Bytes;
 use massbft_codec::chunker::EntryCodec;
 use massbft_crypto::{Digest, KeyRegistry, MerkleProof, MerkleTree, QuorumCert};
+use massbft_telemetry::registry::{counter, Counter};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide chunk-path counters, registered once in the telemetry
+/// registry (`core.replication.*`).
+struct ChunkCounters {
+    accepted: Counter,
+    rebuilds: Counter,
+    rejects: Counter,
+}
+
+fn counters() -> &'static ChunkCounters {
+    static C: OnceLock<ChunkCounters> = OnceLock::new();
+    C.get_or_init(|| ChunkCounters {
+        accepted: counter("core.replication.chunks_accepted"),
+        rebuilds: counter("core.replication.rebuilds"),
+        rejects: counter("core.replication.chunk_rejects"),
+    })
+}
 
 /// One chunk in flight, as shipped over the WAN and re-broadcast on LAN.
 ///
@@ -216,6 +234,16 @@ impl ChunkAssembler {
     /// Feeds one received chunk together with the entry's certificate
     /// (carried alongside chunks per §IV-C). Returns what happened.
     pub fn on_chunk(&mut self, msg: ChunkMsg, cert: &QuorumCert) -> ChunkOutcome {
+        let outcome = self.on_chunk_inner(msg, cert);
+        match &outcome {
+            ChunkOutcome::Accepted => counters().accepted.inc(),
+            ChunkOutcome::Rebuilt(_) => counters().rebuilds.inc(),
+            ChunkOutcome::Rejected(_) => counters().rejects.inc(),
+        }
+        outcome
+    }
+
+    fn on_chunk_inner(&mut self, msg: ChunkMsg, cert: &QuorumCert) -> ChunkOutcome {
         if msg.chunk_id as usize >= self.plan.n_total
             || msg.proof.leaf_index != msg.chunk_id as usize
             || msg.proof.leaf_count != self.plan.n_total

@@ -3,9 +3,15 @@
 //! copies), and execution-pipeline counters (per-phase Aria timings,
 //! worker utilization, abort rates — re-exported from `massbft-db`,
 //! which records them at the executor hot path).
+//!
+//! Since the telemetry PR this module is a thin facade over the
+//! process-wide [`massbft_telemetry::registry`]: the counters live there
+//! (named under `core.*`), and the functions here keep their original
+//! signatures. Query the registry directly for a unified snapshot.
 
 use massbft_sim_net::Time;
-use std::sync::atomic::{AtomicU64, Ordering};
+use massbft_telemetry::registry::{self, Counter, Gauge};
+use std::sync::OnceLock;
 
 pub use massbft_db::stats::{exec_stats, BatchSample, ExecStats};
 
@@ -19,12 +25,16 @@ pub fn execution_stats() -> ExecStats {
 
 /// Bytes the replication data plane still copies after the zero-copy work
 /// (entry framing on encode, framed reassembly + retained copy on rebuild).
-static BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+/// Lives in the telemetry registry as `core.data_plane.bytes_copied`.
+fn bytes_copied_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| registry::counter("core.data_plane.bytes_copied"))
+}
 
 /// Counts `n` bytes that were memcpy'd on the chunk encode/rebuild path.
 /// Called by the replication layer; monotonic for the process lifetime.
 pub fn record_copied_bytes(n: usize) {
-    BYTES_COPIED.fetch_add(n as u64, Ordering::Relaxed);
+    bytes_copied_counter().add(n as u64);
 }
 
 /// Process-wide data-plane counters.
@@ -43,22 +53,37 @@ pub struct DataPlaneStats {
     pub bytes_copied: u64,
 }
 
-/// Snapshot of the process-wide data-plane counters.
+/// Snapshot of the process-wide data-plane counters. Also mirrors the
+/// codec decode-cache numbers into the registry (`core.data_plane.*`
+/// gauges) so a single registry snapshot carries the whole data plane.
 pub fn data_plane_stats() -> DataPlaneStats {
+    static HITS: OnceLock<Gauge> = OnceLock::new();
+    static MISSES: OnceLock<Gauge> = OnceLock::new();
     let cache = massbft_codec::rs::global_cache_stats();
+    HITS.get_or_init(|| registry::gauge("core.data_plane.decode_cache_hits"))
+        .set(cache.hits);
+    MISSES
+        .get_or_init(|| registry::gauge("core.data_plane.decode_cache_misses"))
+        .set(cache.misses);
     DataPlaneStats {
         decode_cache_hits: cache.hits,
         decode_cache_misses: cache.misses,
-        bytes_copied: BYTES_COPIED.load(Ordering::Relaxed),
+        bytes_copied: bytes_copied_counter().get(),
     }
 }
 
-/// Online latency accumulator with reservoir-free exact percentiles
-/// (latencies are few per run — one per entry — so storing them is fine).
+/// Online latency accumulator with exact percentiles (latencies are few
+/// per run — one per entry — so storing them is fine).
+///
+/// Samples are kept in insertion order: [`LatencyStats::mean_from`]
+/// windows stay valid no matter how the accumulator is queried.
+/// Percentiles work on a lazily maintained sorted copy.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
+    /// Insertion-ordered samples — never reordered.
     samples: Vec<Time>,
-    sorted: bool,
+    /// Sorted copy for percentile queries; rebuilt after new records.
+    sorted: Vec<Time>,
 }
 
 impl LatencyStats {
@@ -70,7 +95,7 @@ impl LatencyStats {
     /// Records one latency sample (microseconds).
     pub fn record(&mut self, latency: Time) {
         self.samples.push(latency);
-        self.sorted = false;
+        self.sorted.clear();
     }
 
     /// Number of samples.
@@ -92,28 +117,29 @@ impl LatencyStats {
     }
 
     /// Mean of samples recorded at index `from` onward — windowed means
-    /// for timeline plots (Fig. 15).
+    /// for timeline plots (Fig. 15). Indices are insertion order, which
+    /// percentile queries do not disturb.
     pub fn mean_from(&self, from: usize) -> f64 {
         if from >= self.samples.len() {
             return 0.0;
         }
-        // Note: percentile_us() sorts in place; timeline users must call
-        // mean_from before any percentile query, or track indices before.
         let slice = &self.samples[from..];
         slice.iter().sum::<u64>() as f64 / slice.len() as f64
     }
 
-    /// The `p`-th percentile (0–100), microseconds.
+    /// The `p`-th percentile (0–100), microseconds. Sorts a copy, so the
+    /// insertion-order timeline is preserved.
     pub fn percentile_us(&mut self, p: f64) -> Time {
         if self.samples.is_empty() {
             return 0;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+        if self.sorted.len() != self.samples.len() {
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.samples);
+            self.sorted.sort_unstable();
         }
-        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
-        self.samples[rank.min(self.samples.len() - 1)]
+        let rank = ((p / 100.0) * (self.sorted.len() - 1) as f64).round() as usize;
+        self.sorted[rank.min(self.sorted.len() - 1)]
     }
 }
 
@@ -179,6 +205,38 @@ mod tests {
         assert_eq!(s.percentile_us(50.0), 100);
         s.record(1);
         assert_eq!(s.percentile_us(0.0), 1);
+    }
+
+    // Regression: percentile queries must not corrupt timeline windows.
+    // The old implementation sorted `samples` in place, so a percentile
+    // query silently reordered the insertion-order indices that
+    // mean_from depends on.
+    #[test]
+    fn percentile_then_mean_from_keeps_insertion_order() {
+        let mut s = LatencyStats::new();
+        // Deliberately decreasing: sorting would move the big samples
+        // into the tail window.
+        for v in [110, 90, 20, 10] {
+            s.record(v);
+        }
+        assert_eq!(s.percentile_us(50.0), 90); // sorted [10,20,90,110], rank 2
+        assert!((s.mean_from(2) - 15.0).abs() < 1e-9);
+        assert_eq!(s.percentile_us(100.0), 110);
+        assert!(
+            (s.mean_from(2) - 15.0).abs() < 1e-9,
+            "window corrupted by percentile"
+        );
+        assert!((s.mean_from(0) - 57.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_copied_delegates_to_registry() {
+        let before = data_plane_stats().bytes_copied;
+        record_copied_bytes(123);
+        let after = data_plane_stats().bytes_copied;
+        assert_eq!(after - before, 123);
+        let reg = massbft_telemetry::registry::counter("core.data_plane.bytes_copied");
+        assert_eq!(reg.get(), after);
     }
 
     #[test]

@@ -1,25 +1,46 @@
 //! Process-wide execution-pipeline counters.
 //!
-//! Mirrors the data-plane counter pattern in `massbft-core::stats`:
-//! relaxed atomics bumped on the hot path, snapshotted into a plain
-//! struct for reports and benches. The executor records one sample per
-//! batch ([`record_batch`]); the worker pool feeds per-task busy time
-//! ([`record_busy_ns`]) so utilization can be computed as
-//! `busy / (wall × workers)` over the parallel batches.
+//! Since the telemetry PR these counters live in the
+//! [`massbft_telemetry::registry`] under `db.exec.*`; this module is the
+//! facade that keeps the original `record_batch` / `exec_stats` API. The
+//! executor records one sample per batch ([`record_batch`]); the worker
+//! pool feeds per-task busy time ([`record_busy_ns`]) so utilization can
+//! be computed as `busy / (wall × workers)` over the parallel batches.
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use massbft_telemetry::registry::{counter, Counter};
+use std::sync::OnceLock;
 
-static BATCHES: AtomicU64 = AtomicU64::new(0);
-static PARALLEL_BATCHES: AtomicU64 = AtomicU64::new(0);
-static TXNS: AtomicU64 = AtomicU64::new(0);
-static COMMITTED: AtomicU64 = AtomicU64::new(0);
-static CONFLICT_ABORTED: AtomicU64 = AtomicU64::new(0);
-static LOGIC_ABORTED: AtomicU64 = AtomicU64::new(0);
-static EXECUTE_NS: AtomicU64 = AtomicU64::new(0);
-static RESERVE_NS: AtomicU64 = AtomicU64::new(0);
-static COMMIT_NS: AtomicU64 = AtomicU64::new(0);
-static BUSY_NS: AtomicU64 = AtomicU64::new(0);
-static CAPACITY_NS: AtomicU64 = AtomicU64::new(0);
+/// The registry handles, resolved once per process.
+struct Counters {
+    batches: Counter,
+    parallel_batches: Counter,
+    txns: Counter,
+    committed: Counter,
+    conflict_aborted: Counter,
+    logic_aborted: Counter,
+    execute_ns: Counter,
+    reserve_ns: Counter,
+    commit_ns: Counter,
+    busy_ns: Counter,
+    capacity_ns: Counter,
+}
+
+fn counters() -> &'static Counters {
+    static C: OnceLock<Counters> = OnceLock::new();
+    C.get_or_init(|| Counters {
+        batches: counter("db.exec.batches"),
+        parallel_batches: counter("db.exec.parallel_batches"),
+        txns: counter("db.exec.txns"),
+        committed: counter("db.exec.committed"),
+        conflict_aborted: counter("db.exec.conflict_aborted"),
+        logic_aborted: counter("db.exec.logic_aborted"),
+        execute_ns: counter("db.exec.execute_ns"),
+        reserve_ns: counter("db.exec.reserve_ns"),
+        commit_ns: counter("db.exec.commit_ns"),
+        busy_ns: counter("db.exec.busy_ns"),
+        capacity_ns: counter("db.exec.capacity_ns"),
+    })
+}
 
 /// One executed batch, as recorded by the Aria executor.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,24 +65,25 @@ pub struct BatchSample {
 
 /// Records one batch's timings and outcome counts.
 pub fn record_batch(s: BatchSample) {
-    BATCHES.fetch_add(1, Relaxed);
-    TXNS.fetch_add(s.txns, Relaxed);
-    COMMITTED.fetch_add(s.committed, Relaxed);
-    CONFLICT_ABORTED.fetch_add(s.conflict_aborted, Relaxed);
-    LOGIC_ABORTED.fetch_add(s.logic_aborted, Relaxed);
-    EXECUTE_NS.fetch_add(s.execute_ns, Relaxed);
-    RESERVE_NS.fetch_add(s.reserve_ns, Relaxed);
-    COMMIT_NS.fetch_add(s.commit_ns, Relaxed);
+    let c = counters();
+    c.batches.inc();
+    c.txns.add(s.txns);
+    c.committed.add(s.committed);
+    c.conflict_aborted.add(s.conflict_aborted);
+    c.logic_aborted.add(s.logic_aborted);
+    c.execute_ns.add(s.execute_ns);
+    c.reserve_ns.add(s.reserve_ns);
+    c.commit_ns.add(s.commit_ns);
     if s.workers > 1 {
-        PARALLEL_BATCHES.fetch_add(1, Relaxed);
+        c.parallel_batches.inc();
         let wall = s.execute_ns + s.reserve_ns + s.commit_ns;
-        CAPACITY_NS.fetch_add(wall.saturating_mul(s.workers), Relaxed);
+        c.capacity_ns.add(wall.saturating_mul(s.workers));
     }
 }
 
 /// Adds per-task busy time measured inside the worker pool.
 pub fn record_busy_ns(ns: u64) {
-    BUSY_NS.fetch_add(ns, Relaxed);
+    counters().busy_ns.add(ns);
 }
 
 /// Snapshot of the execution counters since process start.
@@ -131,18 +153,19 @@ impl ExecStats {
 
 /// Reads the current counter values.
 pub fn exec_stats() -> ExecStats {
+    let c = counters();
     ExecStats {
-        batches: BATCHES.load(Relaxed),
-        parallel_batches: PARALLEL_BATCHES.load(Relaxed),
-        txns: TXNS.load(Relaxed),
-        committed: COMMITTED.load(Relaxed),
-        conflict_aborted: CONFLICT_ABORTED.load(Relaxed),
-        logic_aborted: LOGIC_ABORTED.load(Relaxed),
-        execute_ns: EXECUTE_NS.load(Relaxed),
-        reserve_ns: RESERVE_NS.load(Relaxed),
-        commit_ns: COMMIT_NS.load(Relaxed),
-        busy_ns: BUSY_NS.load(Relaxed),
-        capacity_ns: CAPACITY_NS.load(Relaxed),
+        batches: c.batches.get(),
+        parallel_batches: c.parallel_batches.get(),
+        txns: c.txns.get(),
+        committed: c.committed.get(),
+        conflict_aborted: c.conflict_aborted.get(),
+        logic_aborted: c.logic_aborted.get(),
+        execute_ns: c.execute_ns.get(),
+        reserve_ns: c.reserve_ns.get(),
+        commit_ns: c.commit_ns.get(),
+        busy_ns: c.busy_ns.get(),
+        capacity_ns: c.capacity_ns.get(),
     }
 }
 
@@ -188,5 +211,15 @@ mod tests {
         assert_eq!(d.parallel_batches, 0);
         assert_eq!(d.capacity_ns, 0);
         assert_eq!(d.worker_utilization(), 0.0);
+    }
+
+    // The facade and the registry must read the same counter.
+    #[test]
+    fn counters_live_in_the_registry() {
+        let before = exec_stats();
+        record_busy_ns(17);
+        assert_eq!(exec_stats().since(&before).busy_ns, 17);
+        let reg = massbft_telemetry::registry::counter("db.exec.busy_ns");
+        assert_eq!(reg.get(), exec_stats().busy_ns);
     }
 }

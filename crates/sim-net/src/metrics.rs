@@ -61,6 +61,23 @@ impl Metrics {
         self.lan_messages = 0;
         self.dropped_messages = 0;
     }
+
+    /// Publishes the aggregate counters as `sim.*` gauges in the global
+    /// telemetry registry, so one registry snapshot carries the network
+    /// totals alongside the `core.*` / `db.*` counters.
+    ///
+    /// `Metrics` itself stays per-simulation (gauges are last-write-wins;
+    /// parallel simulations in one process would cross-contaminate
+    /// monotonic counters, and per-run accounting is the primary use).
+    pub fn publish(&self) {
+        use massbft_telemetry::registry::gauge;
+        gauge("sim.wan_bytes_total").set(self.total_wan_bytes());
+        gauge("sim.lan_bytes_total").set(self.total_lan_bytes());
+        gauge("sim.wan_messages").set(self.wan_messages);
+        gauge("sim.lan_messages").set(self.lan_messages);
+        gauge("sim.dropped_messages").set(self.dropped_messages);
+        gauge("sim.events_processed").set(self.events_processed);
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +94,19 @@ mod tests {
         assert_eq!(m.total_lan_bytes(), 10);
         assert_eq!(m.max_wan_sender(), Some((NodeId::new(0, 1), 250)));
         assert_eq!(m.wan_bytes_of(NodeId::new(9, 9)), 0);
+    }
+
+    #[test]
+    fn publish_mirrors_totals_into_registry_gauges() {
+        let mut m = Metrics::default();
+        m.wan_bytes_sent.insert(NodeId::new(0, 0), 400);
+        m.wan_messages = 2;
+        m.events_processed = 9;
+        m.publish();
+        let g = |n| massbft_telemetry::registry::gauge(n).get();
+        assert_eq!(g("sim.wan_bytes_total"), 400);
+        assert_eq!(g("sim.wan_messages"), 2);
+        assert_eq!(g("sim.events_processed"), 9);
     }
 
     #[test]

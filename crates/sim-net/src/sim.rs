@@ -19,8 +19,35 @@ use crate::{
     trace::{TraceBuffer, TraceKind, TraceRecord},
     NodeId, SimMessage, Time,
 };
+use massbft_telemetry as telemetry;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Mirrors a trace record into the global telemetry ring as a network
+/// debug event — the machine-parseable replacement for ad-hoc debug
+/// printing. Only active at [`telemetry::Verbosity::Debug`]; otherwise a
+/// single relaxed load + branch. The event's `node` is the source, its
+/// `entry` field carries the destination, `value` the wire size.
+#[inline]
+fn emit_net_debug(rec: &TraceRecord) {
+    if !telemetry::net_enabled() {
+        return;
+    }
+    let kind = match rec.kind {
+        TraceKind::Deliver => telemetry::EventKind::NetDeliver,
+        TraceKind::Drop => telemetry::EventKind::NetDrop,
+        TraceKind::Timer => telemetry::EventKind::NetTimer,
+        TraceKind::WanSend => telemetry::EventKind::NetWanSend,
+        TraceKind::LanSend => telemetry::EventKind::NetLanSend,
+    };
+    telemetry::emit_net(telemetry::Event {
+        at: rec.at,
+        kind,
+        node: (rec.src.group, rec.src.node),
+        entry: (rec.dst.group, rec.dst.node as u64),
+        value: rec.bytes as u64,
+    });
+}
 
 /// Protocol logic for one node.
 pub trait Actor {
@@ -362,6 +389,13 @@ impl<A: Actor> Simulation<A> {
         n
     }
 
+    /// Records a trace event in the per-simulation buffer and mirrors it
+    /// to the global telemetry ring (debug verbosity only).
+    fn record_trace(&mut self, rec: TraceRecord) {
+        emit_net_debug(&rec);
+        self.trace.push(rec);
+    }
+
     fn dispatch(&mut self, ev: Event<A::Msg>) {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
@@ -370,7 +404,7 @@ impl<A: Actor> Simulation<A> {
             EventKind::Deliver { src, dst, msg } => {
                 if self.crashed.contains(&dst) {
                     self.metrics.dropped_messages += 1;
-                    self.trace.push(TraceRecord {
+                    self.record_trace(TraceRecord {
                         at: self.now,
                         kind: TraceKind::Drop,
                         src,
@@ -391,7 +425,7 @@ impl<A: Actor> Simulation<A> {
                     });
                     return;
                 }
-                self.trace.push(TraceRecord {
+                self.record_trace(TraceRecord {
                     at: self.now,
                     kind: TraceKind::Deliver,
                     src,
@@ -416,7 +450,7 @@ impl<A: Actor> Simulation<A> {
                 if self.crashed.contains(&node) {
                     return;
                 }
-                self.trace.push(TraceRecord {
+                self.record_trace(TraceRecord {
                     at: self.now,
                     kind: TraceKind::Timer,
                     src: node,
@@ -519,7 +553,7 @@ impl<A: Actor> Simulation<A> {
             };
             *self.metrics.wan_bytes_sent.entry(src).or_insert(0) += size as u64;
             self.metrics.wan_messages += 1;
-            self.trace.push(TraceRecord {
+            self.record_trace(TraceRecord {
                 at: self.now,
                 kind: TraceKind::WanSend,
                 src,
@@ -534,7 +568,7 @@ impl<A: Actor> Simulation<A> {
             let tx = self.topology.lan_tx_time(size);
             *self.metrics.lan_bytes_sent.entry(src).or_insert(0) += size as u64;
             self.metrics.lan_messages += 1;
-            self.trace.push(TraceRecord {
+            self.record_trace(TraceRecord {
                 at: self.now,
                 kind: TraceKind::LanSend,
                 src,

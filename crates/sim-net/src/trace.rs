@@ -111,6 +111,31 @@ impl TraceBuffer {
         self.records.iter().filter(move |r| r.kind == kind)
     }
 
+    /// Combined query: any of node involvement, `[from, to)` time
+    /// window, and kind — `None` means "don't filter on this axis".
+    pub fn query(
+        &self,
+        node: Option<NodeId>,
+        window: Option<(Time, Time)>,
+        kind: Option<TraceKind>,
+    ) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| {
+            let node_ok = match node {
+                Some(n) => r.src == n || r.dst == n,
+                None => true,
+            };
+            let window_ok = match window {
+                Some((from, to)) => r.at >= from && r.at < to,
+                None => true,
+            };
+            let kind_ok = match kind {
+                Some(k) => r.kind == k,
+                None => true,
+            };
+            node_ok && window_ok && kind_ok
+        })
+    }
+
     /// Drops all retained records (the total counter keeps running).
     pub fn clear(&mut self) {
         self.records.clear();
@@ -166,5 +191,79 @@ mod tests {
         t.clear();
         assert_eq!(t.records().count(), 0);
         assert_eq!(t.total_recorded(), 4);
+    }
+
+    #[test]
+    fn query_combines_node_window_and_kind() {
+        let mut t = TraceBuffer::new(16);
+        t.set_enabled(true);
+        t.push(rec(10, TraceKind::WanSend, (0, 0), (1, 0)));
+        t.push(rec(20, TraceKind::WanSend, (0, 0), (2, 0)));
+        t.push(rec(20, TraceKind::Deliver, (1, 0), (0, 0)));
+        t.push(rec(30, TraceKind::Drop, (0, 0), (1, 0)));
+
+        // Unfiltered query returns everything.
+        assert_eq!(t.query(None, None, None).count(), 4);
+        // Kind alone.
+        assert_eq!(t.query(None, None, Some(TraceKind::WanSend)).count(), 2);
+        // Node + kind: WAN sends touching node (1, 0).
+        let n10 = NodeId::new(1, 0);
+        assert_eq!(
+            t.query(Some(n10), None, Some(TraceKind::WanSend)).count(),
+            1
+        );
+        // Node + window: events involving (0, 0) in [15, 25).
+        let n00 = NodeId::new(0, 0);
+        assert_eq!(t.query(Some(n00), Some((15, 25)), None).count(), 2);
+        // All three axes at once.
+        assert_eq!(
+            t.query(Some(n00), Some((15, 25)), Some(TraceKind::Deliver))
+                .count(),
+            1
+        );
+        // Window is half-open: [10, 30) excludes the drop at 30.
+        assert_eq!(t.query(None, Some((10, 30)), None).count(), 3);
+    }
+
+    // Eviction keeps filters consistent: queries only see retained
+    // records, while `total_recorded` keeps counting evicted ones.
+    #[test]
+    fn total_accounting_under_wraparound() {
+        let mut t = TraceBuffer::new(4);
+        t.set_enabled(true);
+        for i in 0..13 {
+            let kind = if i % 2 == 0 {
+                TraceKind::Deliver
+            } else {
+                TraceKind::Timer
+            };
+            t.push(rec(i, kind, (0, 0), (0, 1)));
+        }
+        // 13 pushed, 4 retained, 9 evicted.
+        assert_eq!(t.total_recorded(), 13);
+        assert_eq!(t.records().count(), 4);
+        let times: Vec<Time> = t.records().map(|r| r.at).collect();
+        assert_eq!(times, vec![9, 10, 11, 12]);
+        // Kind filters see only retained records (evens 10, 12).
+        assert_eq!(t.of_kind(TraceKind::Deliver).count(), 2);
+        assert_eq!(t.of_kind(TraceKind::Timer).count(), 2);
+        // The window filter cannot resurrect evicted records.
+        assert_eq!(t.window(0, 9).count(), 0);
+        // Clearing drops retained records but not the running total.
+        t.clear();
+        t.push(rec(100, TraceKind::Deliver, (0, 0), (0, 1)));
+        assert_eq!(t.total_recorded(), 14);
+        assert_eq!(t.records().count(), 1);
+    }
+
+    #[test]
+    fn disabled_pushes_do_not_count_toward_total() {
+        let mut t = TraceBuffer::new(2);
+        t.set_enabled(true);
+        t.push(rec(1, TraceKind::Deliver, (0, 0), (0, 1)));
+        t.set_enabled(false);
+        t.push(rec(2, TraceKind::Deliver, (0, 0), (0, 1)));
+        assert_eq!(t.total_recorded(), 1);
+        assert!(!t.is_enabled());
     }
 }

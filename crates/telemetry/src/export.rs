@@ -1,0 +1,535 @@
+//! Trace exporters: JSONL event logs and Chrome `trace_event` JSON.
+//!
+//! The Chrome format loads directly in Perfetto (<https://ui.perfetto.dev>)
+//! or `about://tracing`: one track (process) per node, one async span per
+//! entry per node bracketing its lifecycle, and an instant event per
+//! phase boundary. [`validate_chrome_trace`] re-parses our own output
+//! and proves it structurally sound (balanced `b`/`e` pairs, monotone
+//! timestamps per track) — used by the golden tests and by
+//! `scripts/check.sh` via the trace bin.
+//!
+//! [`breakdown`] reduces a drained event stream to the paper's Fig. 11
+//! per-phase latency table using the *same* fallback rules as
+//! `Node::phase_breakdown()` in `massbft-core`, so the two agree on the
+//! same run.
+
+use crate::json::{self, Value};
+use crate::{Event, EventKind, Time};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serializes events as JSONL: one self-describing JSON object per line.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        let _ = writeln!(
+            out,
+            r#"{{"at":{},"kind":"{}","node":[{},{}],"entry":[{},{}],"value":{}}}"#,
+            ev.at,
+            ev.kind.name(),
+            ev.node.0,
+            ev.node.1,
+            ev.entry.0,
+            ev.entry.1,
+            ev.value
+        );
+    }
+    out
+}
+
+/// Parses a JSONL event log produced by [`to_jsonl`].
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| format!("line {}: missing {k:?}", lineno + 1))
+        };
+        let num = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("line {}: {k:?} not a u64", lineno + 1))
+        };
+        let pair = |k: &str| -> Result<(u64, u64), String> {
+            let arr = field(k)?
+                .as_arr()
+                .ok_or_else(|| format!("line {}: {k:?} not an array", lineno + 1))?;
+            match arr {
+                [a, b] => Ok((
+                    a.as_u64()
+                        .ok_or(format!("line {}: bad {k:?}[0]", lineno + 1))?,
+                    b.as_u64()
+                        .ok_or(format!("line {}: bad {k:?}[1]", lineno + 1))?,
+                )),
+                _ => Err(format!("line {}: {k:?} not a pair", lineno + 1)),
+            }
+        };
+        let kind_name = field("kind")?
+            .as_str()
+            .ok_or_else(|| format!("line {}: kind not a string", lineno + 1))?;
+        let kind = EventKind::from_name(kind_name)
+            .ok_or_else(|| format!("line {}: unknown kind {kind_name:?}", lineno + 1))?;
+        let node = pair("node")?;
+        let entry = pair("entry")?;
+        out.push(Event {
+            at: num("at")?,
+            kind,
+            node: (node.0 as u32, node.1 as u32),
+            entry: (entry.0 as u32, entry.1),
+            value: num("value")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Sequential Chrome pid per node, deterministic (node-sorted).
+fn node_pids(events: &[Event]) -> BTreeMap<(u32, u32), u64> {
+    let mut pids = BTreeMap::new();
+    for ev in events {
+        pids.entry(ev.node).or_insert(0);
+    }
+    for (i, pid) in pids.values_mut().enumerate() {
+        *pid = i as u64 + 1;
+    }
+    pids
+}
+
+/// Renders events as Chrome `trace_event` JSON (Perfetto-loadable).
+///
+/// Layout: one process per node (named `node <g>/<n>`), an async
+/// `b`/`e` span per `(node, entry)` bracketing that entry's lifecycle on
+/// that node, and an instant event per recorded phase boundary. Network
+/// debug events become instant events in the `net` category.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let pids = node_pids(events);
+
+    // First/last lifecycle timestamp per (node, entry) → async span.
+    type SpanKey = ((u32, u32), (u32, u64));
+    let mut spans: BTreeMap<SpanKey, (Time, Time)> = BTreeMap::new();
+    for ev in events {
+        if ev.entry == (0, 0) || !EventKind::LIFECYCLE.contains(&ev.kind) {
+            continue;
+        }
+        let span = spans.entry((ev.node, ev.entry)).or_insert((ev.at, ev.at));
+        span.0 = span.0.min(ev.at);
+        span.1 = span.1.max(ev.at);
+    }
+
+    let mut out = String::with_capacity(events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&s);
+    };
+
+    for (node, pid) in &pids {
+        push(
+            format!(
+                r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"node {}/{}"}}}}"#,
+                node.0, node.1
+            ),
+            &mut out,
+            &mut first,
+        );
+        push(
+            format!(
+                r#"{{"name":"process_sort_index","ph":"M","pid":{pid},"tid":0,"args":{{"sort_index":{pid}}}}}"#
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    // (ts, serialized) for all timed records, then emit time-sorted so
+    // every track's timestamps are monotone.
+    let mut timed: Vec<(Time, u8, String)> = Vec::with_capacity(events.len() + spans.len() * 2);
+    for (&(node, entry), &(start, end)) in &spans {
+        let pid = pids[&node];
+        let id = format!("p{pid}-{}.{}", entry.0, entry.1);
+        let name = format!("entry {}:{}", entry.0, entry.1);
+        timed.push((
+            start,
+            0, // "b" sorts before same-ts instants
+            format!(
+                r#"{{"name":"{name}","cat":"entry","ph":"b","id":"{id}","ts":{start},"pid":{pid},"tid":0}}"#
+            ),
+        ));
+        timed.push((
+            end,
+            2, // "e" sorts after same-ts instants
+            format!(
+                r#"{{"name":"{name}","cat":"entry","ph":"e","id":"{id}","ts":{end},"pid":{pid},"tid":0}}"#
+            ),
+        ));
+    }
+    for ev in events {
+        let pid = pids[&ev.node];
+        let cat = if EventKind::LIFECYCLE.contains(&ev.kind) {
+            "phase"
+        } else {
+            "net"
+        };
+        timed.push((
+            ev.at,
+            1,
+            format!(
+                r#"{{"name":"{}","cat":"{cat}","ph":"i","s":"t","ts":{},"pid":{pid},"tid":0,"args":{{"entry":"{}:{}","value":{}}}}}"#,
+                ev.kind.name(), ev.at, ev.entry.0, ev.entry.1, ev.value
+            ),
+        ));
+    }
+    timed.sort_by_key(|t| (t.0, t.1));
+    for (_, _, s) in timed {
+        push(s, &mut out, &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// What [`validate_chrome_trace`] proves about a trace document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Node tracks (processes) present.
+    pub tracks: usize,
+    /// Balanced async spans (`b`/`e` pairs).
+    pub spans: usize,
+    /// Instant events per phase name.
+    pub kind_counts: BTreeMap<String, u64>,
+}
+
+/// Parses and structurally validates a Chrome `trace_event` document:
+/// every async `b` has exactly one matching `e` no earlier than it, and
+/// per-track timestamps are monotone non-decreasing.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    let mut summary = TraceSummary::default();
+    let mut open: BTreeMap<(String, String), Time> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, Time> = BTreeMap::new();
+    let mut tracks: BTreeMap<u64, bool> = BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        if ph == "M" {
+            tracks.entry(pid).or_insert(true);
+            continue;
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let last = last_ts.entry(pid).or_insert(0);
+        if ts < *last {
+            return Err(format!(
+                "event {i}: track {pid} timestamp {ts} < previous {last}"
+            ));
+        }
+        *last = ts;
+        match ph {
+            "b" => {
+                let cat = ev.get("cat").and_then(Value::as_str).unwrap_or_default();
+                let id = ev
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: async b without id"))?;
+                if open.insert((cat.to_string(), id.to_string()), ts).is_some() {
+                    return Err(format!("event {i}: duplicate open span {id:?}"));
+                }
+            }
+            "e" => {
+                let cat = ev.get("cat").and_then(Value::as_str).unwrap_or_default();
+                let id = ev
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: async e without id"))?;
+                let begin = open
+                    .remove(&(cat.to_string(), id.to_string()))
+                    .ok_or_else(|| format!("event {i}: e without b for {id:?}"))?;
+                if ts < begin {
+                    return Err(format!("event {i}: span {id:?} ends before it begins"));
+                }
+                summary.spans += 1;
+            }
+            "i" => {
+                let name = ev
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: instant without name"))?;
+                *summary.kind_counts.entry(name.to_string()).or_insert(0) += 1;
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    if let Some(((_, id), _)) = open.into_iter().next() {
+        return Err(format!("span {id:?} never closed"));
+    }
+    summary.tracks = tracks.len();
+    Ok(summary)
+}
+
+/// Fig. 11 per-phase latency means, derived from span events.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// Submitted → certified (local PBFT), ms.
+    pub local_consensus_ms: f64,
+    /// Certified → global commit, ms.
+    pub global_replication_ms: f64,
+    /// Global commit → deterministic order, ms.
+    pub ordering_ms: f64,
+    /// Ordered → executed, ms.
+    pub execution_ms: f64,
+    /// Entries contributing to the means.
+    pub entries: u64,
+}
+
+impl Breakdown {
+    /// Sum of the four phase means (≈ end-to-end latency), ms.
+    pub fn total_ms(&self) -> f64 {
+        self.local_consensus_ms + self.global_replication_ms + self.ordering_ms + self.execution_ms
+    }
+}
+
+/// Reduces a drained event stream to per-phase means over origin-group
+/// entries, mirroring `Node::phase_breakdown()` exactly: phase marks are
+/// taken at the entry's origin representative (the node that emitted
+/// `Submitted`), with the same fallbacks — a missing `GlobalCommit`
+/// falls back to the certificate time and a missing `Ordered` to the
+/// commit time, clamped monotone. Returns `None` when no entry has the
+/// full `Submitted`/`Certified`/`Executed` triple.
+pub fn breakdown(events: &[Event]) -> Option<Breakdown> {
+    struct Marks {
+        origin: Option<(u32, u32)>,
+        created: Option<Time>,
+        certified: Option<Time>,
+        committed: Option<Time>,
+        ordered: Option<Time>,
+        executed: Option<Time>,
+    }
+    let mut marks: BTreeMap<(u32, u64), Marks> = BTreeMap::new();
+    for ev in events {
+        if ev.entry == (0, 0) {
+            continue;
+        }
+        let m = marks.entry(ev.entry).or_insert(Marks {
+            origin: None,
+            created: None,
+            certified: None,
+            committed: None,
+            ordered: None,
+            executed: None,
+        });
+        if ev.kind == EventKind::Submitted {
+            m.origin = Some(ev.node);
+            m.created.get_or_insert(ev.at);
+        }
+        // Only marks at the origin rep count, as in protocol.rs where
+        // the rep's own maps feed phase_sums. Submitted fixes the origin;
+        // events arriving before it are matched by group instead.
+        let at_origin = match m.origin {
+            Some(origin) => ev.node == origin,
+            None => ev.node.0 == ev.entry.0,
+        };
+        if !at_origin {
+            continue;
+        }
+        match ev.kind {
+            EventKind::Certified => m.certified.get_or_insert(ev.at),
+            EventKind::GlobalCommit => m.committed.get_or_insert(ev.at),
+            EventKind::Ordered => m.ordered.get_or_insert(ev.at),
+            EventKind::Executed => m.executed.get_or_insert(ev.at),
+            _ => continue,
+        };
+    }
+
+    let mut sums = [0u64; 4];
+    let mut count = 0u64;
+    for m in marks.values() {
+        let (Some(cr), Some(ce), Some(ex)) = (m.created, m.certified, m.executed) else {
+            continue;
+        };
+        let co = m.committed.unwrap_or(ce);
+        let or = m.ordered.unwrap_or(co).max(co);
+        sums[0] += ce.saturating_sub(cr);
+        sums[1] += co.saturating_sub(ce);
+        sums[2] += or.saturating_sub(co);
+        sums[3] += ex.saturating_sub(or);
+        count += 1;
+    }
+    if count == 0 {
+        return None;
+    }
+    let c = count as f64 * 1000.0;
+    Some(Breakdown {
+        local_consensus_ms: sums[0] as f64 / c,
+        global_replication_ms: sums[1] as f64 / c,
+        ordering_ms: sums[2] as f64 / c,
+        execution_ms: sums[3] as f64 / c,
+        entries: count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lifecycle_events() -> Vec<Event> {
+        // One entry (0, 1), origin rep (0, 0), observed remotely at (1, 0).
+        let e = (0u32, 1u64);
+        let mk = |at, kind, node, value| Event {
+            at,
+            kind,
+            node,
+            entry: e,
+            value,
+        };
+        vec![
+            mk(100, EventKind::Submitted, (0, 0), 3),
+            mk(150, EventKind::PbftPrePrepare, (0, 0), 0),
+            mk(220, EventKind::Certified, (0, 0), 0),
+            mk(230, EventKind::Encoded, (0, 0), 4096),
+            mk(240, EventKind::WanTransferStart, (0, 0), 4096),
+            mk(400, EventKind::ChunkRebuilt, (1, 0), 4096),
+            mk(520, EventKind::GlobalCommit, (0, 0), 0),
+            mk(530, EventKind::GlobalCommit, (1, 0), 0),
+            mk(600, EventKind::Ordered, (0, 0), 0),
+            mk(700, EventKind::Executed, (0, 0), 3),
+            mk(710, EventKind::Executed, (1, 0), 3),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let events = lifecycle_events();
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(parse_jsonl("{\"at\":1}").is_err());
+        assert!(parse_jsonl(
+            "{\"at\":1,\"kind\":\"nope\",\"node\":[0,0],\"entry\":[0,0],\"value\":0}"
+        )
+        .is_err());
+        assert!(parse_jsonl("not json").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_complete() {
+        let trace = to_chrome_trace(&lifecycle_events());
+        let summary = validate_chrome_trace(&trace).unwrap();
+        assert_eq!(summary.tracks, 2); // nodes (0,0) and (1,0)
+        assert_eq!(summary.spans, 2); // one async span per (node, entry)
+        assert_eq!(summary.kind_counts["submitted"], 1);
+        assert_eq!(summary.kind_counts["executed"], 2);
+    }
+
+    // Golden-file shape test: the exact serialization of a tiny trace.
+    // If the emitter changes representation, this fails loudly so the
+    // change is a conscious one (Perfetto compatibility is at stake).
+    #[test]
+    fn chrome_trace_golden() {
+        let events = vec![Event {
+            at: 7,
+            kind: EventKind::Submitted,
+            node: (0, 0),
+            entry: (0, 1),
+            value: 2,
+        }];
+        let golden = concat!(
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n",
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"node 0/0\"}},\n",
+            "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"sort_index\":1}},\n",
+            "{\"name\":\"entry 0:1\",\"cat\":\"entry\",\"ph\":\"b\",\"id\":\"p1-0.1\",\"ts\":7,\"pid\":1,\"tid\":0},\n",
+            "{\"name\":\"submitted\",\"cat\":\"phase\",\"ph\":\"i\",\"s\":\"t\",\"ts\":7,\"pid\":1,\"tid\":0,\"args\":{\"entry\":\"0:1\",\"value\":2}},\n",
+            "{\"name\":\"entry 0:1\",\"cat\":\"entry\",\"ph\":\"e\",\"id\":\"p1-0.1\",\"ts\":7,\"pid\":1,\"tid\":0}\n",
+            "]}\n",
+        );
+        assert_eq!(to_chrome_trace(&events), golden);
+        validate_chrome_trace(golden).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_nonmonotone() {
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"x","cat":"entry","ph":"b","id":"a","ts":1,"pid":1,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("never closed"));
+
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","cat":"phase","ph":"i","s":"t","ts":5,"pid":1,"tid":0},
+            {"name":"b","cat":"phase","ph":"i","s":"t","ts":4,"pid":1,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_trace(backwards)
+            .unwrap_err()
+            .contains("timestamp"));
+
+        let inverted = r#"{"traceEvents":[
+            {"name":"x","cat":"entry","ph":"e","id":"a","ts":3,"pid":1,"tid":0}
+        ]}"#;
+        assert!(validate_chrome_trace(inverted)
+            .unwrap_err()
+            .contains("e without b"));
+    }
+
+    #[test]
+    fn breakdown_matches_protocol_fallback_rules() {
+        let b = breakdown(&lifecycle_events()).unwrap();
+        assert_eq!(b.entries, 1);
+        // cr=100 ce=220 co=520 or=600 ex=700 (origin-node marks only).
+        assert!((b.local_consensus_ms - 0.120).abs() < 1e-9);
+        assert!((b.global_replication_ms - 0.300).abs() < 1e-9);
+        assert!((b.ordering_ms - 0.080).abs() < 1e-9);
+        assert!((b.execution_ms - 0.100).abs() < 1e-9);
+        assert!((b.total_ms() - 0.600).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_fallbacks_without_commit_or_order() {
+        let e = (2u32, 9u64);
+        let mk = |at, kind| Event {
+            at,
+            kind,
+            node: (2, 0),
+            entry: e,
+            value: 0,
+        };
+        // No GlobalCommit, no Ordered: co falls back to ce, or to co.
+        let events = vec![
+            mk(1000, EventKind::Submitted),
+            mk(1400, EventKind::Certified),
+            mk(2000, EventKind::Executed),
+        ];
+        let b = breakdown(&events).unwrap();
+        assert!((b.local_consensus_ms - 0.4).abs() < 1e-9);
+        assert_eq!(b.global_replication_ms, 0.0);
+        assert_eq!(b.ordering_ms, 0.0);
+        assert!((b.execution_ms - 0.6).abs() < 1e-9);
+        // Incomplete entries contribute nothing.
+        assert!(breakdown(&[mk(1, EventKind::Submitted)]).is_none());
+    }
+}

@@ -1,0 +1,339 @@
+//! Unified telemetry for the MassBFT workspace.
+//!
+//! Three pieces, one crate (ISSUE 4; DESIGN.md §6):
+//!
+//! - **Entry-lifecycle spans** ([`emit`], [`Event`], [`EventKind`]): every
+//!   entry gets timestamped events at each phase boundary (submitted →
+//!   PBFT pre-prepare/prepare/commit → encoded → WAN transfer → chunk
+//!   rebuild → global Raft commit → VTS assigned → ordered → executed),
+//!   recorded into a process-wide lock-free bounded [`ring::Ring`]. The
+//!   hot path pays one relaxed atomic increment plus a handful of relaxed
+//!   slot stores when enabled, and a single relaxed load + branch when
+//!   disabled (the default). The `off` cargo feature compiles every probe
+//!   to nothing.
+//! - A **metrics registry** ([`registry`]): named counters, gauges, and
+//!   log-bucketed histograms with p50/p95/p99 queries. The legacy stat
+//!   surfaces (`massbft-core::stats`, `massbft-db::stats`,
+//!   `massbft-sim-net::Metrics`) are thin facades over this registry.
+//! - **Exporters** ([`export`]): JSONL event logs and Chrome
+//!   `trace_event` JSON loadable in Perfetto / `about://tracing` — one
+//!   track per node, one async span per entry — plus the per-phase
+//!   latency-breakdown table the `trace` bench binary prints (paper
+//!   Fig. 11).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use massbft_telemetry as telemetry;
+//!
+//! telemetry::set_enabled(true);
+//! telemetry::emit(telemetry::Event {
+//!     at: 42,
+//!     kind: telemetry::EventKind::Submitted,
+//!     node: (0, 0),
+//!     entry: (0, 1),
+//!     value: 0,
+//! });
+//! let drained = telemetry::drain();
+//! telemetry::set_enabled(false);
+//! assert!(drained.events.iter().any(|e| e.at == 42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod ring;
+
+use ring::Ring;
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+use std::sync::OnceLock;
+
+/// Virtual time in microseconds (mirrors `massbft_sim_net::Time` without
+/// the dependency — telemetry sits below every other workspace crate).
+pub type Time = u64;
+
+/// How much the probes record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Verbosity {
+    /// Nothing is recorded (the default); probes cost one relaxed load.
+    Quiet = 0,
+    /// Entry-lifecycle span events and registry metrics.
+    Spans = 1,
+    /// Spans plus per-message network debug events (deliveries, drops,
+    /// WAN/LAN sends, timer fires) — the machine-parseable replacement
+    /// for println spelunking in the simulator.
+    Debug = 2,
+}
+
+/// One phase boundary (or debug occurrence) in an entry's life.
+///
+/// The first block mirrors the paper's latency decomposition (Fig. 11);
+/// the `Net*` kinds are simulator debug events only recorded at
+/// [`Verbosity::Debug`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Entry batched and proposed at its origin representative.
+    Submitted = 0,
+    /// Local PBFT pre-prepare observed for the entry.
+    PbftPrePrepare = 1,
+    /// Local PBFT prepare phase observed.
+    PbftPrepare = 2,
+    /// Local PBFT commit phase observed.
+    PbftCommit = 3,
+    /// Local PBFT certificate assembled (local consensus done).
+    Certified = 4,
+    /// Entry erasure-encoded into chunks at the origin.
+    Encoded = 5,
+    /// WAN transfer of the entry started at the origin node.
+    WanTransferStart = 6,
+    /// Entry content fully received over WAN at this node.
+    WanTransferDone = 7,
+    /// Entry rebuilt from erasure-coded chunks at this node.
+    ChunkRebuilt = 8,
+    /// Entry committed by global consensus (Raft / accept quorum).
+    GlobalCommit = 9,
+    /// This representative assigned its vector-timestamp to the entry.
+    VtsAssigned = 10,
+    /// Deterministic global order decided for the entry at this node.
+    Ordered = 11,
+    /// Entry executed by the Aria pipeline at this node.
+    Executed = 12,
+    /// Debug: message enqueued on a WAN uplink.
+    NetWanSend = 13,
+    /// Debug: message enqueued on a LAN link.
+    NetLanSend = 14,
+    /// Debug: message delivered to its destination handler.
+    NetDeliver = 15,
+    /// Debug: message dropped (crash or partition).
+    NetDrop = 16,
+    /// Debug: timer fired.
+    NetTimer = 17,
+}
+
+impl EventKind {
+    /// Every lifecycle kind, in pipeline order (no `Net*` debug kinds).
+    pub const LIFECYCLE: [EventKind; 13] = [
+        EventKind::Submitted,
+        EventKind::PbftPrePrepare,
+        EventKind::PbftPrepare,
+        EventKind::PbftCommit,
+        EventKind::Certified,
+        EventKind::Encoded,
+        EventKind::WanTransferStart,
+        EventKind::WanTransferDone,
+        EventKind::ChunkRebuilt,
+        EventKind::GlobalCommit,
+        EventKind::VtsAssigned,
+        EventKind::Ordered,
+        EventKind::Executed,
+    ];
+
+    /// Stable machine name (used by the JSONL exporter).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Submitted => "submitted",
+            EventKind::PbftPrePrepare => "pbft_pre_prepare",
+            EventKind::PbftPrepare => "pbft_prepare",
+            EventKind::PbftCommit => "pbft_commit",
+            EventKind::Certified => "certified",
+            EventKind::Encoded => "encoded",
+            EventKind::WanTransferStart => "wan_transfer_start",
+            EventKind::WanTransferDone => "wan_transfer_done",
+            EventKind::ChunkRebuilt => "chunk_rebuilt",
+            EventKind::GlobalCommit => "global_commit",
+            EventKind::VtsAssigned => "vts_assigned",
+            EventKind::Ordered => "ordered",
+            EventKind::Executed => "executed",
+            EventKind::NetWanSend => "net_wan_send",
+            EventKind::NetLanSend => "net_lan_send",
+            EventKind::NetDeliver => "net_deliver",
+            EventKind::NetDrop => "net_drop",
+            EventKind::NetTimer => "net_timer",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        ALL_KINDS.iter().copied().find(|k| k.name() == name)
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Option<EventKind> {
+        ALL_KINDS.get(v as usize).copied()
+    }
+}
+
+const ALL_KINDS: [EventKind; 18] = [
+    EventKind::Submitted,
+    EventKind::PbftPrePrepare,
+    EventKind::PbftPrepare,
+    EventKind::PbftCommit,
+    EventKind::Certified,
+    EventKind::Encoded,
+    EventKind::WanTransferStart,
+    EventKind::WanTransferDone,
+    EventKind::ChunkRebuilt,
+    EventKind::GlobalCommit,
+    EventKind::VtsAssigned,
+    EventKind::Ordered,
+    EventKind::Executed,
+    EventKind::NetWanSend,
+    EventKind::NetLanSend,
+    EventKind::NetDeliver,
+    EventKind::NetDrop,
+    EventKind::NetTimer,
+];
+
+/// One telemetry event: a phase boundary stamped with virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time, microseconds.
+    pub at: Time,
+    /// What happened.
+    pub kind: EventKind,
+    /// The node it happened on, as `(group, index)`.
+    pub node: (u32, u32),
+    /// The entry it concerns, as `(gid, seq)` — `(0, 0)` for events not
+    /// tied to an entry (network debug events use the destination node).
+    pub entry: (u32, u64),
+    /// Kind-specific payload: bytes for transfers, the clock value for
+    /// `VtsAssigned`, committed transactions for `Executed`, 0 otherwise.
+    pub value: u64,
+}
+
+/// Result of draining the global ring.
+#[derive(Debug, Clone, Default)]
+pub struct Drained {
+    /// Recovered events, ordered by `(at, publication order)`.
+    pub events: Vec<Event>,
+    /// Events that were overwritten before this drain (ring wrapped).
+    pub dropped: u64,
+}
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(0);
+static RING: OnceLock<Ring> = OnceLock::new();
+
+/// Default global ring capacity (events). Override before first use with
+/// [`configure_ring`].
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 18;
+
+fn global_ring() -> &'static Ring {
+    RING.get_or_init(|| Ring::new(DEFAULT_RING_CAPACITY))
+}
+
+/// Installs the global ring with a custom capacity. Returns `false` if
+/// the ring was already initialized (capacity unchanged).
+pub fn configure_ring(capacity: usize) -> bool {
+    RING.set(Ring::new(capacity)).is_ok()
+}
+
+/// Sets the probe verbosity.
+pub fn set_verbosity(v: Verbosity) {
+    VERBOSITY.store(v as u8, Relaxed);
+}
+
+/// Current verbosity.
+pub fn verbosity() -> Verbosity {
+    match VERBOSITY.load(Relaxed) {
+        0 => Verbosity::Quiet,
+        1 => Verbosity::Spans,
+        _ => Verbosity::Debug,
+    }
+}
+
+/// Convenience: `true` → [`Verbosity::Spans`], `false` → [`Verbosity::Quiet`].
+pub fn set_enabled(enabled: bool) {
+    set_verbosity(if enabled {
+        Verbosity::Spans
+    } else {
+        Verbosity::Quiet
+    });
+}
+
+/// Whether span probes record. This is THE hot-path gate: a single
+/// relaxed load + branch; instrumented code must do nothing else when it
+/// returns `false`.
+#[inline(always)]
+pub fn enabled() -> bool {
+    if cfg!(feature = "off") {
+        return false;
+    }
+    VERBOSITY.load(Relaxed) >= Verbosity::Spans as u8
+}
+
+/// Whether network debug probes record ([`Verbosity::Debug`] only).
+#[inline(always)]
+pub fn net_enabled() -> bool {
+    if cfg!(feature = "off") {
+        return false;
+    }
+    VERBOSITY.load(Relaxed) >= Verbosity::Debug as u8
+}
+
+/// Records a span event into the global ring (no-op unless [`enabled`]).
+#[inline]
+pub fn emit(ev: Event) {
+    if !enabled() {
+        return;
+    }
+    global_ring().push(ev);
+}
+
+/// Records a network debug event (no-op unless [`net_enabled`]).
+#[inline]
+pub fn emit_net(ev: Event) {
+    if !net_enabled() {
+        return;
+    }
+    global_ring().push(ev);
+}
+
+/// Drains every event currently retained by the global ring, oldest
+/// first, and reports how many were lost to wraparound since the last
+/// drain. Callers should disable recording first for a consistent cut.
+pub fn drain() -> Drained {
+    let (events, dropped) = global_ring().drain();
+    Drained { events, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in ALL_KINDS {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+            assert_eq!(EventKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(EventKind::from_name("bogus"), None);
+        assert_eq!(EventKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn verbosity_ladder() {
+        // Global state: this test owns the transitions it asserts on.
+        set_verbosity(Verbosity::Quiet);
+        assert!(!enabled());
+        assert!(!net_enabled());
+        set_verbosity(Verbosity::Spans);
+        assert!(enabled());
+        assert!(!net_enabled());
+        set_verbosity(Verbosity::Debug);
+        assert!(enabled());
+        assert!(net_enabled());
+        set_verbosity(Verbosity::Quiet);
+    }
+
+    #[test]
+    fn lifecycle_covers_no_net_kinds() {
+        for k in EventKind::LIFECYCLE {
+            assert!(!k.name().starts_with("net_"), "{k:?}");
+        }
+        assert_eq!(EventKind::LIFECYCLE.len(), 13);
+    }
+}

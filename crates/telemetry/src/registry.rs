@@ -1,0 +1,384 @@
+//! The metrics registry: named counters, gauges, and log-bucketed
+//! histograms behind one process-wide API.
+//!
+//! The legacy stat surfaces — `massbft-core::stats`,
+//! `massbft-db::stats`, and `massbft-sim-net::Metrics` — are facades
+//! over this registry: they register their counters here and re-export
+//! snapshots through their original types, so no quantity is counted in
+//! two places.
+//!
+//! Updates are relaxed atomics on pre-registered handles; registration
+//! (a mutex + hash lookup) happens once per call site, typically behind
+//! a `OnceLock`. Counters are monotonic and process-wide: callers that
+//! want per-run numbers snapshot-and-subtract, exactly as the legacy
+//! surfaces always did.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Sub-bucket resolution bits: 32 sub-buckets per power of two, i.e. a
+/// worst-case relative quantization error of 1/32 ≈ 3.1%.
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+/// Major buckets cover values up to 2^40 µs (~13 days of virtual time).
+const MAJORS: usize = 40;
+const BUCKETS: usize = MAJORS * SUBS;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log-bucketed histogram: O(1) lock-free recording, percentile
+/// queries with ≤ ~3% relative error (exact for values < 32).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let major = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (major - SUB_BITS)) - SUBS as u64) as usize;
+    let idx = ((major - SUB_BITS + 1) as usize) * SUBS + sub;
+    idx.min(BUCKETS - 1)
+}
+
+/// Representative (upper-edge) value of a bucket.
+fn bucket_value(idx: usize) -> u64 {
+    let major = idx / SUBS;
+    let sub = (idx % SUBS) as u64;
+    if major == 0 {
+        return sub;
+    }
+    let shift = (major - 1) as u32;
+    ((SUBS as u64 + sub) << shift) + ((1u64 << shift) - 1)
+}
+
+impl Histogram {
+    fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, || AtomicU64::new(0));
+        Histogram(Arc::new(HistogramInner {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+        self.0.count.fetch_add(1, Relaxed);
+        self.0.sum.fetch_add(v, Relaxed);
+        self.0.max.fetch_max(v, Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Relaxed)
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The `p`-th percentile (0–100): the bucket-edge value below which
+    /// at least `p`% of samples fall. Within ~3% of the exact order
+    /// statistic; the true maximum caps the answer.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Relaxed);
+            if seen >= rank {
+                return bucket_value(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// A named metric handle, as stored in the registry.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(Counter),
+    /// Last-write-wins gauge.
+    Gauge(Gauge),
+    /// Log-bucketed histogram.
+    Histogram(Histogram),
+}
+
+/// A point-in-time reading of one metric, for reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram summary: `(count, mean, p50, p95, p99, max)`.
+    Histogram {
+        /// Samples recorded.
+        count: u64,
+        /// Mean sample.
+        mean: f64,
+        /// Median.
+        p50: u64,
+        /// 95th percentile.
+        p95: u64,
+        /// 99th percentile.
+        p99: u64,
+        /// Largest sample.
+        max: u64,
+    },
+}
+
+/// The process-wide metric registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// The counter named `name`, registering it on first use. Panics if
+    /// the name is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().expect("registry poisoned");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Snapshot of every registered metric, name-sorted.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let m = self.metrics.lock().expect("registry poisoned");
+        m.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram {
+                        count: h.count(),
+                        mean: h.mean(),
+                        p50: h.percentile(50.0),
+                        p95: h.percentile(95.0),
+                        p99: h.percentile(99.0),
+                        max: h.max(),
+                    },
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Shorthand for `registry().counter(name)`.
+pub fn counter(name: &str) -> Counter {
+    registry().counter(name)
+}
+
+/// Shorthand for `registry().gauge(name)`.
+pub fn gauge(name: &str) -> Gauge {
+    registry().gauge(name)
+}
+
+/// Shorthand for `registry().histogram(name)`.
+pub fn histogram(name: &str) -> Histogram {
+    registry().histogram(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_names_by_identity() {
+        let r = Registry::default();
+        let c1 = r.counter("test.c");
+        let c2 = r.counter("test.c");
+        c1.add(3);
+        c2.inc();
+        assert_eq!(c1.get(), 4);
+        let g = r.gauge("test.g");
+        g.set(9);
+        g.set(5);
+        assert_eq!(r.gauge("test.g").get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let r = Registry::default();
+        r.counter("test.x");
+        r.gauge("test.x");
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let r = Registry::default();
+        let h = r.histogram("test.h");
+        for v in 0..20 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 20);
+        assert_eq!(h.sum(), 190);
+        assert_eq!(h.percentile(50.0), 9);
+        assert_eq!(h.percentile(100.0), 19);
+        assert_eq!(h.max(), 19);
+    }
+
+    #[test]
+    fn histogram_percentiles_bounded_error() {
+        let h = Registry::default().histogram("test.h2");
+        // 1..=10_000 uniformly: p50 ≈ 5000, p95 ≈ 9500, p99 ≈ 9900.
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (p, exact) in [(50.0, 5000.0), (95.0, 9500.0), (99.0, 9900.0)] {
+            let got = h.percentile(p) as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(err < 0.04, "p{p}: got {got}, exact {exact}, err {err}");
+        }
+        assert_eq!(h.percentile(100.0), 10_000);
+    }
+
+    #[test]
+    fn bucket_round_trip_is_monotone() {
+        let mut last = 0;
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 65_536, 1 << 30, 1 << 39] {
+            let idx = bucket_of(v);
+            let rep = bucket_value(idx);
+            assert!(rep >= v, "bucket value {rep} under sample {v}");
+            assert!(rep <= v + v / 16 + 1, "bucket value {rep} too far over {v}");
+            assert!(idx >= last, "bucket index not monotone at {v}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = counter("test.global");
+        c.inc();
+        assert_eq!(counter("test.global").get(), 1);
+        let snap = registry().snapshot();
+        assert!(snap.iter().any(|(n, _)| n == "test.global"));
+    }
+
+    #[test]
+    fn snapshot_summarizes_histograms() {
+        let h = histogram("test.snap_h");
+        h.record(10);
+        h.record(20);
+        let snap = registry().snapshot();
+        let (_, s) = snap.iter().find(|(n, _)| n == "test.snap_h").unwrap();
+        match s {
+            MetricSnapshot::Histogram { count, max, .. } => {
+                assert_eq!(*count, 2);
+                assert_eq!(*max, 20);
+            }
+            other => panic!("wrong snapshot {other:?}"),
+        }
+    }
+}

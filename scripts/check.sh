@@ -30,4 +30,30 @@ for workers in 2 8; do
   MASSBFT_EXEC_WORKERS=${workers} cargo test -q --test determinism
 done
 
+if [[ $fast -eq 0 ]]; then
+  # Telemetry gate: capture a short trace and validate the emitted JSON.
+  # The bin itself exits non-zero if the Chrome trace is structurally
+  # invalid or the trace-derived breakdown disagrees with the protocol
+  # layer's accounting by more than 1%.
+  echo "==> trace capture smoke test"
+  tracedir=$(mktemp -d)
+  cargo run --release -q -p massbft-bench --bin trace -- \
+    --secs 1 --arrival-tps 4000 --out "${tracedir}/TRACE_geo"
+  [[ -s "${tracedir}/TRACE_geo.json" && -s "${tracedir}/TRACE_geo.jsonl" ]]
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${tracedir}/TRACE_geo.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "empty trace"
+assert all("ph" in e and "pid" in e for e in events), "malformed event"
+phases = {e["name"] for e in events if e.get("cat") == "phase"}
+spans = sum(1 for e in events if e["ph"] == "b")
+assert spans and {"submitted", "certified", "executed"} <= phases, phases
+print(f"    trace JSON valid: {len(events)} records, {spans} spans")
+EOF
+  fi
+  rm -rf "${tracedir}"
+fi
+
 echo "OK"
