@@ -1,0 +1,341 @@
+//! Fault matrix: liveness under attack, one scenario per adversary.
+//!
+//! Runs the same deterministic cluster once per fault scenario — tampered
+//! chunks, a silent primary, an equivocating primary, withheld WAN shares,
+//! a gray-failure (delaying) representative, a crashed primary, and flaky
+//! WAN links — sampling executed-transaction counts at a fixed cadence so
+//! the dip and recovery are visible in the timeline. Emits
+//! `BENCH_faults.json` and exits non-zero if any scenario fails to recover
+//! or breaks cross-node consistency.
+//!
+//! ```text
+//! cargo run --release -p massbft-bench --bin faults -- \
+//!     [--groups 4,4,4] [--secs 12] [--seed 13] [--out BENCH_faults.json]
+//! ```
+
+use massbft_core::adversary::{AdversarySpec, FaultEvent, Strategy};
+use massbft_core::cluster::{Cluster, ClusterConfig};
+use massbft_core::protocol::Protocol;
+use massbft_sim_net::{LinkFault, NodeId, Time, MILLISECOND, SECOND};
+use massbft_workloads::WorkloadKind;
+
+/// Sampling cadence for the recovery timelines.
+const SAMPLE_US: Time = 500 * MILLISECOND;
+
+#[derive(Debug)]
+struct Args {
+    groups: Vec<usize>,
+    secs: u64,
+    seed: u64,
+    arrival_tps: f64,
+    max_batch: usize,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: faults [--groups 4,4,4] [--secs N] [--seed N]
+              [--arrival-tps N] [--max-batch N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        groups: vec![4, 4, 4],
+        secs: 12,
+        seed: 13,
+        arrival_tps: 3000.0,
+        max_batch: 60,
+        out: "BENCH_faults.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--groups" => {
+                args.groups = val()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--secs" => args.secs = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--arrival-tps" => args.arrival_tps = val().parse().unwrap_or_else(|_| usage()),
+            "--max-batch" => args.max_batch = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = val(),
+            _ => usage(),
+        }
+    }
+    if args.secs < 6 {
+        eprintln!("--secs must be at least 6 (fault at 1s + recovery window)");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// What a scenario's timeline tracks: one group's executed transactions
+/// (faults aimed at a single group) or the whole cluster's.
+#[derive(Clone, Copy)]
+enum Affected {
+    Group(u32),
+    Total,
+}
+
+struct Scenario {
+    name: &'static str,
+    /// Human-oriented one-liner for the JSON.
+    what: &'static str,
+    affected: Affected,
+    cfg: ClusterConfig,
+}
+
+struct Outcome {
+    name: &'static str,
+    what: &'static str,
+    affected: Affected,
+    /// `(t_us, executed)` samples of the affected metric.
+    timeline: Vec<(Time, u64)>,
+    /// Mean rate over the final 4 s, transactions per second.
+    tail_tps: f64,
+    /// Longest run of consecutive stalled (< 10% of tail rate) sample
+    /// intervals after the fault, as a duration.
+    stall_us: Time,
+    recovered: bool,
+    consistent: bool,
+}
+
+fn affected_count(c: &Cluster, obs: NodeId, affected: Affected) -> u64 {
+    match affected {
+        Affected::Group(g) => c.node(obs).executed_by_group()[g as usize],
+        Affected::Total => c.node(obs).executed_txns(),
+    }
+}
+
+fn run_scenario(s: Scenario, fault_at: Time, secs: u64) -> Outcome {
+    let mut c = Cluster::new(s.cfg);
+    let end = secs * SECOND;
+    let obs = {
+        // Sample at a node the scenarios never crash or corrupt: the last
+        // follower of group 0 is an observer in every script below.
+        NodeId::new(0, 2)
+    };
+    let mut timeline = Vec::new();
+    let mut t = SAMPLE_US;
+    while t <= end {
+        c.run_until(t);
+        timeline.push((t, affected_count(&c, obs, s.affected)));
+        t += SAMPLE_US;
+    }
+
+    // Tail rate over the final 4 s — the steady state after recovery.
+    let tail_window = 4 * SECOND;
+    let tail_start = end - tail_window;
+    let exec_at = |at: Time| -> u64 {
+        timeline
+            .iter()
+            .rev()
+            .find(|(t, _)| *t <= at)
+            .map(|(_, e)| *e)
+            .unwrap_or(0)
+    };
+    let tail_tps = (exec_at(end) - exec_at(tail_start)) as f64 / (tail_window as f64 / 1e6);
+
+    // Longest consecutive stall after the fault: sample intervals whose
+    // rate is under 10% of the tail rate (the view-change / takeover gap).
+    let floor = (tail_tps * 0.10).max(1.0) * (SAMPLE_US as f64 / 1e6);
+    let mut stall_us: Time = 0;
+    let mut run: Time = 0;
+    for w in timeline.windows(2) {
+        let (t0, e0) = w[0];
+        let (t1, e1) = w[1];
+        if t1 <= fault_at {
+            continue;
+        }
+        if ((e1 - e0) as f64) < floor {
+            run += t1 - t0;
+            stall_us = stall_us.max(run);
+        } else {
+            run = 0;
+        }
+    }
+
+    // Recovered = the affected metric is moving again in the tail at a
+    // non-trivial rate, and the final sample interval is not stalled.
+    let recovered = tail_tps > 100.0 && run == 0;
+    let consistent = c.check_consistency();
+    Outcome {
+        name: s.name,
+        what: s.what,
+        affected: s.affected,
+        timeline,
+        tail_tps,
+        stall_us,
+        recovered,
+        consistent,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args = parse_args();
+    let fault_at = SECOND;
+    let base = || {
+        ClusterConfig::nationwide(&args.groups, Protocol::MassBft)
+            .workload(WorkloadKind::YcsbA)
+            .seed(args.seed)
+            .arrival_tps(args.arrival_tps)
+            .max_batch(args.max_batch)
+    };
+    let ng = args.groups.len() as u32;
+    let last = |g: u32| NodeId::new(g, args.groups[g as usize] as u32 - 1);
+
+    let tamper_all = (0..ng).fold(base(), |cfg, g| {
+        cfg.adversary(AdversarySpec::new(last(g), Strategy::TamperChunks).from_us(fault_at))
+    });
+    let withhold_all = (0..ng).fold(base(), |cfg, g| {
+        cfg.adversary(AdversarySpec::new(last(g), Strategy::WithholdChunks).from_us(fault_at))
+    });
+    let scenarios = vec![
+        Scenario {
+            name: "baseline",
+            what: "no fault; reference throughput",
+            affected: Affected::Total,
+            cfg: base(),
+        },
+        Scenario {
+            name: "tamper_chunks",
+            what: "one sender per group substitutes garbage chunk shares",
+            affected: Affected::Total,
+            cfg: tamper_all,
+        },
+        Scenario {
+            name: "silent_primary",
+            what: "group 1's primary suppresses all PBFT traffic",
+            affected: Affected::Group(1),
+            cfg: base().adversary(
+                AdversarySpec::new(NodeId::new(1, 0), Strategy::SilentPrimary).from_us(fault_at),
+            ),
+        },
+        Scenario {
+            name: "equivocating_primary",
+            what: "group 1's primary sends conflicting pre-prepares",
+            affected: Affected::Group(1),
+            cfg: base().adversary(
+                AdversarySpec::new(NodeId::new(1, 0), Strategy::EquivocatingPrimary)
+                    .from_us(fault_at),
+            ),
+        },
+        Scenario {
+            name: "withhold_chunks",
+            what: "one node per group certifies but never ships WAN shares",
+            affected: Affected::Total,
+            cfg: withhold_all,
+        },
+        Scenario {
+            name: "delay_all",
+            what: "group 1's representative delays every send by 50 ms",
+            affected: Affected::Group(1),
+            cfg: base().adversary(
+                AdversarySpec::new(
+                    NodeId::new(1, 0),
+                    Strategy::DelayAll {
+                        delay_us: 50 * MILLISECOND,
+                    },
+                )
+                .from_us(fault_at),
+            ),
+        },
+        Scenario {
+            name: "crashed_primary",
+            what: "group 1's primary (and representative) crashes",
+            affected: Affected::Group(1),
+            cfg: base().fault_at(fault_at, FaultEvent::Crash(NodeId::new(1, 0))),
+        },
+        Scenario {
+            name: "flaky_wan",
+            what: "5% WAN loss + 20 ms jitter for 3 s, then healed",
+            affected: Affected::Total,
+            cfg: base()
+                .fault_at(
+                    fault_at,
+                    FaultEvent::SetWanFault(Some(LinkFault::flaky(5.0, 20 * MILLISECOND))),
+                )
+                .fault_at(fault_at + 3 * SECOND, FaultEvent::SetWanFault(None)),
+        },
+    ];
+
+    eprintln!(
+        "fault matrix: {} scenarios on {:?} groups, fault at {}s, {}s measured ...",
+        scenarios.len(),
+        args.groups,
+        fault_at / SECOND,
+        args.secs
+    );
+
+    let mut outcomes = Vec::new();
+    let mut failed = false;
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>6}",
+        "scenario", "tail tps", "stall ms", "recovered", "cons."
+    );
+    for s in scenarios {
+        let name = s.name;
+        let o = run_scenario(s, fault_at, args.secs);
+        println!(
+            "{:<22} {:>10.0} {:>10.0} {:>10} {:>6}",
+            name,
+            o.tail_tps,
+            o.stall_us as f64 / 1e3,
+            o.recovered,
+            o.consistent
+        );
+        failed |= !o.recovered || !o.consistent;
+        outcomes.push(o);
+    }
+
+    // Hand-rolled JSON (no serde in the workspace).
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!(
+        "  \"config\": {{\"groups\": {:?}, \"seed\": {}, \"arrival_tps\": {}, \
+         \"max_batch\": {}, \"secs\": {}, \"fault_at_us\": {}, \"sample_us\": {}}},\n",
+        args.groups, args.seed, args.arrival_tps, args.max_batch, args.secs, fault_at, SAMPLE_US
+    ));
+    j.push_str("  \"scenarios\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let affected = match o.affected {
+            Affected::Group(g) => format!("group{g}"),
+            Affected::Total => "total".to_string(),
+        };
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"what\": \"{}\", \"affected\": \"{}\",\n",
+            json_escape(o.name),
+            json_escape(o.what),
+            affected
+        ));
+        j.push_str(&format!(
+            "     \"tail_tps\": {:.1}, \"stall_us\": {}, \"recovered\": {}, \
+             \"consistent\": {},\n",
+            o.tail_tps, o.stall_us, o.recovered, o.consistent
+        ));
+        let points: Vec<String> = o
+            .timeline
+            .iter()
+            .map(|(t, e)| format!("[{t}, {e}]"))
+            .collect();
+        j.push_str(&format!("     \"timeline\": [{}]}}", points.join(", ")));
+        j.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &j).expect("write BENCH_faults.json");
+    println!("\nwrote {}", args.out);
+
+    if failed {
+        eprintln!("error: at least one fault scenario failed to recover or diverged");
+        std::process::exit(1);
+    }
+}

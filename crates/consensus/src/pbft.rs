@@ -28,7 +28,7 @@ use massbft_crypto::{
     Digest, KeyRegistry, NodeKey, QuorumCert, Signature,
 };
 use massbft_telemetry::registry::{counter, Counter};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::OnceLock;
 
 /// Process-wide PBFT counters in the telemetry registry. The sans-io
@@ -139,6 +139,14 @@ pub enum PbftMsg {
         /// Requests to re-run: `(seq, payload)`.
         reproposals: Vec<(u64, Vec<u8>)>,
     },
+    /// Primary liveness beacon. An idle-but-alive primary broadcasts
+    /// these so followers can distinguish "nothing to propose" from
+    /// "primary dead" without speculative view changes. Replica state is
+    /// untouched; the view-change *driver* interprets them.
+    Heartbeat {
+        /// The sender's active view.
+        view: u64,
+    },
 }
 
 /// Actions a PBFT replica asks its driver to perform.
@@ -204,6 +212,10 @@ pub struct PbftReplica {
     view_changes: ViewChangeVotes,
     /// Set while a view change is in progress (stops normal processing).
     in_view_change: bool,
+    /// Highest view this replica has ever campaigned for. Repeated
+    /// timeouts escalate past it, so a dead successor primary cannot
+    /// wedge the group in a failed view change.
+    top_view: u64,
 }
 
 impl PbftReplica {
@@ -225,6 +237,7 @@ impl PbftReplica {
             instances: BTreeMap::new(),
             view_changes: BTreeMap::new(),
             in_view_change: false,
+            top_view: 0,
         }
     }
 
@@ -246,6 +259,30 @@ impl PbftReplica {
     /// Number of instances committed but possibly not yet garbage-collected.
     pub fn committed_count(&self) -> u64 {
         self.exec_seq - 1
+    }
+
+    /// Whether a view change is currently in progress.
+    pub fn in_view_change(&self) -> bool {
+        self.in_view_change
+    }
+
+    /// Whether any instance at or past the execution frontier is still
+    /// uncommitted — i.e. there is consensus work in flight that a live
+    /// primary should be driving to completion.
+    pub fn has_pending(&self) -> bool {
+        self.instances
+            .iter()
+            .any(|(&s, inst)| s >= self.exec_seq && !inst.committed)
+    }
+
+    /// Primary API: produce a liveness heartbeat to broadcast, or `None`
+    /// if this replica is not the active primary (or is mid-view-change).
+    pub fn heartbeat(&self) -> Option<PbftMsg> {
+        if self.is_primary() && !self.in_view_change {
+            Some(PbftMsg::Heartbeat { view: self.view })
+        } else {
+            None
+        }
     }
 
     /// Primary API: propose a payload. Returns the outputs to perform.
@@ -299,20 +336,26 @@ impl PbftReplica {
                 sig,
             } => self.on_view_change(from, new_view, last_exec, prepared, sig),
             PbftMsg::NewView { view, reproposals } => self.on_new_view(from, view, reproposals),
+            // Heartbeats carry no state; the driver interprets them.
+            PbftMsg::Heartbeat { .. } => Vec::new(),
         }
     }
 
     /// The driver's view timer fired without progress: start a view change
     /// (paper: replaces a faulty primary; also triggered by remote view
     /// change requests from other groups in GeoBFT-style protocols).
+    /// Repeated timeouts escalate past every view already campaigned for,
+    /// so a crashed successor primary is skipped on the next round.
     pub fn on_view_timeout(&mut self) -> Vec<PbftOutput> {
-        self.start_view_change(self.view + 1)
+        let next = self.view.max(self.top_view) + 1;
+        self.start_view_change(next)
     }
 
     fn start_view_change(&mut self, new_view: u64) -> Vec<PbftOutput> {
         if new_view <= self.view {
             return Vec::new();
         }
+        self.top_view = self.top_view.max(new_view);
         self.in_view_change = true;
         counters().view_changes.inc();
         let prepared = self.prepared_requests();
@@ -577,6 +620,17 @@ impl PbftReplica {
         self.view = view;
         self.in_view_change = false;
         self.view_changes.retain(|&v, _| v > view);
+        // The re-proposal set is authoritative for every sequence at or
+        // past the execution frontier: an uncommitted instance missing
+        // from it was prepared by no quorum (any quorum of view-change
+        // votes intersects any prepare quorum), so it is void — e.g. a
+        // silenced primary's proposals that never left its own node.
+        // Dropping them keeps stale digests from vetoing the new
+        // primary's fresh proposals at the same sequence numbers.
+        let reproposed: BTreeSet<u64> = reproposals.iter().map(|(s, _)| *s).collect();
+        let exec_seq = self.exec_seq;
+        self.instances
+            .retain(|&s, inst| s < exec_seq || inst.committed || reproposed.contains(&s));
         // Clear votes from older views on live instances; keep payloads.
         for inst in self.instances.values_mut() {
             if !inst.committed {
@@ -587,26 +641,54 @@ impl PbftReplica {
                 inst.pre_prepared_view = None;
             }
         }
+        // Adopt the new-view's canonical choice for every re-proposed
+        // sequence: a conflicting uncommitted pre-prepare from an earlier
+        // view (e.g. one branch of an equivocating primary) must not veto
+        // the re-proposal. Nothing conflicting can have committed anywhere
+        // — a commit implies a prepare quorum, which would have put that
+        // branch into the view-change union.
+        for (seq, payload) in &reproposals {
+            if *seq < self.exec_seq {
+                continue;
+            }
+            let digest = Digest::of(payload);
+            let inst = self.instances.entry(*seq).or_default();
+            if !inst.committed && inst.digest.is_some() && inst.digest != Some(digest) {
+                *inst = Instance {
+                    payload: Some(payload.clone()),
+                    digest: Some(digest),
+                    ..Instance::default()
+                };
+            }
+        }
         let mut out = vec![PbftOutput::EnteredView(view)];
         if self.cfg.primary_of(view) == self.cfg.node {
-            // Re-propose surviving requests under the new view.
-            let mut max_seq = self.next_seq;
-            for (seq, payload) in reproposals {
-                if seq < self.exec_seq {
-                    continue;
-                }
-                max_seq = max_seq.max(seq + 1);
-                let digest = Digest::of(&payload);
-                let pre = PbftMsg::PrePrepare {
-                    view,
-                    seq,
-                    payload,
-                    digest,
-                };
-                out.push(PbftOutput::Broadcast(pre.clone()));
-                out.extend(self.on_message(self.cfg.node, pre));
+            // Sequencing must continue past everything this replica has
+            // executed or seen: a backup that was never primary still has
+            // next_seq = 1, and reusing low sequence numbers would make its
+            // proposals silently dropped as already executed.
+            let mut max_seq = self.next_seq.max(self.exec_seq);
+            if let Some((&hi, _)) = self.instances.iter().next_back() {
+                max_seq = max_seq.max(hi + 1);
+            }
+            if let Some((hi, _)) = reproposals.last() {
+                max_seq = max_seq.max(hi + 1);
             }
             self.next_seq = max_seq;
+        }
+        // The NewView itself carries the re-proposals, so treat them as
+        // this view's pre-prepares directly — at the primary AND at every
+        // backup. Re-broadcasting them separately would race the NewView
+        // on the wire (the NewView is much larger, so its transmission
+        // delay lets the small PrePrepares overtake it), and a pre-prepare
+        // that arrives while the receiver is still in the old view is
+        // dropped for good.
+        for (seq, payload) in reproposals {
+            if seq < self.exec_seq {
+                continue;
+            }
+            let digest = Digest::of(&payload);
+            out.extend(self.on_pre_prepare(from, view, seq, payload, digest));
         }
         out
     }
@@ -901,6 +983,34 @@ mod tests {
     }
 
     #[test]
+    fn new_primary_continues_sequencing_past_committed_entries() {
+        // Commit entries under primary 0, then view-change with nothing
+        // prepared in flight. The new primary's own next_seq is still 1
+        // (it never proposed); it must continue past the execution
+        // frontier or its proposals are dropped as already executed.
+        let mut h = Harness::new(4, false);
+        for i in 0..3u8 {
+            h.propose(0, &[i]);
+        }
+        h.run();
+        assert!(h.committed.iter().all(|c| c.len() == 3));
+        h.mute.insert(0);
+        for r in 1..4u32 {
+            let outs = h.replicas[r as usize].on_view_timeout();
+            h.absorb(r, outs);
+        }
+        h.run();
+        assert_eq!(h.replicas[1].view(), 1);
+        h.propose(1, b"post-viewchange-fresh");
+        h.run();
+        for r in 1..4usize {
+            assert_eq!(h.committed[r].len(), 4, "replica {r}");
+            assert_eq!(h.committed[r][3].0, 4, "fresh entry gets seq 4");
+            assert_eq!(h.committed[r][3].1, b"post-viewchange-fresh");
+        }
+    }
+
+    #[test]
     fn view_change_preserves_prepared_request() {
         let mut h = Harness::new(4, false);
         // Propose and let it fully prepare everywhere, but drop all commit
@@ -930,6 +1040,73 @@ mod tests {
             assert_eq!(c.len(), 1, "replica {r}");
             assert_eq!(c[0].1, b"survivor");
         }
+    }
+
+    #[test]
+    fn heartbeat_only_from_active_primary() {
+        let h = Harness::new(4, false);
+        assert!(matches!(
+            h.replicas[0].heartbeat(),
+            Some(PbftMsg::Heartbeat { view: 0 })
+        ));
+        for r in 1..4usize {
+            assert!(h.replicas[r].heartbeat().is_none(), "replica {r}");
+        }
+    }
+
+    #[test]
+    fn repeated_timeouts_escalate_past_dead_successor() {
+        let mut h = Harness::new(4, false);
+        // Primary 0 proposes nothing; successor primary 1 is also dead.
+        h.mute.insert(1);
+        for r in [0u32, 2, 3] {
+            let outs = h.replicas[r as usize].on_view_timeout();
+            h.absorb(r, outs);
+        }
+        h.run();
+        // View 1's primary never answers: everyone is wedged mid-change.
+        for r in [0usize, 2, 3] {
+            assert_eq!(h.replicas[r].view(), 0, "replica {r}");
+            assert!(h.replicas[r].in_view_change);
+        }
+        // The next timeout must skip view 1 and campaign for view 2.
+        for r in [0u32, 2, 3] {
+            let outs = h.replicas[r as usize].on_view_timeout();
+            h.absorb(r, outs);
+        }
+        h.run();
+        for r in [0usize, 2, 3] {
+            assert_eq!(h.replicas[r].view(), 2, "replica {r}");
+            assert!(!h.replicas[r].in_view_change);
+        }
+        // Replica 2 is the view-2 primary and can commit entries.
+        h.propose(2, b"post-escalation");
+        h.run();
+        for r in [0usize, 2, 3] {
+            assert_eq!(h.committed[r].len(), 1);
+        }
+    }
+
+    #[test]
+    fn has_pending_tracks_uncommitted_instances() {
+        let mut h = Harness::new(4, false);
+        assert!(!h.replicas[1].has_pending());
+        // A pre-prepare lands but commits are withheld: pending.
+        let outs = h.replicas[0].propose(b"stuck".to_vec());
+        h.absorb(0, outs);
+        while let Some((from, to, msg)) = h.queue.pop_front() {
+            if matches!(msg, PbftMsg::Commit { .. }) {
+                continue;
+            }
+            let outs = h.replicas[to as usize].on_message(from, msg);
+            h.absorb(to, outs);
+        }
+        assert!(h.replicas[1].has_pending());
+        // A fresh run that commits normally ends with nothing pending.
+        let mut h = Harness::new(4, false);
+        h.propose(0, b"done");
+        h.run();
+        assert!(!h.replicas[1].has_pending());
     }
 
     #[test]

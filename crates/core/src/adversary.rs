@@ -1,0 +1,207 @@
+//! Pluggable adversary strategies and scripted fault schedules.
+//!
+//! The paper's threat model (§III) allows up to `f` Byzantine nodes per
+//! group — including the PBFT primary. This module turns the single
+//! hardcoded "tamper chunks" misbehavior into a strategy engine:
+//! each node can be assigned a [`Strategy`] with an activation window
+//! ([`AdversarySpec`]), and whole scenarios — crashes, recoveries,
+//! partitions, link faults — become data via [`FaultSchedule`], applied
+//! deterministically by `Cluster` at scripted virtual times.
+//!
+//! Strategies are interpreted by the protocol layer (`protocol.rs`):
+//!
+//! - [`Strategy::TamperChunks`] — the sender substitutes garbage for its
+//!   erasure-coded chunk shares (the pre-existing Byzantine behavior;
+//!   Merkle proofs + quorum certificates catch it, §V-B).
+//! - [`Strategy::SilentPrimary`] — the node suppresses every outbound
+//!   PBFT message while active. As primary it mutes the group's local
+//!   consensus; the view-change driver must evict it.
+//! - [`Strategy::EquivocatingPrimary`] — as primary, sends conflicting
+//!   pre-prepares (same view/seq, different payloads) to disjoint halves
+//!   of the group. Neither branch can reach a `2f+1` quorum, so the
+//!   group stalls until a view change re-proposes exactly one branch.
+//! - [`Strategy::WithholdChunks`] — the node certifies entries normally
+//!   but never sends its WAN chunk/copy shares (tests erasure-coding
+//!   redundancy and pull repair).
+//! - [`Strategy::DelayAll`] — every message the node sends is delayed by
+//!   a fixed amount (gray failure / overloaded NIC). Implemented at the
+//!   simulator level via `Simulation::set_send_delay`, scheduled by the
+//!   cluster when the spec activates and deactivates.
+
+use massbft_sim_net::{LinkFault, NodeId, Time};
+
+/// One adversarial behavior a node can exhibit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Substitute garbage for outgoing erasure-coded chunks (default
+    /// Byzantine behavior; detected by Merkle proof verification).
+    TamperChunks,
+    /// Suppress all outbound PBFT traffic (mute primary / crash-like
+    /// fault that is not detectable as a process crash).
+    SilentPrimary,
+    /// Send conflicting pre-prepares to disjoint replica halves.
+    EquivocatingPrimary,
+    /// Never send WAN chunk/copy shares for certified entries.
+    WithholdChunks,
+    /// Delay every outbound message by a fixed amount.
+    DelayAll {
+        /// Added latency per message, microseconds.
+        delay_us: Time,
+    },
+}
+
+/// A [`Strategy`] assigned to one node, with an activation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversarySpec {
+    /// The misbehaving node.
+    pub node: NodeId,
+    /// What it does while active.
+    pub strategy: Strategy,
+    /// Virtual time the behavior starts.
+    pub from_us: Time,
+    /// Virtual time the behavior stops (`None` = forever).
+    pub until_us: Option<Time>,
+}
+
+impl AdversarySpec {
+    /// A spec active from time zero, forever.
+    pub fn new(node: NodeId, strategy: Strategy) -> Self {
+        AdversarySpec {
+            node,
+            strategy,
+            from_us: 0,
+            until_us: None,
+        }
+    }
+
+    /// Sets the activation time.
+    pub fn from_us(mut self, t: Time) -> Self {
+        self.from_us = t;
+        self
+    }
+
+    /// Sets the deactivation time.
+    pub fn until_us(mut self, t: Time) -> Self {
+        self.until_us = Some(t);
+        self
+    }
+
+    /// Whether the behavior is active at `now`.
+    pub fn active_at(&self, now: Time) -> bool {
+        now >= self.from_us && self.until_us.is_none_or(|t| now < t)
+    }
+}
+
+/// One scripted fault action, applied to the simulation at a scheduled
+/// virtual time. Node/group crash–recover, partitions at both
+/// granularities, link-level fault models, and adversarial send delays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Crash a node (stops sending/receiving; state retained).
+    Crash(NodeId),
+    /// Recover a crashed node.
+    Recover(NodeId),
+    /// Crash every node of a group (data-center outage, §VI-E).
+    CrashGroup(u32),
+    /// Recover every node of a group.
+    RecoverGroup(u32),
+    /// Sever all WAN links between two groups.
+    PartitionGroups(u32, u32),
+    /// Heal a group partition.
+    HealGroups(u32, u32),
+    /// Sever the link between two individual nodes (WAN or LAN).
+    PartitionNodes(NodeId, NodeId),
+    /// Heal a node-pair partition.
+    HealNodes(NodeId, NodeId),
+    /// Set (`Some`) or clear (`None`) the fault model on a directed link.
+    SetLinkFault(NodeId, NodeId, Option<LinkFault>),
+    /// Set (`Some`) or clear (`None`) the WAN-wide default fault model.
+    SetWanFault(Option<LinkFault>),
+    /// Add a fixed delay to everything a node sends (0 clears it).
+    SetSendDelay(NodeId, Time),
+}
+
+/// A [`FaultEvent`] with its activation instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// Virtual time the event fires.
+    pub at: Time,
+    /// What happens.
+    pub event: FaultEvent,
+}
+
+/// A deterministic script of fault events, kept sorted by time (stable
+/// for equal times, so same-instant events apply in insertion order).
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: adds `event` at `at` and returns the schedule.
+    pub fn at(mut self, at: Time, event: FaultEvent) -> Self {
+        self.push(at, event);
+        self
+    }
+
+    /// Adds `event` at `at`, keeping the script sorted (stable).
+    pub fn push(&mut self, at: Time, event: FaultEvent) {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, ScheduledFault { at, event });
+    }
+
+    /// The full script, sorted by time.
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_activation_window() {
+        let spec = AdversarySpec::new(NodeId::new(1, 0), Strategy::SilentPrimary)
+            .from_us(100)
+            .until_us(200);
+        assert!(!spec.active_at(99));
+        assert!(spec.active_at(100));
+        assert!(spec.active_at(199));
+        assert!(!spec.active_at(200));
+        let forever = AdversarySpec::new(NodeId::new(0, 1), Strategy::TamperChunks);
+        assert!(forever.active_at(0));
+        assert!(forever.active_at(u64::MAX));
+    }
+
+    #[test]
+    fn schedule_sorts_stably() {
+        let s = FaultSchedule::new()
+            .at(50, FaultEvent::Crash(NodeId::new(0, 0)))
+            .at(10, FaultEvent::PartitionGroups(0, 1))
+            .at(50, FaultEvent::Recover(NodeId::new(0, 0)))
+            .at(20, FaultEvent::HealGroups(0, 1));
+        let ats: Vec<Time> = s.events().iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![10, 20, 50, 50]);
+        // Same-instant events keep insertion order: Crash before Recover.
+        assert!(matches!(s.events()[2].event, FaultEvent::Crash(_)));
+        assert!(matches!(s.events()[3].event, FaultEvent::Recover(_)));
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+}

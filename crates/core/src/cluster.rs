@@ -7,6 +7,7 @@
 //! every number is deterministic given the seed.
 
 use crate::{
+    adversary::{AdversarySpec, FaultEvent, FaultSchedule, ScheduledFault, Strategy},
     protocol::{Node, Protocol, ProtocolParams},
     stats::Throughput,
 };
@@ -34,6 +35,9 @@ pub struct ClusterConfig {
     pub wan_mbps: u64,
     /// Per-node WAN overrides, Mbps (Fig. 14).
     pub node_wan_mbps: Vec<(NodeId, u64)>,
+    /// Scripted fault events, applied at their virtual times by
+    /// [`Cluster::run_until`].
+    pub faults: FaultSchedule,
 }
 
 impl ClusterConfig {
@@ -44,6 +48,7 @@ impl ClusterConfig {
             region: Region::Nationwide,
             wan_mbps: 20,
             node_wan_mbps: Vec::new(),
+            faults: FaultSchedule::new(),
         }
     }
 
@@ -118,9 +123,31 @@ impl ClusterConfig {
     }
 
     /// Marks nodes Byzantine from `from_us` on (chunk tampering, §VI-E).
+    /// Shorthand for assigning each a [`Strategy::TamperChunks`] spec.
     pub fn byzantine(mut self, nodes: &[NodeId], from_us: Time) -> Self {
-        self.params.byzantine_nodes = nodes.iter().copied().collect();
-        self.params.byzantine_from_us = from_us;
+        for &n in nodes {
+            self.params
+                .adversaries
+                .push(AdversarySpec::new(n, Strategy::TamperChunks).from_us(from_us));
+        }
+        self
+    }
+
+    /// Assigns one adversary strategy spec (activation window included).
+    pub fn adversary(mut self, spec: AdversarySpec) -> Self {
+        self.params.adversaries.push(spec);
+        self
+    }
+
+    /// Schedules one fault event at a virtual time.
+    pub fn fault_at(mut self, at: Time, event: FaultEvent) -> Self {
+        self.faults.push(at, event);
+        self
+    }
+
+    /// Replaces the whole fault schedule.
+    pub fn fault_schedule(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -178,6 +205,9 @@ pub struct Report {
 pub struct Cluster {
     sim: Simulation<Node>,
     cfg: ClusterConfig,
+    /// Scripted fault events sorted by time, with the apply cursor.
+    schedule: Vec<ScheduledFault>,
+    next_fault: usize,
     /// Snapshot of executed txns at the start of the current window.
     window_start_txns: u64,
     window_start_time: Time,
@@ -189,14 +219,49 @@ impl Cluster {
         let topology = cfg.build_topology();
         let registry = KeyRegistry::generate(cfg.params.seed, &cfg.params.group_sizes);
         let params = cfg.params.clone();
-        let sim = Simulation::new(topology, move |id| {
+        let mut sim = Simulation::new(topology, move |id| {
             Node::new(id, params.clone(), registry.clone())
         });
+        sim.set_fault_seed(cfg.params.seed);
+        // `DelayAll` is a simulator-level behavior: translate each spec's
+        // activation window into scheduled send-delay events.
+        let mut schedule = cfg.faults.clone();
+        for spec in &cfg.params.adversaries {
+            if let Strategy::DelayAll { delay_us } = spec.strategy {
+                schedule.push(spec.from_us, FaultEvent::SetSendDelay(spec.node, delay_us));
+                if let Some(until) = spec.until_us {
+                    schedule.push(until, FaultEvent::SetSendDelay(spec.node, 0));
+                }
+            }
+        }
         Cluster {
             sim,
             cfg,
+            schedule: schedule.events().to_vec(),
+            next_fault: 0,
             window_start_txns: 0,
             window_start_time: 0,
+        }
+    }
+
+    /// Applies one scripted fault to the simulation.
+    fn apply_fault(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::Crash(n) => self.sim.crash(n),
+            FaultEvent::Recover(n) => self.sim.recover(n),
+            FaultEvent::CrashGroup(g) => self.sim.crash_group(g),
+            FaultEvent::RecoverGroup(g) => {
+                for i in 0..self.cfg.params.group_sizes[g as usize] as u32 {
+                    self.sim.recover(NodeId::new(g, i));
+                }
+            }
+            FaultEvent::PartitionGroups(a, b) => self.sim.partition(a, b),
+            FaultEvent::HealGroups(a, b) => self.sim.heal(a, b),
+            FaultEvent::PartitionNodes(a, b) => self.sim.partition_nodes(a, b),
+            FaultEvent::HealNodes(a, b) => self.sim.heal_nodes(a, b),
+            FaultEvent::SetLinkFault(src, dst, f) => self.sim.set_link_fault(src, dst, f),
+            FaultEvent::SetWanFault(f) => self.sim.set_wan_fault(f),
+            FaultEvent::SetSendDelay(n, d) => self.sim.set_send_delay(n, d),
         }
     }
 
@@ -221,8 +286,15 @@ impl Cluster {
         self.sim.actor(id)
     }
 
-    /// Advances virtual time to `t` (absolute).
+    /// Advances virtual time to `t` (absolute), applying every scripted
+    /// fault whose instant falls inside the interval, in schedule order.
     pub fn run_until(&mut self, t: Time) {
+        while self.next_fault < self.schedule.len() && self.schedule[self.next_fault].at <= t {
+            let ScheduledFault { at, event } = self.schedule[self.next_fault];
+            self.next_fault += 1;
+            self.sim.run_until(at.max(self.sim.now()));
+            self.apply_fault(event);
+        }
         self.sim.run_until(t);
     }
 

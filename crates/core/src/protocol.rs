@@ -33,6 +33,7 @@
 //! time, which produces the paper's CPU plateau (Fig. 13a).
 
 use crate::{
+    adversary::{AdversarySpec, Strategy},
     entry::{decode_batch, encode_batch, entry_digest, peek_entry_id, EntryId},
     exec::{ExecutionPipeline, PreparedEntry},
     ledger::Ledger,
@@ -133,10 +134,17 @@ pub struct ProtocolParams {
     pub overlap_vts: bool,
     /// Workload to generate.
     pub workload: WorkloadKind,
-    /// Nodes behaving Byzantine (chunk tampering) once activated.
-    pub byzantine_nodes: BTreeSet<NodeId>,
-    /// Virtual time at which Byzantine behaviour starts.
-    pub byzantine_from_us: Time,
+    /// Adversarial node behaviours with activation windows (§III threat
+    /// model). Interpreted per strategy by the node; `DelayAll` is applied
+    /// at the simulator level by the cluster harness.
+    pub adversaries: Vec<AdversarySpec>,
+    /// Base PBFT progress timeout: a backup that sees no progress for this
+    /// long votes to change the view.
+    pub view_timeout_us: Time,
+    /// Cap for the exponential view-timeout backoff.
+    pub view_timeout_max_us: Time,
+    /// Period of the pull-repair scan for stalled executions (Lemma V.1).
+    pub repair_interval_us: Time,
     /// RNG / key derivation seed.
     pub seed: u64,
     /// Aria worker lanes for the execution pipeline (1 = serial).
@@ -176,8 +184,13 @@ impl ProtocolParams {
             heartbeat_us: 100 * MILLISECOND,
             overlap_vts: true,
             workload: WorkloadKind::YcsbA,
-            byzantine_nodes: BTreeSet::new(),
-            byzantine_from_us: 0,
+            adversaries: Vec::new(),
+            // The progress timeout must comfortably exceed a loaded
+            // LAN PBFT round; backoff doubles it up to 4x so repeated
+            // view changes across overlapping failures still converge.
+            view_timeout_us: 500 * MILLISECOND,
+            view_timeout_max_us: 2000 * MILLISECOND,
+            repair_interval_us: 500 * MILLISECOND,
             seed: 1,
             // `MASSBFT_EXEC_WORKERS` lets check.sh force the whole test
             // suite through the parallel executor.
@@ -312,6 +325,7 @@ impl SimMessage for Msg {
             Msg::Pbft(m) => match m {
                 PbftMsg::PrePrepare { payload, .. } => payload.len() + 64,
                 PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => 112,
+                PbftMsg::Heartbeat { .. } => 48,
                 PbftMsg::ViewChange { prepared, .. } => {
                     112 + prepared.iter().map(|(_, _, p)| p.len() + 40).sum::<usize>()
                 }
@@ -344,6 +358,8 @@ const T_ELECTION: u64 = 3;
 const T_STAMP_FLUSH: u64 = 4;
 const T_EPOCH: u64 = 5;
 const T_REPAIR: u64 = 6;
+const T_VIEW: u64 = 7;
+const T_PBFT_HB: u64 = 8;
 
 /// State of one received-but-not-yet-executed entry.
 #[derive(Debug, Default)]
@@ -389,6 +405,17 @@ pub struct Node {
     last_stalled: Option<EntryId>,
     /// Representative-only state.
     rep: Option<RepState>,
+    /// Last instant local PBFT demonstrably made progress (commit, view
+    /// entry, or an idle heartbeat from the current primary). Drives the
+    /// view-change stall detector.
+    last_pbft_progress: Time,
+    /// Current (backed-off) view timeout; doubles on every stall up to
+    /// `view_timeout_max_us`, resets on entering a view.
+    view_timeout_cur: Time,
+    /// Highest own-group PBFT entry seq this node has seen proposed or
+    /// certified. An acting representative (post view change) continues
+    /// the sequence from here instead of colliding with the old primary.
+    own_seq_high: u64,
     /// Measurement (read by the cluster harness).
     pub(crate) executed_txns: u64,
     pub(crate) executed_entries: u64,
@@ -467,6 +494,15 @@ struct RepState {
     /// Direct-accept tallies per entry (§V-C): which groups are known to
     /// hold it. The proposing group counts implicitly.
     accept_tally: HashMap<EntryId, BTreeSet<u32>>,
+    /// Foreign entries this representative re-proposed after taking over a
+    /// crashed group's entry instance (dedup across content re-arrivals).
+    proposed_foreign: BTreeSet<EntryId>,
+    /// True for an acting representative installed by a view change. An
+    /// acting rep holds no Raft endpoints and may be permanently behind on
+    /// execution (stamps feed-broadcast while the group was orphaned are
+    /// gone), so its pipeline window drains on global *commit* — learned
+    /// via the orphan feed — instead of local execution.
+    acting: bool,
 }
 
 impl Node {
@@ -563,6 +599,8 @@ impl Node {
                 epoch_seals: BTreeMap::new(),
                 committed_high: BTreeMap::new(),
                 accept_tally: HashMap::new(),
+                proposed_foreign: BTreeSet::new(),
+                acting: false,
             }
         });
         Node {
@@ -588,6 +626,9 @@ impl Node {
             phase_sums: [0; 4],
             phase_count: 0,
             pbft_entry_of_seq: HashMap::new(),
+            last_pbft_progress: 0,
+            view_timeout_cur: params.view_timeout_us,
+            own_seq_high: 0,
             params,
         }
     }
@@ -751,8 +792,34 @@ impl Node {
         self.rep.is_some()
     }
 
+    /// The node's current local PBFT view (liveness assertions in tests).
+    pub fn pbft_view(&self) -> u64 {
+        self.pbft.view()
+    }
+
+    /// Whether any adversary spec matching `pred` is assigned to this node
+    /// and active at `now`.
+    fn strategy_active(&self, now: Time, pred: impl Fn(Strategy) -> bool) -> bool {
+        self.params
+            .adversaries
+            .iter()
+            .any(|s| s.node == self.id && s.active_at(now) && pred(s.strategy))
+    }
+
+    /// Chunk-tampering collusion (§VI-E) — the historical default
+    /// Byzantine behavior.
     fn is_byzantine(&self, now: Time) -> bool {
-        self.params.byzantine_nodes.contains(&self.id) && now >= self.params.byzantine_from_us
+        self.strategy_active(now, |s| matches!(s, Strategy::TamperChunks))
+    }
+
+    /// Mute fault: all outbound PBFT traffic is suppressed.
+    fn silenced(&self, now: Time) -> bool {
+        self.strategy_active(now, |s| matches!(s, Strategy::SilentPrimary))
+    }
+
+    /// WAN-share withholding: certify locally, never replicate out.
+    fn withholds_shares(&self, now: Time) -> bool {
+        self.strategy_active(now, |s| matches!(s, Strategy::WithholdChunks))
     }
 
     // --- client batching --------------------------------------------------
@@ -787,10 +854,21 @@ impl Node {
             self.params.pipeline_window,
         );
         let group = self.id.group;
+        let own_high = self.own_seq_high;
+        // Only an active primary can drive a batch through PBFT. Proposing
+        // as a backup or mid-view-change would consume the entry id and
+        // occupy a pipeline-window slot for a batch `Pbft::propose`
+        // silently refuses to sequence — wedging the window for good.
+        if !self.pbft.is_primary() || self.pbft.in_view_change() {
+            return;
+        }
         let Some(rep) = self.rep.as_mut() else { return };
         if rep.pending.is_empty() || rep.in_flight.len() >= window {
             return;
         }
+        // An acting representative (elected by view change) continues the
+        // group's sequence past everything already seen on the wire.
+        rep.next_seq = rep.next_seq.max(own_high + 1);
         // ISS epoch barrier: cannot open a new epoch until all groups
         // sealed the previous one.
         if matches!(protocol, Protocol::Iss) {
@@ -830,20 +908,134 @@ impl Node {
         for out in outputs {
             match out {
                 PbftOutput::Send { to, msg } => {
+                    if self.silenced(ctx.now()) {
+                        continue; // mute fault: nothing leaves this node
+                    }
                     ctx.send(NodeId::new(self.id.group, to), Msg::Pbft(msg));
                 }
                 PbftOutput::Broadcast(msg) => {
+                    if self.silenced(ctx.now()) {
+                        continue;
+                    }
                     self.note_pbft_phase(ctx.now(), &msg);
+                    if let PbftMsg::PrePrepare { payload, .. } = &msg {
+                        if let Some(id) = peek_entry_id(payload) {
+                            if id.gid == self.id.group {
+                                self.own_seq_high = self.own_seq_high.max(id.seq);
+                            }
+                        }
+                        if self.strategy_active(ctx.now(), |s| {
+                            matches!(s, Strategy::EquivocatingPrimary)
+                        }) {
+                            self.send_equivocating(ctx, msg);
+                            continue;
+                        }
+                    }
                     let peers = self.other_group_members();
                     ctx.send_many(peers, Msg::Pbft(msg));
                 }
                 PbftOutput::Committed { seq, payload, cert } => {
                     self.pbft_entry_of_seq.remove(&seq);
+                    self.last_pbft_progress = ctx.now();
                     self.on_local_entry_certified(ctx, payload, cert);
                 }
-                PbftOutput::EnteredView(_) | PbftOutput::ArmViewTimer => {}
+                PbftOutput::EnteredView(v) => self.on_entered_view(ctx, v),
+                // View timing is driven by the T_VIEW progress timer.
+                PbftOutput::ArmViewTimer => {}
             }
         }
+    }
+
+    /// Equivocation attack: replace the primary's pre-prepare broadcast
+    /// with two conflicting branches sent to disjoint halves of the group
+    /// (same view/seq, different payload+digest). With `n = 3f + 1`,
+    /// neither branch can gather a `2f + 1` quorum, so the group stalls
+    /// until the view-change driver evicts us and the new primary
+    /// re-proposes exactly one branch.
+    fn send_equivocating(&mut self, ctx: &mut Ctx<Msg>, msg: PbftMsg) {
+        let PbftMsg::PrePrepare {
+            view,
+            seq,
+            ref payload,
+            ..
+        } = msg
+        else {
+            return;
+        };
+        let Some(id) = peek_entry_id(payload) else {
+            let peers = self.other_group_members();
+            ctx.send_many(peers, Msg::Pbft(msg));
+            return;
+        };
+        let alt_payload = encode_batch(id, &[b"equivocating-branch".to_vec()]);
+        let alt = PbftMsg::PrePrepare {
+            view,
+            seq,
+            digest: Digest::of(&alt_payload),
+            payload: alt_payload,
+        };
+        let peers = self.other_group_members();
+        let f = (self.params.group_sizes[self.id.group as usize] - 1) / 3;
+        for (i, peer) in peers.into_iter().enumerate() {
+            let branch = if i < 2 * f { alt.clone() } else { msg.clone() };
+            ctx.send(peer, Msg::Pbft(branch));
+        }
+    }
+
+    /// The local replica installed a new view. Reset the stall detector
+    /// and backoff, and — if this node is now the primary of a group whose
+    /// original representative is gone — take over client batching as the
+    /// acting representative so the group keeps proposing entries.
+    fn on_entered_view(&mut self, ctx: &mut Ctx<Msg>, view: u64) {
+        self.last_pbft_progress = ctx.now();
+        self.view_timeout_cur = self.params.view_timeout_us;
+        self.span(
+            ctx.now(),
+            telemetry::EventKind::NewViewAdopted,
+            EntryId::new(self.id.group, 0),
+            view,
+        );
+        if self.pbft.is_primary() && self.rep.is_none() {
+            self.become_acting_rep(ctx);
+        }
+    }
+
+    /// Promote this node to acting representative: same deterministic
+    /// client stream as the original (shared workload seed), sequence
+    /// continued from `own_seq_high`. Global Raft endpoints stay with the
+    /// original representative (or its cross-group takeover); the acting
+    /// rep only batches, proposes, and certifies.
+    fn become_acting_rep(&mut self, ctx: &mut Ctx<Msg>) {
+        let params = &self.params;
+        self.rep = Some(RepState {
+            workload: WorkloadGen::new(
+                params.workload,
+                params.seed ^ ((self.id.group as u64) << 32),
+            ),
+            pending: VecDeque::new(),
+            arrival_carry: 0.0,
+            last_arrival_at: ctx.now(),
+            next_seq: self.own_seq_high + 1,
+            in_flight: BTreeSet::new(),
+            created_at: HashMap::new(),
+            certified_at: HashMap::new(),
+            committed_at: HashMap::new(),
+            ordered_at: HashMap::new(),
+            rafts: BTreeMap::new(),
+            pending_stamps: BTreeMap::new(),
+            stamped: BTreeSet::new(),
+            clock: 0,
+            frozen_clocks: BTreeMap::new(),
+            last_append: BTreeMap::new(),
+            unexecuted: BTreeSet::new(),
+            epoch: 0,
+            epoch_seals: BTreeMap::new(),
+            committed_high: BTreeMap::new(),
+            accept_tally: HashMap::new(),
+            proposed_foreign: BTreeSet::new(),
+            acting: true,
+        });
+        ctx.set_timer(self.params.batch_timeout_us, T_BATCH);
     }
 
     /// Attributes an outgoing PBFT phase message to its entry and emits the
@@ -881,6 +1073,7 @@ impl Node {
             return;
         };
         debug_assert_eq!(id.gid, self.id.group);
+        self.own_seq_high = self.own_seq_high.max(id.seq);
         // Charge verification of every client transaction's signature —
         // the local-consensus CPU cost the paper identifies (§VI-B).
         ctx.spend_cpu(reqs.len() as Time * self.params.sig_verify_us);
@@ -899,15 +1092,23 @@ impl Node {
             reqs.len() as u64,
         );
 
+        // A withholding adversary certifies but never ships its WAN
+        // shares; erasure-coded parity (or the remaining copy senders)
+        // must absorb the gap.
+        let withhold = self.withholds_shares(ctx.now());
         match self.params.protocol {
             Protocol::MassBft | Protocol::EncodedBijective => {
-                self.send_chunks(ctx, id, &bytes, &cert);
+                if !withhold {
+                    self.send_chunks(ctx, id, &bytes, &cert);
+                }
             }
             Protocol::BijectiveOnly => {
-                self.send_bijective_copy(ctx, id, &bytes, &cert);
+                if !withhold {
+                    self.send_bijective_copy(ctx, id, &bytes, &cert);
+                }
             }
             Protocol::Baseline | Protocol::GeoBft | Protocol::Iss => {
-                if self.is_rep() {
+                if self.is_rep() && !withhold {
                     self.send_leader_copies(ctx, id, &bytes, &cert);
                 }
             }
@@ -1080,14 +1281,37 @@ impl Node {
 
     // --- global Raft --------------------------------------------------------
 
+    /// Proposes an entry commitment into the entry's own Raft instance
+    /// (`instance = id.gid`). Normally the proposer *is* the entry's
+    /// group; after a crash takeover the elected cross-group leader
+    /// re-proposes rebuilt foreign entries here too (§V-C).
     fn propose_global(&mut self, ctx: &mut Ctx<Msg>, id: EntryId) {
         let digest = {
-            let t = self.tracking.get(&id).expect("proposing a known entry");
-            entry_digest(t.bytes.as_ref().expect("own entry bytes"))
+            let Some(t) = self.tracking.get(&id) else {
+                return;
+            };
+            let Some(bytes) = t.bytes.as_ref() else {
+                return;
+            };
+            entry_digest(bytes)
         };
-        let instance = self.id.group;
+        let instance = id.gid;
+        let my_group = self.id.group;
+        let stream = self.params.ng() as u32 + my_group;
         let outputs = {
             let Some(rep) = self.rep.as_mut() else { return };
+            if id.gid != my_group {
+                if !rep.proposed_foreign.insert(id) {
+                    return;
+                }
+                // Takeover self-stamp: the proposer's own append never
+                // loops back through `on_raft_msg`, so without this the
+                // entry's timestamp vector would miss our component.
+                if rep.stamped.insert((my_group, id)) {
+                    let ts = rep.clock;
+                    rep.pending_stamps.entry(stream).or_default().push((id, ts));
+                }
+            }
             // Stamps travel on the dedicated stamp stream (see new()),
             // never on entry instances.
             let cmd = GlobalCmd {
@@ -1103,6 +1327,36 @@ impl Node {
             }
         };
         self.handle_raft_outputs(ctx, instance, outputs);
+    }
+
+    /// Re-proposes a crashed group's certified-but-uncommitted entries
+    /// whose content we hold, if we are the elected takeover leader of
+    /// that group's entry instance. Called on takeover election and on
+    /// each foreign content arrival; `proposed_foreign` dedups.
+    fn propose_foreign_ready(&mut self, ctx: &mut Ctx<Msg>, instance: u32) {
+        if instance as usize >= self.ng() || instance == self.id.group {
+            return;
+        }
+        let leads = self
+            .rep
+            .as_ref()
+            .and_then(|r| r.rafts.get(&instance))
+            .is_some_and(|r| r.is_leader());
+        if !leads {
+            return;
+        }
+        let mut ready: Vec<EntryId> = self
+            .tracking
+            .iter()
+            .filter(|(eid, t)| {
+                eid.gid == instance && t.bytes.is_some() && !t.committed && !t.executed
+            })
+            .map(|(&eid, _)| eid)
+            .collect();
+        ready.sort(); // HashMap order is not deterministic
+        for eid in ready {
+            self.propose_global(ctx, eid);
+        }
     }
 
     fn steward_propose(&mut self, ctx: &mut Ctx<Msg>, id: EntryId) {
@@ -1201,7 +1455,7 @@ impl Node {
                     self.on_global_commit(ctx.now(), instance, data, &mut feed);
                 }
                 RaftOutput::BecameLeader(_) => {
-                    self.on_became_instance_leader(instance);
+                    self.on_became_instance_leader(ctx, instance);
                 }
                 RaftOutput::SteppedDown => {}
             }
@@ -1323,10 +1577,14 @@ impl Node {
     /// last committed seq and stamp all known-unexecuted entries on its
     /// behalf. (Taking over the entry instance keeps its commit index
     /// advancing but needs no extra action.)
-    fn on_became_instance_leader(&mut self, instance: u32) {
+    fn on_became_instance_leader(&mut self, ctx: &mut Ctx<Msg>, instance: u32) {
         let ng = self.params.ng() as u32;
         if instance < ng {
-            return; // entry-instance takeover: nothing to stamp
+            // Entry-instance takeover: re-propose the crashed group's
+            // certified entries we already rebuilt, so their commitment
+            // (and hence ordering) keeps progressing.
+            self.propose_foreign_ready(ctx, instance);
+            return;
         }
         let owner = instance - ng;
         if owner == self.id.group {
@@ -1360,6 +1618,38 @@ impl Node {
                 events: events.clone(),
             },
         );
+        // Orphan feed (§V-C): having taken over a crashed group's stamp
+        // stream, we are the closest thing that group's survivors have to
+        // a representative — feed them commit events, or their acting
+        // representative never drains its pipeline window and the group
+        // stops proposing. Commits only: applying a commit is monotone
+        // (it merely unlocks emission), but stamps are only sound when
+        // delivered in stream-log order, which the group's own replay
+        // guarantees and a skip-ahead feed would violate — the jumped
+        // inference bounds would let survivors order entries differently
+        // and fork the execution log.
+        if let Some(rep) = self.rep.as_ref() {
+            let orphans: Vec<u32> = rep
+                .frozen_clocks
+                .keys()
+                .copied()
+                .filter(|&g| g != self.id.group)
+                .collect();
+            if !orphans.is_empty() {
+                let commits: Vec<FeedEvent> = events
+                    .iter()
+                    .filter(|e| matches!(e, FeedEvent::Committed(_)))
+                    .cloned()
+                    .collect();
+                if !commits.is_empty() {
+                    let mut orphan_peers = Vec::new();
+                    for g in orphans {
+                        orphan_peers.extend(self.group_nodes(g));
+                    }
+                    ctx.send_many(orphan_peers, Msg::Feed { events: commits });
+                }
+            }
+        }
         self.apply_feed(ctx, events);
     }
 
@@ -1388,6 +1678,15 @@ impl Node {
             return;
         }
         t.committed = true;
+        // An acting representative drains its pipeline window on commit:
+        // it cannot count on ever executing (stamps fed out while the
+        // group had no representative are unrecoverable), and the window
+        // must not wedge the whole group's proposal stream.
+        if let Some(rep) = self.rep.as_mut() {
+            if rep.acting && id.gid == self.id.group {
+                rep.in_flight.remove(&id);
+            }
+        }
         match &mut self.ordering {
             OrderingState::Vts(eng) => eng.on_entry_committed(id),
             OrderingState::Round(_) => {} // fed when content also present
@@ -1757,6 +2056,11 @@ impl Node {
         }
         // Replay Raft appends that were held awaiting this content.
         self.replay_held_appends(ctx);
+        // If we lead this group's entry instance (crash takeover), the
+        // freshly rebuilt entry may be waiting on us to propose it.
+        if id.gid != self.id.group {
+            self.propose_foreign_ready(ctx, id.gid);
+        }
         if !self.params.protocol.uses_raft() {
             // GeoBFT: content arrival is commitment.
             self.mark_committed(id);
@@ -1963,7 +2267,7 @@ impl Node {
             }
         }
         self.last_stalled = stalled;
-        ctx.set_timer(500 * MILLISECOND, T_REPAIR);
+        ctx.set_timer(self.params.repair_interval_us, T_REPAIR);
     }
 
     fn on_epoch_close(&mut self, group: u32, epoch: u64) {
@@ -2048,6 +2352,44 @@ impl Node {
         ctx.set_timer(10 * MILLISECOND, T_STAMP_FLUSH);
     }
 
+    /// Primary liveness beacon: lets backups distinguish "idle group"
+    /// from "dead or mute primary". Routed through `handle_pbft_outputs`
+    /// so a silenced primary's heartbeats are suppressed like everything
+    /// else — exactly the failure the stall detector must catch.
+    fn on_pbft_heartbeat_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        if let Some(hb) = self.pbft.heartbeat() {
+            self.handle_pbft_outputs(ctx, vec![PbftOutput::Broadcast(hb)]);
+        }
+        ctx.set_timer(self.params.view_timeout_us / 4, T_PBFT_HB);
+    }
+
+    /// View-change stall detector. A backup that has seen no PBFT
+    /// progress — no commit, no view entry, no idle heartbeat from the
+    /// current primary — for a full (backed-off) view timeout votes to
+    /// evict the primary. The primary itself is exempt: it cannot vote
+    /// itself out, and a lone faulty backup cannot force a view change
+    /// (`f + 1` view-change votes are required to join).
+    fn on_view_timer(&mut self, ctx: &mut Ctx<Msg>) {
+        let now = ctx.now();
+        if !self.pbft.is_primary()
+            && now.saturating_sub(self.last_pbft_progress) > self.view_timeout_cur
+        {
+            let marker = EntryId::new(self.id.group, 0);
+            let view = self.pbft.view();
+            self.span(now, telemetry::EventKind::ViewStallDetected, marker, view);
+            self.span(now, telemetry::EventKind::ViewChangeStarted, marker, view);
+            let outputs = self.pbft.on_view_timeout();
+            self.handle_pbft_outputs(ctx, outputs);
+            // Exponential backoff (capped): overlapping faults may need
+            // several escalations before landing on a live primary, and
+            // each must leave room for the previous round to complete.
+            self.view_timeout_cur =
+                (self.view_timeout_cur * 2).min(self.params.view_timeout_max_us);
+            self.last_pbft_progress = now;
+        }
+        ctx.set_timer(self.view_timeout_cur / 2, T_VIEW);
+    }
+
     fn on_epoch_timer(&mut self, ctx: &mut Ctx<Msg>) {
         if matches!(self.params.protocol, Protocol::Iss) {
             let sealed_epoch = ctx.now() / self.params.epoch_us;
@@ -2072,7 +2414,13 @@ impl Actor for Node {
     type Msg = Msg;
 
     fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
-        ctx.set_timer(500 * MILLISECOND, T_REPAIR);
+        ctx.set_timer(self.params.repair_interval_us, T_REPAIR);
+        // Every node of a multi-node group runs the view-change driver;
+        // the primary additionally beacons liveness heartbeats.
+        if self.params.group_sizes[self.id.group as usize] > 1 {
+            ctx.set_timer(self.view_timeout_cur / 2, T_VIEW);
+            ctx.set_timer(self.params.view_timeout_us / 4, T_PBFT_HB);
+        }
         if self.is_rep() {
             // Stagger the first batch slightly per group to avoid
             // artificial phase-lock between groups.
@@ -2096,12 +2444,28 @@ impl Actor for Node {
             Msg::Pbft(m) => {
                 // Learn the seq → entry mapping from incoming pre-prepares
                 // so this replica's own prepare/commit broadcasts can be
-                // attributed (see note_pbft_phase).
-                if telemetry::enabled() {
-                    if let PbftMsg::PrePrepare { seq, payload, .. } = &m {
-                        if let Some(id) = peek_entry_id(payload) {
+                // attributed (see note_pbft_phase), and track the group's
+                // sequence high-water mark for acting-rep continuation.
+                if let PbftMsg::PrePrepare { seq, payload, .. } = &m {
+                    if let Some(id) = peek_entry_id(payload) {
+                        if telemetry::enabled() {
                             self.pbft_entry_of_seq.insert(*seq, id);
                         }
+                        if id.gid == self.id.group {
+                            self.own_seq_high = self.own_seq_high.max(id.seq);
+                        }
+                    }
+                }
+                // An idle heartbeat from the current view's primary counts
+                // as progress — but only while nothing is pending. A
+                // primary that heartbeats while its proposals cannot
+                // commit (equivocation) must still be evicted.
+                if let PbftMsg::Heartbeat { view } = &m {
+                    if *view == self.pbft.view()
+                        && from.node == self.pbft.primary()
+                        && !self.pbft.has_pending()
+                    {
+                        self.last_pbft_progress = ctx.now();
                     }
                 }
                 let outputs = self.pbft.on_message(from.node, m);
@@ -2128,6 +2492,8 @@ impl Actor for Node {
             T_STAMP_FLUSH => self.on_stamp_flush_timer(ctx),
             T_EPOCH => self.on_epoch_timer(ctx),
             T_REPAIR => self.on_repair_timer(ctx),
+            T_VIEW => self.on_view_timer(ctx),
+            T_PBFT_HB => self.on_pbft_heartbeat_timer(ctx),
             _ => {}
         }
     }
@@ -2259,13 +2625,44 @@ mod tests {
     #[test]
     fn byzantine_flag_respects_activation_time() {
         let mut params = ProtocolParams::new(Protocol::MassBft, &[4]);
-        params.byzantine_nodes.insert(NodeId::new(0, 3));
-        params.byzantine_from_us = 1000;
+        params
+            .adversaries
+            .push(AdversarySpec::new(NodeId::new(0, 3), Strategy::TamperChunks).from_us(1000));
         let registry = KeyRegistry::generate(params.seed, &params.group_sizes);
         let node = Node::new(NodeId::new(0, 3), params.clone(), registry.clone());
         assert!(!node.is_byzantine(999));
         assert!(node.is_byzantine(1000));
         let honest = Node::new(NodeId::new(0, 1), params, registry);
         assert!(!honest.is_byzantine(5000));
+    }
+
+    #[test]
+    fn strategy_predicates_are_per_strategy() {
+        let mut params = ProtocolParams::new(Protocol::MassBft, &[4]);
+        params
+            .adversaries
+            .push(AdversarySpec::new(NodeId::new(0, 0), Strategy::SilentPrimary).until_us(500));
+        params
+            .adversaries
+            .push(AdversarySpec::new(NodeId::new(0, 0), Strategy::WithholdChunks).from_us(500));
+        let registry = KeyRegistry::generate(params.seed, &params.group_sizes);
+        let node = Node::new(NodeId::new(0, 0), params, registry);
+        assert!(node.silenced(0));
+        assert!(!node.silenced(500));
+        assert!(!node.withholds_shares(499));
+        assert!(node.withholds_shares(500));
+        assert!(!node.is_byzantine(0));
+    }
+
+    #[test]
+    fn view_timeout_defaults_and_backoff_cap() {
+        let p = ProtocolParams::new(Protocol::MassBft, &[4]);
+        assert_eq!(p.view_timeout_us, 500 * MILLISECOND);
+        assert_eq!(p.view_timeout_max_us, 2000 * MILLISECOND);
+        assert_eq!(p.repair_interval_us, 500 * MILLISECOND);
+        let registry = KeyRegistry::generate(p.seed, &p.group_sizes);
+        let node = Node::new(NodeId::new(0, 1), p, registry);
+        assert_eq!(node.view_timeout_cur, node.params.view_timeout_us);
+        assert_eq!(node.pbft_view(), 0);
     }
 }

@@ -175,6 +175,22 @@ pub enum ChunkOutcome {
     Rejected(ChunkReject),
 }
 
+/// Memory bounds against fake-chunk flooding (§IV-C DoS defence). A
+/// Byzantine sender can mint an unlimited supply of *valid-looking*
+/// chunks — every fresh fake encoding has a fresh Merkle root whose
+/// proofs verify — so without a cap the per-entry bucket map grows with
+/// attacker bandwidth. Honest chunks all share one root and accumulate
+/// in one bucket; fake roots can at best trickle into many. Capping the
+/// bucket count and evicting the smallest non-leading bucket therefore
+/// starves the flood while the honest bucket (the largest, or soon to
+/// be) is never evicted.
+const MAX_BUCKETS_PER_ENTRY: usize = 8;
+
+/// Upper bound on condemned chunk ids kept per entry. Ids are already
+/// `< n_total`, so this only binds on degenerate geometries; it makes
+/// the bound explicit rather than emergent.
+const MAX_BLACKLIST_PER_ENTRY: usize = 256;
+
 /// Per-entry reassembly state at one receiver node.
 struct EntryAssembly {
     /// Buckets keyed by Merkle root: chunk id → data. Chunk payloads stay
@@ -267,6 +283,25 @@ impl ChunkAssembler {
         if !msg.proof.verify(&msg.root, &msg.data) {
             return ChunkOutcome::Rejected(ChunkReject::BadProof);
         }
+        if !asm.buckets.contains_key(&msg.root) && asm.buckets.len() >= MAX_BUCKETS_PER_ENTRY {
+            // Bucket-map cap reached by a flood of fake roots: evict the
+            // smallest bucket that is not the current leader. Ties break
+            // on the root digest, keeping eviction deterministic.
+            let leading = asm
+                .buckets
+                .iter()
+                .max_by_key(|(r, b)| (b.len(), **r))
+                .map(|(&r, _)| r);
+            let victim = asm
+                .buckets
+                .iter()
+                .filter(|(&r, _)| Some(r) != leading)
+                .min_by_key(|(r, b)| (b.len(), **r))
+                .map(|(&r, _)| r);
+            if let Some(v) = victim {
+                asm.buckets.remove(&v);
+            }
+        }
         let bucket = asm.buckets.entry(msg.root).or_default();
         if bucket.contains_key(&msg.chunk_id) {
             return ChunkOutcome::Rejected(ChunkReject::Duplicate);
@@ -305,6 +340,9 @@ impl ChunkAssembler {
             let condemned: Vec<u32> = bucket.keys().copied().collect();
             asm.buckets.remove(&msg.root);
             asm.blacklist.extend(condemned);
+            while asm.blacklist.len() > MAX_BLACKLIST_PER_ENTRY {
+                asm.blacklist.pop_first();
+            }
             return ChunkOutcome::Rejected(ChunkReject::Blacklisted);
         }
         ChunkOutcome::Accepted
@@ -320,6 +358,14 @@ impl ChunkAssembler {
     /// Number of entries with in-flight reassembly state.
     pub fn pending_entries(&self) -> usize {
         self.entries.iter().filter(|(_, a)| !a.rebuilt).count()
+    }
+
+    /// Number of live reassembly buckets for `entry` (memory-bound probes).
+    pub fn bucket_count(&self, entry: EntryId) -> usize {
+        self.entries
+            .get(&entry)
+            .map(|a| a.buckets.len())
+            .unwrap_or(0)
     }
 }
 
@@ -561,6 +607,74 @@ mod tests {
         asm.gc(id);
         assert_eq!(asm.pending_entries(), 0);
         assert!(asm.take_rebuilt(id).is_none());
+    }
+
+    #[test]
+    fn fake_root_flood_is_memory_bounded_and_honest_rebuild_survives() {
+        // A Byzantine sender mints hundreds of distinct fake encodings of
+        // the same entry id — every one carries a fresh Merkle root with
+        // proofs that verify, so each opens a new bucket. The bucket map
+        // must stay capped, and honest chunks arriving afterwards (worst
+        // case for the cap policy) must still rebuild the entry.
+        let (plan, registry, entry, cert, id) = setup(4, 7);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
+        for i in 0..300u32 {
+            let fake = crate::entry::encode_batch(id, &[format!("flood-{i}").into_bytes()]);
+            let msg = ChunkSender::encode_all(&plan, id, &fake).unwrap()[0].clone();
+            match asm.on_chunk(msg, &cert) {
+                ChunkOutcome::Accepted | ChunkOutcome::Rejected(_) => {}
+                ChunkOutcome::Rebuilt(_) => panic!("single fake chunk cannot rebuild"),
+            }
+            assert!(
+                asm.bucket_count(id) <= MAX_BUCKETS_PER_ENTRY,
+                "bucket map grew past the cap under flooding"
+            );
+        }
+        // The honest encoding still gets a bucket and wins: its chunks
+        // share one root and outgrow the fake singletons.
+        let honest = ChunkSender::encode_all(&plan, id, &entry).unwrap();
+        let mut got = None;
+        for msg in honest {
+            if let ChunkOutcome::Rebuilt(bytes) = asm.on_chunk(msg, &cert) {
+                got = Some(bytes);
+                break;
+            }
+            assert!(asm.bucket_count(id) <= MAX_BUCKETS_PER_ENTRY);
+        }
+        assert_eq!(
+            got.unwrap(),
+            entry,
+            "flooding suppressed the honest rebuild"
+        );
+    }
+
+    #[test]
+    fn interleaved_flood_cannot_evict_the_leading_honest_bucket() {
+        // Interleave: two honest chunks first (the honest bucket becomes
+        // the leader), then a sustained fake flood, then the rest of the
+        // honest chunks. The leader must never be evicted.
+        let (plan, registry, entry, cert, id) = setup(4, 7);
+        let mut asm = ChunkAssembler::new(Arc::clone(&plan), registry);
+        let honest = ChunkSender::encode_all(&plan, id, &entry).unwrap();
+        for msg in honest.iter().take(2).cloned() {
+            assert!(matches!(asm.on_chunk(msg, &cert), ChunkOutcome::Accepted));
+        }
+        for i in 0..100u32 {
+            let fake = crate::entry::encode_batch(id, &[format!("evict-{i}").into_bytes()]);
+            let msg = ChunkSender::encode_all(&plan, id, &fake).unwrap()[0].clone();
+            let _ = asm.on_chunk(msg, &cert);
+        }
+        assert!(asm.bucket_count(id) <= MAX_BUCKETS_PER_ENTRY);
+        let mut got = None;
+        for msg in honest.into_iter().skip(2) {
+            if let ChunkOutcome::Rebuilt(bytes) = asm.on_chunk(msg, &cert) {
+                got = Some(bytes);
+                break;
+            }
+        }
+        // Rebuild needed only n_data - 2 more honest chunks: the two
+        // pre-flood chunks must have survived in the leading bucket.
+        assert_eq!(got.unwrap(), entry);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod trace;
 
 pub use massbft_crypto::keys::NodeId;
 pub use metrics::Metrics;
-pub use sim::{Actor, Command, Ctx, Simulation};
+pub use sim::{Actor, Command, Ctx, LinkFault, Simulation};
 pub use topology::{Topology, TopologyBuilder};
 pub use trace::{TraceBuffer, TraceKind, TraceRecord};
 

@@ -25,6 +25,13 @@ pub struct Metrics {
     pub events_processed: u64,
     /// Total virtual CPU time charged, per node.
     pub cpu_time: BTreeMap<NodeId, Time>,
+    /// Messages dropped by injected link faults or node-pair partitions
+    /// (a subset of `dropped_messages`).
+    pub faults_dropped: u64,
+    /// Messages duplicated by injected link faults.
+    pub faults_duplicated: u64,
+    /// Messages delayed with injected extra jitter.
+    pub faults_jittered: u64,
 }
 
 impl Metrics {
@@ -52,6 +59,11 @@ impl Metrics {
             .map(|(&k, &v)| (k, v))
     }
 
+    /// Total fault-injection actions taken (drops + duplicates + jitter).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_dropped + self.faults_duplicated + self.faults_jittered
+    }
+
     /// Resets the byte/message counters (used between measurement windows)
     /// while keeping the event counter running.
     pub fn reset_traffic(&mut self) {
@@ -77,6 +89,10 @@ impl Metrics {
         gauge("sim.lan_messages").set(self.lan_messages);
         gauge("sim.dropped_messages").set(self.dropped_messages);
         gauge("sim.events_processed").set(self.events_processed);
+        gauge("net.faults_injected").set(self.faults_injected());
+        gauge("net.faults_dropped").set(self.faults_dropped);
+        gauge("net.faults_duplicated").set(self.faults_duplicated);
+        gauge("net.faults_jittered").set(self.faults_jittered);
     }
 }
 

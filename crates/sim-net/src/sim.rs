@@ -49,6 +49,31 @@ fn emit_net_debug(rec: &TraceRecord) {
     });
 }
 
+/// Probabilistic fault model for a link: each routed message is dropped
+/// with `drop_prob`, duplicated with `dup_prob`, and delayed by a uniform
+/// extra jitter in `[0, extra_jitter_us]`. Decisions come from the
+/// simulation's own seeded RNG, so runs stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFault {
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice.
+    pub dup_prob: f64,
+    /// Maximum extra delivery jitter, microseconds (uniform in `[0, max]`).
+    pub extra_jitter_us: Time,
+}
+
+impl LinkFault {
+    /// A lossy/flaky link: `pct`% drop, `pct`% duplicate, plus jitter.
+    pub fn flaky(pct: f64, jitter_us: Time) -> Self {
+        LinkFault {
+            drop_prob: pct / 100.0,
+            dup_prob: pct / 100.0,
+            extra_jitter_us: jitter_us,
+        }
+    }
+}
+
 /// Protocol logic for one node.
 pub trait Actor {
     /// The message type exchanged between nodes.
@@ -220,6 +245,21 @@ pub struct Simulation<A: Actor> {
     crashed: BTreeSet<NodeId>,
     /// Pairs of groups that cannot communicate (unordered pairs).
     partitions: BTreeSet<(u32, u32)>,
+    /// Pairs of individual nodes that cannot communicate (unordered
+    /// pairs) — finer-grained than group partitions, and applies to LAN
+    /// links too.
+    node_partitions: BTreeSet<(NodeId, NodeId)>,
+    /// Per-link fault injection, keyed by directed `(src, dst)`.
+    link_faults: BTreeMap<(NodeId, NodeId), LinkFault>,
+    /// Fault model applied to every WAN link without a per-link override.
+    wan_fault: Option<LinkFault>,
+    /// Extra delay added to every message a node sends (adversarial
+    /// `DelayAll` strategies; zero = none).
+    send_delay: BTreeMap<NodeId, Time>,
+    /// xorshift64* state for fault decisions. Only consumed when a fault
+    /// model applies to the routed link, so fault-free runs are
+    /// bit-identical with and without a configured seed.
+    fault_rng: u64,
     metrics: Metrics,
     trace: TraceBuffer,
     started: bool,
@@ -241,6 +281,11 @@ impl<A: Actor> Simulation<A> {
             cpu_free: BTreeMap::new(),
             crashed: BTreeSet::new(),
             partitions: BTreeSet::new(),
+            node_partitions: BTreeSet::new(),
+            link_faults: BTreeMap::new(),
+            wan_fault: None,
+            send_delay: BTreeMap::new(),
+            fault_rng: splitmix64(0x6d61_7373_6266_7421),
             metrics: Metrics::default(),
             trace: TraceBuffer::new(65_536),
             started: false,
@@ -326,6 +371,51 @@ impl<A: Actor> Simulation<A> {
     /// Heals a partition.
     pub fn heal(&mut self, a: u32, b: u32) {
         self.partitions.remove(&ordered(a, b));
+    }
+
+    /// Severs the link between two individual nodes (both directions,
+    /// WAN or LAN).
+    pub fn partition_nodes(&mut self, a: NodeId, b: NodeId) {
+        self.node_partitions.insert(ordered_nodes(a, b));
+    }
+
+    /// Heals a node-pair partition.
+    pub fn heal_nodes(&mut self, a: NodeId, b: NodeId) {
+        self.node_partitions.remove(&ordered_nodes(a, b));
+    }
+
+    /// Installs a fault model on the directed link `src → dst`,
+    /// overriding any WAN-wide default. `None` clears the override.
+    pub fn set_link_fault(&mut self, src: NodeId, dst: NodeId, fault: Option<LinkFault>) {
+        match fault {
+            Some(f) => {
+                self.link_faults.insert((src, dst), f);
+            }
+            None => {
+                self.link_faults.remove(&(src, dst));
+            }
+        }
+    }
+
+    /// Installs (or clears) a fault model applied to every WAN link that
+    /// has no per-link override.
+    pub fn set_wan_fault(&mut self, fault: Option<LinkFault>) {
+        self.wan_fault = fault;
+    }
+
+    /// Reseeds the fault RNG (deterministic per seed).
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = splitmix64(seed);
+    }
+
+    /// Adds `delay` microseconds to every message `id` sends (the
+    /// `DelayAll` adversary strategy). Zero removes the delay.
+    pub fn set_send_delay(&mut self, id: NodeId, delay: Time) {
+        if delay == 0 {
+            self.send_delay.remove(&id);
+        } else {
+            self.send_delay.insert(id, delay);
+        }
     }
 
     /// Injects a message from outside the simulation (e.g. a client
@@ -530,9 +620,50 @@ impl<A: Actor> Simulation<A> {
             });
             return;
         }
+        if self.node_partitions.contains(&ordered_nodes(src, dst)) {
+            self.metrics.dropped_messages += 1;
+            self.metrics.faults_dropped += 1;
+            self.record_trace(TraceRecord {
+                at: self.now,
+                kind: TraceKind::Drop,
+                src,
+                dst,
+                bytes: msg.wire_size(),
+            });
+            return;
+        }
         let size = msg.wire_size();
         let control = size <= self.topology.control_cutoff_bytes;
-        let arrival = if self.topology.is_wan(src, dst) {
+        let is_wan = self.topology.is_wan(src, dst);
+        // Link-level fault injection: per-link override first, then the
+        // WAN-wide default. RNG draws happen only on faulty links.
+        let fault = self.link_faults.get(&(src, dst)).copied().or(if is_wan {
+            self.wan_fault
+        } else {
+            None
+        });
+        let mut duplicate = false;
+        let mut jitter = 0;
+        if let Some(f) = fault {
+            if f.drop_prob > 0.0 && self.rng_unit() < f.drop_prob {
+                self.metrics.dropped_messages += 1;
+                self.metrics.faults_dropped += 1;
+                self.record_trace(TraceRecord {
+                    at: self.now,
+                    kind: TraceKind::Drop,
+                    src,
+                    dst,
+                    bytes: size,
+                });
+                return;
+            }
+            duplicate = f.dup_prob > 0.0 && self.rng_unit() < f.dup_prob;
+            if f.extra_jitter_us > 0 {
+                jitter = self.next_rng() % (f.extra_jitter_us + 1);
+                self.metrics.faults_jittered += 1;
+            }
+        }
+        let arrival = if is_wan {
             if self.partitions.contains(&ordered(src.group, dst.group)) {
                 self.metrics.dropped_messages += 1;
                 return;
@@ -577,12 +708,30 @@ impl<A: Actor> Simulation<A> {
             });
             self.now + tx + self.topology.latency(src, dst)
         };
+        // Adversarial sender delay and fault jitter extend the flight
+        // time before the FIFO clamp, so per-stream ordering is kept.
+        let arrival = arrival
+            .saturating_add(jitter)
+            .saturating_add(self.send_delay.get(&src).copied().unwrap_or(0));
         // Per-stream FIFO: never deliver before an earlier send on the
         // same (src, dst, lane) stream.
         let fifo = self.link_fifo.entry((src, dst, control)).or_insert(0);
         let arrival = arrival.max(*fifo);
         *fifo = arrival;
         let seq = self.next_seq();
+        if duplicate {
+            self.metrics.faults_duplicated += 1;
+            let seq2 = self.next_seq();
+            self.heap.push(Event {
+                at: arrival,
+                seq: seq2,
+                kind: EventKind::Deliver {
+                    src,
+                    dst,
+                    msg: msg.clone(),
+                },
+            });
+        }
         self.heap.push(Event {
             at: arrival,
             seq,
@@ -595,6 +744,22 @@ impl<A: Actor> Simulation<A> {
         self.seq += 1;
         s
     }
+
+    /// xorshift64* step (Vigna 2016); state is never zero because it is
+    /// seeded through [`splitmix64`].
+    fn next_rng(&mut self) -> u64 {
+        let mut x = self.fault_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.fault_rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn rng_unit(&mut self) -> f64 {
+        (self.next_rng() >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
 fn ordered(a: u32, b: u32) -> (u32, u32) {
@@ -602,6 +767,28 @@ fn ordered(a: u32, b: u32) -> (u32, u32) {
         (a, b)
     } else {
         (b, a)
+    }
+}
+
+fn ordered_nodes(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if (a.group, a.node) <= (b.group, b.node) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// splitmix64 finalizer: turns any seed (including zero) into a
+/// well-mixed nonzero xorshift state.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    if z == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        z
     }
 }
 
@@ -946,6 +1133,162 @@ mod tests {
         );
         s.run_until(SECOND);
         assert_eq!(s.trace().total_recorded(), 0);
+    }
+
+    /// Flood actor: node (0,0) sends `count` sequenced messages to every
+    /// other node at start; receivers record them.
+    struct Flood {
+        count: u64,
+    }
+    impl Actor for Flood {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut Ctx<TestMsg>) {
+            if ctx.id() == NodeId::new(0, 0) {
+                for tag in 0..self.count {
+                    ctx.send(NodeId::new(1, 0), TestMsg { tag, size: 100 });
+                }
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<TestMsg>, _f: NodeId, m: TestMsg) {
+            ctx.set_timer(0, m.tag);
+        }
+    }
+
+    #[test]
+    fn node_partition_cuts_lan_link_both_ways() {
+        let mut s = sim(true);
+        s.partition_nodes(NodeId::new(0, 1), NodeId::new(0, 0));
+        // Injected delivery still lands (partition applies to routed
+        // sends), but the reply from (0,0) back to (0,1) is dropped.
+        s.inject_at(
+            0,
+            NodeId::new(0, 1),
+            NodeId::new(0, 0),
+            TestMsg { tag: 7, size: 100 },
+        );
+        s.run_until(SECOND);
+        assert!(s.actor(NodeId::new(0, 1)).received.is_empty());
+        assert_eq!(s.metrics().faults_dropped, 1);
+        assert_eq!(s.metrics().faults_injected(), 1);
+        // Healing restores the link.
+        s.heal_nodes(NodeId::new(0, 0), NodeId::new(0, 1));
+        s.inject_at(
+            s.now(),
+            NodeId::new(0, 1),
+            NodeId::new(0, 0),
+            TestMsg { tag: 8, size: 100 },
+        );
+        s.run_until(2 * SECOND);
+        assert_eq!(s.actor(NodeId::new(0, 1)).received.len(), 1);
+    }
+
+    #[test]
+    fn link_fault_drops_a_fraction_deterministically() {
+        let run = |seed: u64| {
+            let topo = TopologyBuilder::new(&[1, 1])
+                .uniform_wan_latency_ms(10)
+                .wan_bandwidth_mbps(1000)
+                .build();
+            let mut s = Simulation::new(topo, |_| Flood { count: 2000 });
+            s.set_fault_seed(seed);
+            s.set_link_fault(
+                NodeId::new(0, 0),
+                NodeId::new(1, 0),
+                Some(LinkFault {
+                    drop_prob: 0.25,
+                    ..LinkFault::default()
+                }),
+            );
+            s.run_until(10 * SECOND);
+            (s.metrics().faults_dropped, s.metrics().dropped_messages)
+        };
+        let (dropped, total) = run(42);
+        assert_eq!(dropped, total);
+        // ~25% of 2000, with generous slack for RNG variance.
+        assert!((300..700).contains(&dropped), "dropped {dropped}");
+        // Same seed → identical outcome; different seed → (almost
+        // certainly) different count.
+        assert_eq!(run(42).0, dropped);
+        assert_ne!(run(43).0, dropped);
+    }
+
+    #[test]
+    fn link_fault_duplicates_messages() {
+        let topo = TopologyBuilder::new(&[1, 1])
+            .uniform_wan_latency_ms(10)
+            .wan_bandwidth_mbps(1000)
+            .build();
+        let mut s = Simulation::new(topo, |_| Flood { count: 1000 });
+        s.set_link_fault(
+            NodeId::new(0, 0),
+            NodeId::new(1, 0),
+            Some(LinkFault {
+                dup_prob: 0.5,
+                ..LinkFault::default()
+            }),
+        );
+        s.trace_mut().set_enabled(true);
+        s.run_until(10 * SECOND);
+        let dups = s.metrics().faults_duplicated;
+        assert!((300..700).contains(&dups), "dups {dups}");
+        assert_eq!(s.metrics().faults_injected(), dups);
+        // Every duplicate is really delivered.
+        let delivered = s.trace().of_kind(TraceKind::Deliver).count() as u64;
+        assert_eq!(delivered, 1000 + dups);
+    }
+
+    #[test]
+    fn wan_fault_jitter_preserves_stream_fifo() {
+        let topo = TopologyBuilder::new(&[1, 1])
+            .uniform_wan_latency_ms(10)
+            .wan_bandwidth_mbps(1000)
+            .build();
+        let mut s = Simulation::new(topo, |_| Flood { count: 200 });
+        s.set_wan_fault(Some(LinkFault {
+            extra_jitter_us: 5 * MILLISECOND,
+            ..LinkFault::default()
+        }));
+        s.trace_mut().set_enabled(true);
+        s.run_until(10 * SECOND);
+        assert_eq!(s.metrics().faults_jittered, 200);
+        assert_eq!(s.metrics().faults_injected(), 200);
+        // FIFO clamp: despite random jitter, same-stream deliveries keep
+        // their send order — delivery times are monotone in the trace.
+        let arrivals: Vec<Time> = s
+            .trace()
+            .of_kind(TraceKind::Deliver)
+            .map(|r| r.at)
+            .collect();
+        assert_eq!(arrivals.len(), 200);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn send_delay_slows_every_message_from_a_node() {
+        // Actor-driven send from the delayed node: use the echo reply.
+        let mut s = sim(true);
+        s.set_send_delay(NodeId::new(0, 0), 100 * MILLISECOND);
+        s.inject_at(
+            0,
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            TestMsg { tag: 5, size: 1000 },
+        );
+        s.run_until(SECOND);
+        let n10 = &s.actor(NodeId::new(1, 0)).received;
+        assert_eq!(n10.len(), 1);
+        // Normal reply arrives at 11 ms; the delay pushes it to 111 ms.
+        assert_eq!(n10[0].0, 111 * MILLISECOND);
+        // Clearing the delay restores normal latency.
+        s.set_send_delay(NodeId::new(0, 0), 0);
+        s.inject_at(
+            s.now(),
+            NodeId::new(1, 0),
+            NodeId::new(0, 0),
+            TestMsg { tag: 6, size: 1000 },
+        );
+        s.run_until(3 * SECOND);
+        assert_eq!(s.actor(NodeId::new(1, 0)).received.len(), 2);
     }
 
     #[test]

@@ -175,6 +175,8 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
         let pid = pids[&ev.node];
         let cat = if EventKind::LIFECYCLE.contains(&ev.kind) {
             "phase"
+        } else if ev.kind.is_view_event() {
+            "view"
         } else {
             "net"
         };

@@ -113,6 +113,15 @@ pub enum EventKind {
     NetDrop = 16,
     /// Debug: timer fired.
     NetTimer = 17,
+    /// View-change driver: local-consensus progress stall detected at a
+    /// replica (`value` = the stalled view).
+    ViewStallDetected = 18,
+    /// View-change driver: replica broadcast its `ViewChange` vote
+    /// (`value` = the view being campaigned for).
+    ViewChangeStarted = 19,
+    /// View-change driver: replica adopted a new view via `NewView`
+    /// (`value` = the adopted view).
+    NewViewAdopted = 20,
 }
 
 impl EventKind {
@@ -154,7 +163,19 @@ impl EventKind {
             EventKind::NetDeliver => "net_deliver",
             EventKind::NetDrop => "net_drop",
             EventKind::NetTimer => "net_timer",
+            EventKind::ViewStallDetected => "view_stall_detected",
+            EventKind::ViewChangeStarted => "view_change_started",
+            EventKind::NewViewAdopted => "new_view_adopted",
         }
+    }
+
+    /// Whether this is a view-change lifecycle kind (instant events on
+    /// the node's track, not tied to an entry).
+    pub fn is_view_event(&self) -> bool {
+        matches!(
+            self,
+            EventKind::ViewStallDetected | EventKind::ViewChangeStarted | EventKind::NewViewAdopted
+        )
     }
 
     /// Inverse of [`EventKind::name`].
@@ -167,7 +188,7 @@ impl EventKind {
     }
 }
 
-const ALL_KINDS: [EventKind; 18] = [
+const ALL_KINDS: [EventKind; 21] = [
     EventKind::Submitted,
     EventKind::PbftPrePrepare,
     EventKind::PbftPrepare,
@@ -186,6 +207,9 @@ const ALL_KINDS: [EventKind; 18] = [
     EventKind::NetDeliver,
     EventKind::NetDrop,
     EventKind::NetTimer,
+    EventKind::ViewStallDetected,
+    EventKind::ViewChangeStarted,
+    EventKind::NewViewAdopted,
 ];
 
 /// One telemetry event: a phase boundary stamped with virtual time.

@@ -54,6 +54,29 @@ print(f"    trace JSON valid: {len(events)} records, {spans} spans")
 EOF
   fi
   rm -rf "${tracedir}"
+
+  # Fault-matrix gate: run every adversary scenario on a short clock. The
+  # bin exits non-zero if any scenario ends with no post-fault progress or
+  # a cross-node consistency violation.
+  echo "==> fault matrix smoke test"
+  faultdir=$(mktemp -d)
+  cargo run --release -q -p massbft-bench --bin faults -- \
+    --secs 6 --out "${faultdir}/BENCH_faults.json"
+  [[ -s "${faultdir}/BENCH_faults.json" ]]
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${faultdir}/BENCH_faults.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+scenarios = doc["scenarios"]
+assert len(scenarios) >= 8, f"only {len(scenarios)} scenarios"
+for s in scenarios:
+    assert s["recovered"], f"{s['name']} did not recover"
+    assert s["consistent"], f"{s['name']} diverged"
+    assert s["timeline"], f"{s['name']} has no timeline"
+print(f"    fault matrix ok: {len(scenarios)} scenarios recovered")
+EOF
+  fi
+  rm -rf "${faultdir}"
 fi
 
 echo "OK"
