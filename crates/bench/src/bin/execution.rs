@@ -25,11 +25,11 @@
 //! speedup on a single-core container is physically capped at 1x — the
 //! ≥2.5x acceptance target applies to multi-core hosts.
 
+use massbft_bench::report::{self, Json, Obj};
 use massbft_core::stats::{execution_stats, ExecStats};
 use massbft_db::{AriaExecutor, KvStore};
 use massbft_workloads::{zipf::Zipfian, Request};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// YCSB/SmallBank domain (paper §VI: 1M rows / accounts).
@@ -144,15 +144,7 @@ fn main() {
         "execution pipeline bench: {batches} batches x {batch} txns, host cores = {host_cores}"
     );
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"execution_pipeline\",\n");
-    let _ = writeln!(json, "  \"batch_txns\": {batch},");
-    let _ = writeln!(json, "  \"batches\": {batches},");
-    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    json.push_str("  \"workloads\": [\n");
-
+    let mut workload_rows: Vec<Json> = Vec::new();
     let mut uniform_speedup_at_4 = 0.0f64;
     let workloads = ["ycsb_uniform", "ycsb_zipf", "smallbank"];
     for (wi, name) in workloads.iter().enumerate() {
@@ -188,72 +180,75 @@ fn main() {
             rows.push(r);
         }
 
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"name\": \"{name}\",");
-        let _ = writeln!(
-            json,
-            "      \"serial_baseline\": {{\"ktps\": {:.1}, \"committed\": {}, \
-             \"abort_rate\": {:.4}, \"fingerprint\": \"{:016x}\"}},",
-            baseline.ktps,
-            baseline.committed,
-            baseline.stats.abort_rate(),
-            baseline.fingerprint
-        );
-        json.push_str("      \"parallel\": [\n");
-        for (i, r) in rows.iter().enumerate() {
-            let s = &r.stats;
-            let phase_total = (s.execute_ns + s.reserve_ns + s.commit_ns).max(1) as f64;
-            let _ = writeln!(
-                json,
-                "        {{\"workers\": {}, \"ktps\": {:.1}, \"speedup\": {:.2}, \
-                 \"matches_serial\": true, \"worker_utilization\": {:.3}, \
-                 \"abort_rate\": {:.4}, \
-                 \"phase_share\": {{\"execute\": {:.3}, \"reserve\": {:.3}, \"commit\": {:.3}}}}}{}",
-                r.workers,
-                r.ktps,
-                r.ktps / baseline.ktps,
-                s.worker_utilization(),
-                s.abort_rate(),
-                s.execute_ns as f64 / phase_total,
-                s.reserve_ns as f64 / phase_total,
-                s.commit_ns as f64 / phase_total,
-                if i + 1 == rows.len() { "" } else { "," },
-            );
-        }
-        json.push_str("      ]\n");
-        let _ = writeln!(
-            json,
-            "    }}{}",
-            if wi + 1 == workloads.len() { "" } else { "," }
+        let parallel: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                let s = &r.stats;
+                let phase_total = (s.execute_ns + s.reserve_ns + s.commit_ns).max(1) as f64;
+                Obj::new()
+                    .set("workers", r.workers)
+                    .set("ktps", Json::fixed(r.ktps, 1))
+                    .set("speedup", Json::fixed(r.ktps / baseline.ktps, 2))
+                    .set("matches_serial", true)
+                    .set("worker_utilization", Json::fixed(s.worker_utilization(), 3))
+                    .set("abort_rate", Json::fixed(s.abort_rate(), 4))
+                    .set(
+                        "phase_share",
+                        Obj::new()
+                            .set("execute", Json::fixed(s.execute_ns as f64 / phase_total, 3))
+                            .set("reserve", Json::fixed(s.reserve_ns as f64 / phase_total, 3))
+                            .set("commit", Json::fixed(s.commit_ns as f64 / phase_total, 3)),
+                    )
+                    .into()
+            })
+            .collect();
+        workload_rows.push(
+            Obj::new()
+                .set("name", *name)
+                .set(
+                    "serial_baseline",
+                    Obj::new()
+                        .set("ktps", Json::fixed(baseline.ktps, 1))
+                        .set("committed", baseline.committed)
+                        .set("abort_rate", Json::fixed(baseline.stats.abort_rate(), 4))
+                        .set("fingerprint", format!("{:016x}", baseline.fingerprint)),
+                )
+                .set("parallel", parallel)
+                .into(),
         );
     }
-    json.push_str("  ],\n");
 
     // Acceptance: >= 2.5x at 4 workers on uniform YCSB — only physically
     // measurable when the host has >= 4 cores; a 1-core container caps
     // every speedup at ~1x no matter how good the pipeline is.
     let multi_core = host_cores >= 4;
-    let _ = writeln!(
-        json,
-        "  \"acceptance\": {{\"workload\": \"ycsb_uniform\", \"workers\": 4, \
-         \"speedup\": {:.2}, \"target\": 2.5, \"multi_core_host\": {}, \"pass\": {}}}",
-        uniform_speedup_at_4,
-        multi_core,
-        if multi_core {
-            if uniform_speedup_at_4 >= 2.5 {
-                "true"
-            } else {
-                "false"
-            }
-        } else {
-            "\"not evaluable on single-core host (speedup physically capped at 1x); \
-             parity checked instead\""
-        }
+    let pass: Json = if multi_core {
+        (uniform_speedup_at_4 >= 2.5).into()
+    } else {
+        "not evaluable on single-core host (speedup physically capped at 1x); \
+         parity checked instead"
+            .into()
+    };
+    let doc = Json::from(
+        Obj::new()
+            .set("bench", "execution_pipeline")
+            .set("batch_txns", batch)
+            .set("batches", batches)
+            .set("host_cores", host_cores)
+            .set("quick", quick)
+            .set("workloads", workload_rows)
+            .set(
+                "acceptance",
+                Obj::new()
+                    .set("workload", "ycsb_uniform")
+                    .set("workers", 4u64)
+                    .set("speedup", Json::fixed(uniform_speedup_at_4, 2))
+                    .set("target", Json::fixed(2.5, 1))
+                    .set("multi_core_host", multi_core)
+                    .set("pass", pass),
+            ),
     );
-    json.push_str("}\n");
-
-    std::fs::write("BENCH_execution.json", &json).expect("write BENCH_execution.json");
-    println!("wrote BENCH_execution.json");
+    report::write_json("BENCH_execution.json", &doc);
     println!(
         "acceptance: uniform-YCSB speedup at 4 workers = {uniform_speedup_at_4:.2}x \
          (target 2.5x on multi-core; host has {host_cores})"

@@ -13,6 +13,7 @@
 //!     [--groups 4,4,4] [--secs 12] [--seed 13] [--out BENCH_faults.json]
 //! ```
 
+use massbft_bench::report::{self, Json, Obj, Verdict};
 use massbft_core::adversary::{AdversarySpec, FaultEvent, Strategy};
 use massbft_core::cluster::{Cluster, ClusterConfig};
 use massbft_core::protocol::Protocol;
@@ -176,10 +177,6 @@ fn run_scenario(s: Scenario, fault_at: Time, secs: u64) -> Outcome {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn main() {
     let args = parse_args();
     let fault_at = SECOND;
@@ -277,7 +274,7 @@ fn main() {
     );
 
     let mut outcomes = Vec::new();
-    let mut failed = false;
+    let mut verdict = Verdict::new();
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>6}",
         "scenario", "tail tps", "stall ms", "recovered", "cons."
@@ -293,49 +290,53 @@ fn main() {
             o.recovered,
             o.consistent
         );
-        failed |= !o.recovered || !o.consistent;
+        verdict.check(&format!("{name} recovered"), o.recovered);
+        verdict.check(&format!("{name} consistent"), o.consistent);
         outcomes.push(o);
     }
 
-    // Hand-rolled JSON (no serde in the workspace).
-    let mut j = String::new();
-    j.push_str("{\n");
-    j.push_str(&format!(
-        "  \"config\": {{\"groups\": {:?}, \"seed\": {}, \"arrival_tps\": {}, \
-         \"max_batch\": {}, \"secs\": {}, \"fault_at_us\": {}, \"sample_us\": {}}},\n",
-        args.groups, args.seed, args.arrival_tps, args.max_batch, args.secs, fault_at, SAMPLE_US
-    ));
-    j.push_str("  \"scenarios\": [\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        let affected = match o.affected {
-            Affected::Group(g) => format!("group{g}"),
-            Affected::Total => "total".to_string(),
-        };
-        j.push_str(&format!(
-            "    {{\"name\": \"{}\", \"what\": \"{}\", \"affected\": \"{}\",\n",
-            json_escape(o.name),
-            json_escape(o.what),
-            affected
-        ));
-        j.push_str(&format!(
-            "     \"tail_tps\": {:.1}, \"stall_us\": {}, \"recovered\": {}, \
-             \"consistent\": {},\n",
-            o.tail_tps, o.stall_us, o.recovered, o.consistent
-        ));
-        let points: Vec<String> = o
-            .timeline
-            .iter()
-            .map(|(t, e)| format!("[{t}, {e}]"))
-            .collect();
-        j.push_str(&format!("     \"timeline\": [{}]}}", points.join(", ")));
-        j.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
-    }
-    j.push_str("  ]\n}\n");
-    std::fs::write(&args.out, &j).expect("write BENCH_faults.json");
-    println!("\nwrote {}", args.out);
+    let config = Obj::new()
+        .set(
+            "groups",
+            args.groups.iter().map(|&g| g.into()).collect::<Vec<Json>>(),
+        )
+        .set("seed", args.seed)
+        .set("arrival_tps", args.arrival_tps)
+        .set("max_batch", args.max_batch)
+        .set("secs", args.secs)
+        .set("fault_at_us", fault_at)
+        .set("sample_us", SAMPLE_US);
+    let scenarios_json: Vec<Json> = outcomes
+        .iter()
+        .map(|o| {
+            let affected = match o.affected {
+                Affected::Group(g) => format!("group{g}"),
+                Affected::Total => "total".to_string(),
+            };
+            let timeline: Vec<Json> = o
+                .timeline
+                .iter()
+                .map(|&(t, e)| Json::Arr(vec![t.into(), e.into()]))
+                .collect();
+            Obj::new()
+                .set("name", o.name)
+                .set("what", o.what)
+                .set("affected", affected)
+                .set("tail_tps", Json::fixed(o.tail_tps, 1))
+                .set("stall_us", o.stall_us)
+                .set("recovered", o.recovered)
+                .set("consistent", o.consistent)
+                .set("timeline", timeline)
+                .into()
+        })
+        .collect();
+    let doc = Json::from(
+        Obj::new()
+            .set("config", config)
+            .set("scenarios", scenarios_json),
+    );
+    println!();
+    report::write_json(&args.out, &doc);
 
-    if failed {
-        eprintln!("error: at least one fault scenario failed to recover or diverged");
-        std::process::exit(1);
-    }
+    verdict.finish("at least one fault scenario failed to recover or diverged");
 }

@@ -20,11 +20,11 @@
 //! acceptance geometry. The JSON lands in the workspace root so the perf
 //! trajectory is recorded in-tree.
 
+use massbft_bench::report::{self, Json, Obj};
 use massbft_bench::seed_codec;
 use massbft_codec::chunker::EntryCodec;
 use massbft_core::plan::TransferPlan;
 use massbft_crypto::MerkleTree;
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -168,48 +168,46 @@ fn main() {
     );
     println!("acceptance (n_data=8, n_total=16): {accept_speedup:.2}x (target >= 2x)");
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"replication_pipeline\",\n");
-    let _ = writeln!(json, "  \"entry_bytes\": {ENTRY_BYTES},");
-    let _ = writeln!(
-        json,
-        "  \"threads\": {},",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+    let geometries: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Obj::new()
+                .set("label", r.label.as_str())
+                .set("n_data", r.n_data)
+                .set("n_total", r.n_total)
+                .set("fast_mib_s", Json::fixed(r.fast_mib_s, 1))
+                .set("seed_mib_s", Json::fixed(r.seed_mib_s, 1))
+                .set("speedup", Json::fixed(r.speedup(), 2))
+                .into()
+        })
+        .collect();
+    let doc = Json::from(
+        Obj::new()
+            .set("bench", "replication_pipeline")
+            .set("entry_bytes", ENTRY_BYTES)
+            .set(
+                "threads",
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+            .set("quick", quick)
+            .set("geometries", geometries)
+            .set(
+                "decode_cache",
+                Obj::new()
+                    .set("hits", cache.hits)
+                    .set("misses", cache.misses),
+            )
+            .set(
+                "acceptance",
+                Obj::new()
+                    .set("n_data", 8u64)
+                    .set("n_total", 16u64)
+                    .set("speedup", Json::fixed(accept_speedup, 2))
+                    .set("target", Json::fixed(2.0, 1))
+                    .set("pass", accept_speedup >= 2.0),
+            ),
     );
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    json.push_str("  \"geometries\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"label\": \"{}\", \"n_data\": {}, \"n_total\": {}, \
-             \"fast_mib_s\": {:.1}, \"seed_mib_s\": {:.1}, \"speedup\": {:.2}}}{}",
-            r.label,
-            r.n_data,
-            r.n_total,
-            r.fast_mib_s,
-            r.seed_mib_s,
-            r.speedup(),
-            if i + 1 == rows.len() { "" } else { "," },
-        );
-    }
-    json.push_str("  ],\n");
-    let _ = writeln!(
-        json,
-        "  \"decode_cache\": {{\"hits\": {}, \"misses\": {}}},",
-        cache.hits, cache.misses
-    );
-    let _ = writeln!(
-        json,
-        "  \"acceptance\": {{\"n_data\": 8, \"n_total\": 16, \"speedup\": {:.2}, \
-         \"target\": 2.0, \"pass\": {}}}",
-        accept_speedup,
-        accept_speedup >= 2.0
-    );
-    json.push_str("}\n");
-
-    std::fs::write("BENCH_replication.json", &json).expect("write BENCH_replication.json");
-    println!("wrote BENCH_replication.json");
+    report::write_json("BENCH_replication.json", &doc);
 }

@@ -1,0 +1,358 @@
+//! The Fig. 7 scalability sweep: MassBFT throughput as group count and
+//! group size grow, on the nationwide and worldwide latency presets.
+//!
+//! Emits `BENCH_scale.json` with one record per sweep point — committed
+//! tps, p50/p99 commit latency (windowed reads of the process-wide
+//! `core.entry.commit_latency_us` telemetry histogram), WAN bytes per
+//! committed transaction, simulator events/sec, and wall-clock — plus
+//! the final ledger head and virtual time so before/after refactors can
+//! prove byte-identical behavior on fixed seeds.
+//!
+//! ```text
+//! cargo run --release -p massbft-bench --bin scale
+//! cargo run --release -p massbft-bench --bin scale -- --only worldwide-8x8
+//! cargo run --release -p massbft-bench --bin scale -- --smoke --budget-secs 120
+//! ```
+//!
+//! `--smoke` is the CI gate: it runs the 4×4 nationwide and 8×8
+//! worldwide points twice each on the same seed and exits non-zero if
+//! the two runs disagree on ledger head or final virtual time (a
+//! determinism regression) or the wall-clock budget is blown.
+
+use massbft_bench::report::{self, Json, Obj, Verdict};
+use massbft_core::cluster::{Cluster, ClusterConfig, Region};
+use massbft_core::protocol::Protocol;
+use massbft_telemetry::registry;
+use massbft_workloads::WorkloadKind;
+use std::time::Instant;
+
+/// One sweep point: `groups` groups of `size` nodes on `region`.
+struct Point {
+    name: &'static str,
+    region: Region,
+    groups: usize,
+    size: usize,
+}
+
+/// The sweep grid: group count 2→16 at size 4, group size 4→32 at
+/// 3 groups, plus the paper-scale corners (128-node topologies) and the
+/// worldwide acceptance points.
+const SWEEP: &[Point] = &[
+    Point {
+        name: "nationwide-2x4",
+        region: Region::Nationwide,
+        groups: 2,
+        size: 4,
+    },
+    Point {
+        name: "nationwide-4x4",
+        region: Region::Nationwide,
+        groups: 4,
+        size: 4,
+    },
+    Point {
+        name: "nationwide-8x4",
+        region: Region::Nationwide,
+        groups: 8,
+        size: 4,
+    },
+    Point {
+        name: "nationwide-16x4",
+        region: Region::Nationwide,
+        groups: 16,
+        size: 4,
+    },
+    Point {
+        name: "nationwide-3x8",
+        region: Region::Nationwide,
+        groups: 3,
+        size: 8,
+    },
+    Point {
+        name: "nationwide-3x16",
+        region: Region::Nationwide,
+        groups: 3,
+        size: 16,
+    },
+    Point {
+        name: "nationwide-3x32",
+        region: Region::Nationwide,
+        groups: 3,
+        size: 32,
+    },
+    Point {
+        name: "nationwide-16x8",
+        region: Region::Nationwide,
+        groups: 16,
+        size: 8,
+    },
+    Point {
+        name: "worldwide-8x8",
+        region: Region::Worldwide,
+        groups: 8,
+        size: 8,
+    },
+    Point {
+        name: "worldwide-4x32",
+        region: Region::Worldwide,
+        groups: 4,
+        size: 32,
+    },
+];
+
+#[derive(Debug)]
+struct Args {
+    secs: u64,
+    seed: u64,
+    arrival_tps: f64,
+    max_batch: usize,
+    out: String,
+    only: Option<String>,
+    smoke: bool,
+    budget_secs: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scale [--secs N] [--seed N] [--arrival-tps N] [--max-batch N]
+             [--out FILE] [--only SUBSTRING] [--smoke] [--budget-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        secs: 2,
+        seed: 7,
+        arrival_tps: 2000.0,
+        max_batch: 100,
+        out: "BENCH_scale.json".to_string(),
+        only: None,
+        smoke: false,
+        budget_secs: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--secs" => args.secs = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--arrival-tps" => args.arrival_tps = val().parse().unwrap_or_else(|_| usage()),
+            "--max-batch" => args.max_batch = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = val(),
+            "--only" => args.only = Some(val()),
+            "--smoke" => args.smoke = true,
+            "--budget-secs" => args.budget_secs = Some(val().parse().unwrap_or_else(|_| usage())),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+struct PointResult {
+    name: &'static str,
+    region: &'static str,
+    groups: usize,
+    size: usize,
+    nodes: usize,
+    tps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wan_bytes_per_txn: f64,
+    events: u64,
+    events_per_sec: f64,
+    wall_secs: f64,
+    consistent: bool,
+    ledger_head: String,
+    final_vtime_us: u64,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Runs one sweep point: fresh cluster, 1 s warmup, `secs` measured.
+/// Commit-latency percentiles are windowed reads of the process-wide
+/// telemetry histogram, so back-to-back points don't contaminate each
+/// other.
+fn run_point(p: &Point, args: &Args) -> PointResult {
+    use massbft_sim_net::SECOND;
+    let sizes = vec![p.size; p.groups];
+    let cfg = match p.region {
+        Region::Nationwide => ClusterConfig::nationwide(&sizes, Protocol::MassBft),
+        Region::Worldwide => ClusterConfig::worldwide(&sizes, Protocol::MassBft),
+    }
+    .workload(WorkloadKind::YcsbA)
+    .seed(args.seed)
+    .arrival_tps(args.arrival_tps)
+    .max_batch(args.max_batch);
+
+    let commit_lat = registry::histogram("core.entry.commit_latency_us");
+    let t0 = Instant::now();
+    let mut cluster = Cluster::new(cfg);
+    cluster.run_until(SECOND);
+    cluster.open_window();
+    let lat_base = commit_lat.window();
+    let end = cluster.sim_mut().now() + args.secs * SECOND;
+    cluster.run_until(end);
+    let report = cluster.close_window();
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let txns = report.throughput.txns.max(1);
+    let obs = cluster.observer();
+    let ledger_head = hex(cluster.node(obs).ledger().head_hash().as_bytes());
+    let sim = cluster.sim_mut();
+    let events = sim.metrics().events_processed;
+    let final_vtime_us = sim.now();
+
+    PointResult {
+        name: p.name,
+        region: match p.region {
+            Region::Nationwide => "nationwide",
+            Region::Worldwide => "worldwide",
+        },
+        groups: p.groups,
+        size: p.size,
+        nodes: p.groups * p.size,
+        tps: report.throughput.tps(),
+        p50_ms: commit_lat.percentile_since(&lat_base, 50.0) as f64 / 1e3,
+        p99_ms: commit_lat.percentile_since(&lat_base, 99.0) as f64 / 1e3,
+        wan_bytes_per_txn: report.wan_bytes as f64 / txns as f64,
+        events,
+        events_per_sec: events as f64 / wall_secs.max(1e-9),
+        wall_secs,
+        consistent: report.all_nodes_consistent,
+        ledger_head,
+        final_vtime_us,
+    }
+}
+
+fn point_json(r: &PointResult) -> Json {
+    Obj::new()
+        .set("name", r.name)
+        .set("region", r.region)
+        .set("groups", r.groups)
+        .set("group_size", r.size)
+        .set("nodes", r.nodes)
+        .set("tps", Json::fixed(r.tps, 1))
+        .set("p50_latency_ms", Json::fixed(r.p50_ms, 2))
+        .set("p99_latency_ms", Json::fixed(r.p99_ms, 2))
+        .set("wan_bytes_per_txn", Json::fixed(r.wan_bytes_per_txn, 1))
+        .set("events", r.events)
+        .set("events_per_sec", Json::fixed(r.events_per_sec, 0))
+        .set("wall_secs", Json::fixed(r.wall_secs, 3))
+        .set("consistent", r.consistent)
+        .set("ledger_head", r.ledger_head.as_str())
+        .set("final_vtime_us", r.final_vtime_us)
+        .into()
+}
+
+fn print_row(r: &PointResult) {
+    println!(
+        "{:<18} {:>5} {:>8.0} {:>9.1} {:>9.1} {:>10.0} {:>11.0} {:>8.2}s  {}",
+        r.name,
+        r.nodes,
+        r.tps,
+        r.p50_ms,
+        r.p99_ms,
+        r.wan_bytes_per_txn,
+        r.events_per_sec,
+        r.wall_secs,
+        if r.consistent { "ok" } else { "DIVERGED" }
+    );
+}
+
+fn config_json(args: &Args) -> Obj {
+    Obj::new()
+        .set("workload", "ycsb-a")
+        .set("protocol", "massbft")
+        .set("secs", args.secs)
+        .set("seed", args.seed)
+        .set("arrival_tps_per_group", args.arrival_tps)
+        .set("max_batch", args.max_batch)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut verdict = Verdict::new();
+
+    println!(
+        "{:<18} {:>5} {:>8} {:>9} {:>9} {:>10} {:>11} {:>9}",
+        "point", "nodes", "tps", "p50 ms", "p99 ms", "wanB/txn", "events/s", "wall"
+    );
+
+    if args.smoke {
+        // CI gate: two small points, run twice each on the same seed.
+        // Determinism mismatch or a blown wall-clock budget fails the run.
+        let budget = args.budget_secs.unwrap_or(180);
+        let t0 = Instant::now();
+        let smoke_points: Vec<&Point> = SWEEP
+            .iter()
+            .filter(|p| p.name == "nationwide-4x4" || p.name == "worldwide-8x8")
+            .collect();
+        let mut rows: Vec<Json> = Vec::new();
+        for p in smoke_points {
+            let a = run_point(p, &args);
+            print_row(&a);
+            let b = run_point(p, &args);
+            print_row(&b);
+            verdict.check(
+                &format!("{} deterministic ledger head", p.name),
+                a.ledger_head == b.ledger_head,
+            );
+            verdict.check(
+                &format!("{} deterministic final vtime", p.name),
+                a.final_vtime_us == b.final_vtime_us,
+            );
+            verdict.check(
+                &format!("{} consistent", p.name),
+                a.consistent && b.consistent,
+            );
+            rows.push(point_json(&a));
+            rows.push(point_json(&b));
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        println!("smoke wall-clock: {wall:.1}s (budget {budget}s)");
+        verdict.check(
+            &format!("smoke wall-clock under {budget}s"),
+            wall <= budget as f64,
+        );
+        let doc = Json::from(
+            Obj::new()
+                .set("bench", "scale_smoke")
+                .set("config", config_json(&args))
+                .set("budget_secs", budget)
+                .set("wall_secs", Json::fixed(wall, 1))
+                .set("points", rows),
+        );
+        report::write_json(&args.out, &doc);
+        verdict.finish("scale smoke gate");
+        return;
+    }
+
+    let mut rows: Vec<Json> = Vec::new();
+    for p in SWEEP {
+        if let Some(f) = &args.only {
+            if !p.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let r = run_point(p, &args);
+        print_row(&r);
+        verdict.check(&format!("{} consistent", r.name), r.consistent);
+        rows.push(point_json(&r));
+    }
+    if rows.is_empty() {
+        eprintln!("error: --only matched no sweep point");
+        std::process::exit(2);
+    }
+
+    let doc = Json::from(
+        Obj::new()
+            .set("bench", "scale_sweep")
+            .set("config", config_json(&args))
+            .set("points", rows),
+    );
+    report::write_json(&args.out, &doc);
+    verdict.finish("scale sweep");
+}

@@ -1,0 +1,273 @@
+//! Simulator microbenchmarks: event-queue and routing overhead in
+//! isolation, so scale-sweep speedups are attributable to the simulator
+//! core rather than protocol or execution changes.
+//!
+//! Four synthetic workloads on a 8×8 worldwide topology (512 nodes'
+//! worth of lookups never matter — the point is per-event cost):
+//!
+//! - `timer_storm` — every node re-arms a fan of timers; pure event
+//!   queue (push/pop/dispatch), no routing, no payloads.
+//! - `control_all_to_all` — every node pings every other node with a
+//!   small control message each tick; exercises routing, uplink/FIFO
+//!   accounting, and metrics on the hot path.
+//! - `broadcast_payload` — group-internal broadcast of 64 KiB blobs
+//!   carried as `Vec<u8>`; every simulator hop deep-copies the blob, so
+//!   the case prices what a deep-copying protocol payload costs.
+//! - `broadcast_shared` — the same broadcast carried as `Bytes`; hops
+//!   bump a refcount instead of copying, which is how the protocol layer
+//!   ships entry payloads. The gap between the two cases is the shared-
+//!   payload win in isolation.
+//!
+//! Each prints virtual-events per wall-clock second and a comparison
+//! against the recorded pre-overhaul baseline (measured on this bench at
+//! the commit that introduced it, same container class), so the
+//! before/after line the CI gate prints is self-contained.
+//!
+//! ```text
+//! cargo run --release -p massbft-bench --bin sim_micro [-- --secs 2]
+//! ```
+
+use bytes::Bytes;
+use massbft_bench::report::{self, Json, Obj};
+use massbft_sim_net::{
+    Actor, Ctx, NodeId, SimMessage, Simulation, Time, TopologyBuilder, MILLISECOND,
+};
+use std::time::Instant;
+
+/// Pre-overhaul baselines (events/sec), recorded on the unmodified
+/// simulator with this same binary (`--secs 2`, release profile) before
+/// the hot-path rework landed. Used only for the printed before/after
+/// line; they are not a gate (absolute numbers vary across hosts).
+const BASELINE_EVENTS_PER_SEC: &[(&str, f64)] = &[
+    ("timer_storm", 7_092_696.0),
+    ("control_all_to_all", 1_489_478.0),
+    ("broadcast_payload", 265_137.0),
+];
+
+#[derive(Clone)]
+enum MicroMsg {
+    /// 64-byte control ping.
+    Ping,
+    /// Bulk payload. Deliberately `Vec<u8>`, not `Bytes`: this is what a
+    /// deep-copying protocol payload costs per simulator hop, so the
+    /// case prices the envelope clone itself.
+    Blob(Vec<u8>),
+    /// The same bulk payload as a refcounted `Bytes` — cloning the
+    /// envelope bumps a counter instead of copying 64 KiB.
+    SharedBlob(Bytes),
+}
+
+impl SimMessage for MicroMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            MicroMsg::Ping => 64,
+            MicroMsg::Blob(b) => b.len() + 64,
+            MicroMsg::SharedBlob(b) => b.len() + 64,
+        }
+    }
+}
+
+/// Timer-only actor: each timer fire re-arms `fan` timers, keeping the
+/// event queue at a steady population without any routing.
+struct TimerStorm {
+    fan: u64,
+}
+
+impl Actor for TimerStorm {
+    type Msg = MicroMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<MicroMsg>) {
+        for t in 0..self.fan {
+            ctx.set_timer(1 + t, t);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<MicroMsg>, _from: NodeId, _msg: MicroMsg) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<MicroMsg>, token: u64) {
+        // Re-arm with a token-dependent delay so timestamps stay spread.
+        ctx.set_timer(50 + (token % 7) * 13, token);
+    }
+}
+
+/// Control-plane actor: on every tick, ping every node in the cluster
+/// (messages are under the control cutoff, so they take the control
+/// lane — routing cost, not bandwidth, dominates).
+struct AllToAll {
+    peers: Vec<NodeId>,
+    period: Time,
+}
+
+impl Actor for AllToAll {
+    type Msg = MicroMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<MicroMsg>) {
+        ctx.set_timer(self.period, 0);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<MicroMsg>, _from: NodeId, _msg: MicroMsg) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<MicroMsg>, token: u64) {
+        ctx.send_many(self.peers.iter().copied(), MicroMsg::Ping);
+        ctx.set_timer(self.period, token);
+    }
+}
+
+/// Data-plane actor: group representatives broadcast a 64 KiB blob to
+/// their group each tick; payload clone cost dominates. `shared` picks
+/// the `Bytes` envelope over the deep-copying `Vec<u8>` one.
+struct Broadcast {
+    group_peers: Vec<NodeId>,
+    blob: Vec<u8>,
+    shared: Option<Bytes>,
+    period: Time,
+}
+
+impl Actor for Broadcast {
+    type Msg = MicroMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<MicroMsg>) {
+        if ctx.id().node == 0 {
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<MicroMsg>, _from: NodeId, _msg: MicroMsg) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<MicroMsg>, token: u64) {
+        let msg = match &self.shared {
+            Some(b) => MicroMsg::SharedBlob(b.clone()),
+            None => MicroMsg::Blob(self.blob.clone()),
+        };
+        ctx.send_many(self.group_peers.iter().copied(), msg);
+        ctx.set_timer(self.period, token);
+    }
+}
+
+struct MicroResult {
+    name: &'static str,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+}
+
+fn run_micro<A: Actor<Msg = MicroMsg>>(
+    name: &'static str,
+    secs: u64,
+    make: impl FnMut(NodeId) -> A,
+) -> MicroResult {
+    let sizes = vec![8usize; 8];
+    let topo = TopologyBuilder::worldwide(&sizes).build();
+    let mut sim = Simulation::new(topo, make);
+    let t0 = Instant::now();
+    sim.start();
+    sim.run_until(secs * 1_000 * MILLISECOND);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let events = sim.metrics().events_processed;
+    let r = MicroResult {
+        name,
+        events,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs.max(1e-9),
+    };
+    let baseline = BASELINE_EVENTS_PER_SEC
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0);
+    if baseline > 0.0 {
+        println!(
+            "{:<20} {:>10} events in {:>6.2}s = {:>11.0} events/s  (pre-overhaul {:.0}, {:.2}x)",
+            r.name,
+            r.events,
+            r.wall_secs,
+            r.events_per_sec,
+            baseline,
+            r.events_per_sec / baseline
+        );
+    } else {
+        println!(
+            "{:<20} {:>10} events in {:>6.2}s = {:>11.0} events/s",
+            r.name, r.events, r.wall_secs, r.events_per_sec
+        );
+    }
+    r
+}
+
+fn main() {
+    let mut secs: u64 = 2;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--secs" => {
+                secs = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("usage: sim_micro [--secs N]");
+                    std::process::exit(2);
+                })
+            }
+            _ => {
+                eprintln!("usage: sim_micro [--secs N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("simulator microbench: 8x8 worldwide topology, {secs}s virtual per case");
+
+    let all: Vec<NodeId> = (0..8u32)
+        .flat_map(|g| (0..8u32).map(move |n| NodeId::new(g, n)))
+        .collect();
+    let blob = vec![0xA5u8; 64 * 1024];
+
+    let mut results = Vec::new();
+    results.push(run_micro("timer_storm", secs, |_| TimerStorm { fan: 32 }));
+    results.push(run_micro("control_all_to_all", secs, |id| AllToAll {
+        peers: all.iter().copied().filter(|p| *p != id).collect(),
+        period: 5 * MILLISECOND,
+    }));
+    results.push(run_micro("broadcast_payload", secs, |id| Broadcast {
+        group_peers: (0..8u32)
+            .map(|n| NodeId::new(id.group, n))
+            .filter(|p| *p != id)
+            .collect(),
+        blob: blob.clone(),
+        shared: None,
+        period: MILLISECOND,
+    }));
+    let shared_blob: Bytes = blob.clone().into();
+    results.push(run_micro("broadcast_shared", secs, |id| Broadcast {
+        group_peers: (0..8u32)
+            .map(|n| NodeId::new(id.group, n))
+            .filter(|p| *p != id)
+            .collect(),
+        blob: Vec::new(),
+        shared: Some(shared_blob.clone()),
+        period: MILLISECOND,
+    }));
+
+    let rows: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            let baseline = BASELINE_EVENTS_PER_SEC
+                .iter()
+                .find(|(n, _)| *n == r.name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0);
+            Obj::new()
+                .set("name", r.name)
+                .set("events", r.events)
+                .set("wall_secs", Json::fixed(r.wall_secs, 3))
+                .set("events_per_sec", Json::fixed(r.events_per_sec, 0))
+                .set("pre_overhaul_events_per_sec", Json::fixed(baseline, 0))
+                .into()
+        })
+        .collect();
+    let doc = Json::from(
+        Obj::new()
+            .set("bench", "sim_micro")
+            .set("virtual_secs", secs)
+            .set("topology", "worldwide-8x8")
+            .set("cases", rows),
+    );
+    report::write_json("BENCH_sim_micro.json", &doc);
+}

@@ -10,6 +10,7 @@
 //!
 //! Every run is deterministic for a given `--seed`.
 
+use massbft_bench::report::cli;
 use massbft_bench::Scale;
 use massbft_core::cluster::{Cluster, ClusterConfig, Region};
 use massbft_core::protocol::Protocol;
@@ -69,50 +70,16 @@ fn parse_args() -> Args {
         let mut val = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--protocol" => {
-                args.protocol = match val().to_lowercase().as_str() {
-                    "massbft" => Protocol::MassBft,
-                    "baseline" => Protocol::Baseline,
-                    "geobft" => Protocol::GeoBft,
-                    "steward" => Protocol::Steward,
-                    "iss" => Protocol::Iss,
-                    "br" => Protocol::BijectiveOnly,
-                    "ebr" => Protocol::EncodedBijective,
-                    other => {
-                        eprintln!("unknown protocol {other}");
-                        usage()
-                    }
-                }
+                args.protocol = cli::protocol(&val()).unwrap_or_else(|| usage());
             }
             "--groups" => {
-                args.groups = val()
-                    .split(',')
-                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
-                    .collect();
-                if args.groups.is_empty() {
-                    usage();
-                }
+                args.groups = cli::groups(&val()).unwrap_or_else(|| usage());
             }
             "--workload" => {
-                args.workload = match val().to_lowercase().as_str() {
-                    "ycsb-a" | "ycsba" => WorkloadKind::YcsbA,
-                    "ycsb-b" | "ycsbb" => WorkloadKind::YcsbB,
-                    "smallbank" => WorkloadKind::SmallBank,
-                    "tpcc" | "tpc-c" => WorkloadKind::TpcC,
-                    other => {
-                        eprintln!("unknown workload {other}");
-                        usage()
-                    }
-                }
+                args.workload = cli::workload(&val()).unwrap_or_else(|| usage());
             }
             "--region" => {
-                args.region = match val().to_lowercase().as_str() {
-                    "nationwide" => Region::Nationwide,
-                    "worldwide" => Region::Worldwide,
-                    other => {
-                        eprintln!("unknown region {other}");
-                        usage()
-                    }
-                }
+                args.region = cli::region(&val()).unwrap_or_else(|| usage());
             }
             "--secs" => args.secs = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),

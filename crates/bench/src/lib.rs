@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod seed_codec;
 
 use massbft_core::cluster::{Cluster, ClusterConfig, Report};

@@ -1,0 +1,366 @@
+//! Shared plumbing for the bench binaries: a small JSON document
+//! builder (the workspace has no serde), a pass/fail verdict collector,
+//! and the CLI enum parsers every binary re-implemented.
+//!
+//! Every `BENCH_*.json` / trace binary used to hand-roll its JSON with
+//! `format!` and track failures with ad-hoc booleans; this module is the
+//! single copy. Rendering is deterministic: objects keep insertion
+//! order, arrays of scalars render inline, arrays holding objects render
+//! one element per line.
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float, shortest round-trip formatting (non-finite renders as 0).
+    F64(f64),
+    /// Float with a fixed number of decimals, e.g. `{:.2}`.
+    Fixed(f64, usize),
+    /// String (escaped on render).
+    Str(String),
+    /// Pre-rendered JSON fragment, emitted verbatim.
+    Raw(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Obj),
+}
+
+/// An insertion-ordered JSON object.
+#[derive(Debug, Clone, Default)]
+pub struct Obj(Vec<(String, Json)>);
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Obj(Vec::new())
+    }
+
+    /// Adds (or appends — duplicate keys are the caller's bug) a field.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.0.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Obj> for Json {
+    fn from(v: Obj) -> Self {
+        Json::Obj(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v}");
+    // Rust renders whole floats as "4" — keep them valid but typed.
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+impl Json {
+    /// Fixed-decimal float shorthand.
+    pub fn fixed(v: f64, decimals: usize) -> Json {
+        Json::Fixed(v, decimals)
+    }
+
+    fn is_obj(&self) -> bool {
+        matches!(self, Json::Obj(_))
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => out.push_str(&fmt_f64(*v)),
+            Json::Fixed(v, d) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.d$}", d = d);
+                } else {
+                    out.push('0');
+                }
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Raw(s) => out.push_str(s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                } else if items.iter().any(Json::is_obj) {
+                    out.push_str("[\n");
+                    let pad = "  ".repeat(indent + 1);
+                    for (i, item) in items.iter().enumerate() {
+                        out.push_str(&pad);
+                        item.render_into(out, indent + 1);
+                        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str(&"  ".repeat(indent));
+                    out.push(']');
+                } else {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.render_into(out, indent);
+                    }
+                    out.push(']');
+                }
+            }
+            Json::Obj(Obj(fields)) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                let pad = "  ".repeat(indent + 1);
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{pad}\"{}\": ", escape(k));
+                    v.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders as a full document: the value plus a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+/// Renders `json` to `path` and prints the conventional `wrote <path>`
+/// line every bench binary emits.
+pub fn write_json(path: &str, json: &Json) {
+    std::fs::write(path, json.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// Accumulates named pass/fail checks; [`Verdict::finish`] exits
+/// non-zero when any failed — the shared ending of every gate binary.
+#[derive(Debug, Default)]
+pub struct Verdict {
+    checks: u64,
+    failures: Vec<String>,
+}
+
+impl Verdict {
+    /// An empty verdict.
+    pub fn new() -> Self {
+        Verdict::default()
+    }
+
+    /// Records one named check; returns `ok` for chaining.
+    pub fn check(&mut self, name: &str, ok: bool) -> bool {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(name.to_string());
+        }
+        ok
+    }
+
+    /// True when no recorded check failed.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Prints any failures under `context` and exits 1; prints nothing
+    /// and returns when everything passed.
+    pub fn finish(self, context: &str) {
+        if self.pass() {
+            return;
+        }
+        eprintln!("error: {context}: {} check(s) failed", self.failures.len());
+        for f in &self.failures {
+            eprintln!("  FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// CLI enum parsers shared by the bench binaries (`trace`, `simulate`,
+/// `scale`), so flag vocabularies can't drift between them.
+pub mod cli {
+    use massbft_core::cluster::Region;
+    use massbft_core::protocol::Protocol;
+    use massbft_workloads::WorkloadKind;
+
+    /// Parses a `--protocol` value.
+    pub fn protocol(s: &str) -> Option<Protocol> {
+        Some(match s.to_lowercase().as_str() {
+            "massbft" => Protocol::MassBft,
+            "baseline" => Protocol::Baseline,
+            "geobft" => Protocol::GeoBft,
+            "steward" => Protocol::Steward,
+            "iss" => Protocol::Iss,
+            "br" => Protocol::BijectiveOnly,
+            "ebr" => Protocol::EncodedBijective,
+            _ => return None,
+        })
+    }
+
+    /// Parses a `--workload` value.
+    pub fn workload(s: &str) -> Option<WorkloadKind> {
+        Some(match s.to_lowercase().as_str() {
+            "ycsb-a" | "ycsba" => WorkloadKind::YcsbA,
+            "ycsb-b" | "ycsbb" => WorkloadKind::YcsbB,
+            "smallbank" => WorkloadKind::SmallBank,
+            "tpcc" | "tpc-c" => WorkloadKind::TpcC,
+            _ => return None,
+        })
+    }
+
+    /// Parses a `--region` value.
+    pub fn region(s: &str) -> Option<Region> {
+        Some(match s.to_lowercase().as_str() {
+            "nationwide" => Region::Nationwide,
+            "worldwide" => Region::Worldwide,
+            _ => return None,
+        })
+    }
+
+    /// Parses a `--groups` list like `4,4,4`.
+    pub fn groups(s: &str) -> Option<Vec<usize>> {
+        let v: Option<Vec<usize>> = s.split(',').map(|p| p.trim().parse().ok()).collect();
+        v.filter(|v| !v.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = Json::from(
+            Obj::new()
+                .set("bench", "demo")
+                .set("n", 3u64)
+                .set("ratio", Json::fixed(1.0 / 3.0, 2))
+                .set("ok", true)
+                .set("timeline", vec![Json::Arr(vec![1u64.into(), 2u64.into()])])
+                .set(
+                    "rows",
+                    vec![Json::from(Obj::new().set("name", "a\"b").set("v", 1u64))],
+                ),
+        );
+        let s = doc.render();
+        assert!(s.contains("\"bench\": \"demo\""));
+        assert!(s.contains("\"ratio\": 0.33"));
+        assert!(s.contains("\"timeline\": [[1, 2]]"), "{s}");
+        assert!(s.contains("\"name\": \"a\\\"b\""));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn floats_stay_valid_json() {
+        assert_eq!(fmt_f64(4.0), "4.0");
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(0.5), "0.5");
+    }
+
+    #[test]
+    fn verdict_tracks_failures() {
+        let mut v = Verdict::new();
+        assert!(v.check("a", true));
+        assert!(v.pass());
+        assert!(!v.check("b", false));
+        assert!(!v.pass());
+    }
+
+    #[test]
+    fn cli_parsers_round_trip() {
+        assert!(cli::protocol("MassBFT").is_some());
+        assert!(cli::protocol("nope").is_none());
+        assert!(cli::workload("ycsb-a").is_some());
+        assert!(cli::region("worldwide").is_some());
+        assert_eq!(cli::groups("4, 4,8"), Some(vec![4, 4, 8]));
+        assert_eq!(cli::groups("4,x"), None);
+    }
+}

@@ -22,6 +22,7 @@
 //! by re-proposing committed-but-unexecuted and prepared requests wholesale;
 //! checkpointing garbage-collects executed instances.
 
+use bytes::Bytes;
 use massbft_crypto::{
     cert::{max_faulty, quorum},
     keys::NodeId,
@@ -92,8 +93,9 @@ pub enum PbftMsg {
         view: u64,
         /// Sequence number.
         seq: u64,
-        /// The proposed payload (an encoded log entry).
-        payload: Vec<u8>,
+        /// The proposed payload (an encoded log entry). `Bytes`-backed so
+        /// relaying and buffering share one allocation.
+        payload: Bytes,
         /// SHA-256 digest of the payload.
         digest: Digest,
     },
@@ -128,7 +130,7 @@ pub enum PbftMsg {
         /// Highest sequence the sender has executed.
         last_exec: u64,
         /// Requests the sender saw prepared: `(seq, digest, payload)`.
-        prepared: Vec<(u64, Digest, Vec<u8>)>,
+        prepared: Vec<(u64, Digest, Bytes)>,
         /// Signature over the view-change claim.
         sig: Signature,
     },
@@ -137,7 +139,7 @@ pub enum PbftMsg {
         /// The view being entered.
         view: u64,
         /// Requests to re-run: `(seq, payload)`.
-        reproposals: Vec<(u64, Vec<u8>)>,
+        reproposals: Vec<(u64, Bytes)>,
     },
     /// Primary liveness beacon. An idle-but-alive primary broadcasts
     /// these so followers can distinguish "nothing to propose" from
@@ -167,7 +169,7 @@ pub enum PbftOutput {
         /// Sequence number (contiguous, starting at 1).
         seq: u64,
         /// The agreed payload.
-        payload: Vec<u8>,
+        payload: Bytes,
         /// Portable quorum certificate over the payload digest.
         cert: QuorumCert,
     },
@@ -183,7 +185,7 @@ pub enum PbftOutput {
 /// Per-instance bookkeeping.
 #[derive(Debug, Default)]
 struct Instance {
-    payload: Option<Vec<u8>>,
+    payload: Option<Bytes>,
     digest: Option<Digest>,
     pre_prepared_view: Option<u64>,
     prepares: BTreeMap<u32, Signature>,
@@ -195,7 +197,7 @@ struct Instance {
 
 /// View-change votes: proposed view → voter → prepared-proof triples
 /// `(seq, digest, pre-prepare bytes)`.
-type ViewChangeVotes = BTreeMap<u64, BTreeMap<u32, Vec<(u64, Digest, Vec<u8>)>>>;
+type ViewChangeVotes = BTreeMap<u64, BTreeMap<u32, Vec<(u64, Digest, Bytes)>>>;
 
 /// A PBFT replica state machine.
 pub struct PbftReplica {
@@ -288,11 +290,12 @@ impl PbftReplica {
     /// Primary API: propose a payload. Returns the outputs to perform.
     /// Non-primaries get an empty vec (the driver should forward the
     /// request to the primary instead).
-    pub fn propose(&mut self, payload: Vec<u8>) -> Vec<PbftOutput> {
+    pub fn propose(&mut self, payload: impl Into<Bytes>) -> Vec<PbftOutput> {
         if !self.is_primary() || self.in_view_change {
             return Vec::new();
         }
         counters().proposals.inc();
+        let payload = payload.into();
         let seq = self.next_seq;
         self.next_seq += 1;
         let digest = Digest::of(&payload);
@@ -372,7 +375,7 @@ impl PbftReplica {
         out
     }
 
-    fn prepared_requests(&self) -> Vec<(u64, Digest, Vec<u8>)> {
+    fn prepared_requests(&self) -> Vec<(u64, Digest, Bytes)> {
         self.instances
             .iter()
             .filter(|(_, inst)| {
@@ -396,7 +399,7 @@ impl PbftReplica {
         from: u32,
         view: u64,
         seq: u64,
-        payload: Vec<u8>,
+        payload: Bytes,
         digest: Digest,
     ) -> Vec<PbftOutput> {
         if self.in_view_change || view != self.view {
@@ -564,7 +567,7 @@ impl PbftReplica {
         from: u32,
         new_view: u64,
         last_exec: u64,
-        prepared: Vec<(u64, Digest, Vec<u8>)>,
+        prepared: Vec<(u64, Digest, Bytes)>,
         sig: Signature,
     ) -> Vec<PbftOutput> {
         if new_view <= self.view {
@@ -592,7 +595,7 @@ impl PbftReplica {
         {
             // We are the new primary: gather the union of prepared requests
             // and re-propose them.
-            let mut reproposals: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+            let mut reproposals: BTreeMap<u64, Bytes> = BTreeMap::new();
             for prep in votes.values() {
                 for (seq, _digest, payload) in prep {
                     reproposals.entry(*seq).or_insert_with(|| payload.clone());
@@ -612,7 +615,7 @@ impl PbftReplica {
         &mut self,
         from: u32,
         view: u64,
-        reproposals: Vec<(u64, Vec<u8>)>,
+        reproposals: Vec<(u64, Bytes)>,
     ) -> Vec<PbftOutput> {
         if view < self.view || from != self.cfg.primary_of(view) {
             return Vec::new();
@@ -724,7 +727,7 @@ mod tests {
     /// until quiescence, collecting Committed outputs per replica.
     struct Harness {
         replicas: Vec<PbftReplica>,
-        committed: Vec<Vec<(u64, Vec<u8>, QuorumCert)>>,
+        committed: Vec<Vec<(u64, Bytes, QuorumCert)>>,
         /// Replica indices that silently drop all traffic (crash faults).
         mute: BTreeSet<u32>,
         queue: std::collections::VecDeque<(u32, u32, PbftMsg)>,
@@ -907,7 +910,7 @@ mod tests {
             PbftMsg::PrePrepare {
                 view: 0,
                 seq: 1,
-                payload: b"evil".to_vec(),
+                payload: b"evil".to_vec().into(),
                 digest,
             },
         );
@@ -924,7 +927,7 @@ mod tests {
             PbftMsg::PrePrepare {
                 view: 0,
                 seq: 1,
-                payload: b"payload".to_vec(),
+                payload: b"payload".to_vec().into(),
                 digest: Digest::of(b"different"),
             },
         );
@@ -1146,7 +1149,7 @@ mod tests {
             )
         };
         let mut observer = mk(3);
-        let payload = b"late".to_vec();
+        let payload: Bytes = b"late".to_vec().into();
         let digest = Digest::of(&payload);
         // Commits from replicas 0..2 (3 = quorum for n=4).
         for i in 0..3u32 {

@@ -3,6 +3,7 @@
 //! must never violate PBFT or Raft safety invariants — only liveness may
 //! suffer (and the properties don't demand progress).
 
+use bytes::Bytes;
 use massbft_consensus::pbft::{PbftConfig, PbftMsg, PbftOutput, PbftReplica};
 use massbft_consensus::raft::{RaftConfig, RaftMsg, RaftNode, RaftOutput};
 use massbft_crypto::{Digest, KeyRegistry};
@@ -22,7 +23,7 @@ fn pbft_adversarial(
     seed: u64,
     drop_pct: u32,
     dup_pct: u32,
-) -> Vec<Vec<(u64, Vec<u8>)>> {
+) -> Vec<Vec<(u64, Bytes)>> {
     let registry = KeyRegistry::generate(1, &[n]);
     let mut replicas: Vec<PbftReplica> = (0..n)
         .map(|i| {
@@ -38,7 +39,7 @@ fn pbft_adversarial(
             )
         })
         .collect();
-    let mut committed: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); n];
+    let mut committed: Vec<Vec<(u64, Bytes)>> = vec![Vec::new(); n];
     let mut rng = StdRng::seed_from_u64(seed);
     // A pool rather than a queue: random draws model reordering.
     let mut pool: Vec<(u32, u32, PbftMsg)> = Vec::new();
@@ -46,7 +47,7 @@ fn pbft_adversarial(
     let absorb = |from: u32,
                   outs: Vec<PbftOutput>,
                   pool: &mut Vec<(u32, u32, PbftMsg)>,
-                  committed: &mut Vec<Vec<(u64, Vec<u8>)>>| {
+                  committed: &mut Vec<Vec<(u64, Bytes)>>| {
         for o in outs {
             match o {
                 PbftOutput::Send { to, msg } => pool.push((from, to, msg)),
@@ -103,7 +104,7 @@ proptest! {
         let proposals: Vec<Vec<u8>> =
             (0..n_props).map(|i| format!("payload-{i}").into_bytes()).collect();
         let committed = pbft_adversarial(n, &proposals, seed, drop_pct, dup_pct);
-        let mut by_seq: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut by_seq: BTreeMap<u64, Bytes> = BTreeMap::new();
         for (r, log) in committed.iter().enumerate() {
             for (expect, (seq, payload)) in (1u64..).zip(log.iter()) {
                 prop_assert_eq!(*seq, expect, "replica {} commits out of order", r);
@@ -148,17 +149,17 @@ fn pbft_equivocating_primary_cannot_split_honest_replicas() {
     let pre = |payload: &Vec<u8>| PbftMsg::PrePrepare {
         view: 0,
         seq: 1,
-        payload: payload.clone(),
+        payload: payload.clone().into(),
         digest: Digest::of(payload),
     };
 
     // Primary 0 equivocates: replicas 1 gets A; replicas 2 and 3 get B.
     let mut pool: Vec<(u32, u32, PbftMsg)> = Vec::new();
-    let mut committed: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+    let mut committed: Vec<Vec<Bytes>> = vec![Vec::new(); n];
     let absorb = |from: u32,
                   outs: Vec<PbftOutput>,
                   pool: &mut Vec<(u32, u32, PbftMsg)>,
-                  committed: &mut Vec<Vec<Vec<u8>>>| {
+                  committed: &mut Vec<Vec<Bytes>>| {
         for o in outs {
             match o {
                 PbftOutput::Send { to, msg } => pool.push((from, to, msg)),
@@ -189,7 +190,7 @@ fn pbft_equivocating_primary_cannot_split_honest_replicas() {
         absorb(to, outs, &mut pool, &mut committed);
     }
     // No two honest replicas committed different values at seq 1.
-    let committed_values: Vec<&Vec<u8>> = committed[1..].iter().flatten().collect();
+    let committed_values: Vec<&Bytes> = committed[1..].iter().flatten().collect();
     for w in committed_values.windows(2) {
         assert_eq!(w[0], w[1], "equivocation split the honest replicas");
     }

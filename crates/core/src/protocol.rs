@@ -43,6 +43,7 @@ use crate::{
     round::RoundOrdering,
     stats::LatencyStats,
 };
+use bytes::Bytes;
 use massbft_consensus::{
     pbft::{PbftConfig, PbftMsg, PbftOutput, PbftReplica},
     raft::{RaftConfig, RaftMsg, RaftNode, RaftOutput},
@@ -53,6 +54,15 @@ use massbft_sim_net::{Actor, Ctx, NodeId, SimMessage, Time, MILLISECOND};
 use massbft_telemetry as telemetry;
 use massbft_workloads::{Request, WorkloadGen, WorkloadKind};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::OnceLock;
+
+/// Process-wide commit-latency histogram (`core.entry.commit_latency_us`):
+/// submitted → executed at the originating group's representative. Windowed
+/// reads (the scale bench) use `Histogram::window` + `percentile_since`.
+fn commit_latency_histogram() -> &'static telemetry::registry::Histogram {
+    static H: OnceLock<telemetry::registry::Histogram> = OnceLock::new();
+    H.get_or_init(|| telemetry::registry::histogram("core.entry.commit_latency_us"))
+}
 
 /// Protocol selector (Table II of the paper + the Fig. 12 ablations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -271,8 +281,9 @@ pub enum Msg {
     Entry {
         /// Entry identity.
         id: EntryId,
-        /// Entry bytes.
-        bytes: Vec<u8>,
+        /// Entry bytes (refcounted — relaying a copy to the whole group
+        /// shares one allocation).
+        bytes: Bytes,
         /// The entry's PBFT certificate.
         cert: QuorumCert,
     },
@@ -364,7 +375,7 @@ const T_PBFT_HB: u64 = 8;
 /// State of one received-but-not-yet-executed entry.
 #[derive(Debug, Default)]
 struct EntryTracking {
-    bytes: Option<Vec<u8>>,
+    bytes: Option<Bytes>,
     cert: Option<QuorumCert>,
     committed: bool,
     fed_to_round: bool,
@@ -398,7 +409,7 @@ pub struct Node {
     /// Lemma V.1), keyed by instance.
     held_appends: HashMap<u32, Vec<(NodeId, RaftMsg<GlobalCmd>)>>,
     /// Recently executed entries kept for pull-based repair, FIFO-bounded.
-    archive: HashMap<EntryId, (Vec<u8>, QuorumCert)>,
+    archive: HashMap<EntryId, (Bytes, QuorumCert)>,
     archive_order: VecDeque<EntryId>,
     /// The exec-queue front observed at the last repair tick; a repeat
     /// sighting with missing content triggers an EntryRequest.
@@ -972,7 +983,7 @@ impl Node {
             view,
             seq,
             digest: Digest::of(&alt_payload),
-            payload: alt_payload,
+            payload: alt_payload.into(),
         };
         let peers = self.other_group_members();
         let f = (self.params.group_sizes[self.id.group as usize] - 1) / 3;
@@ -1068,7 +1079,7 @@ impl Node {
     }
 
     /// A local entry finished PBFT: start global replication.
-    fn on_local_entry_certified(&mut self, ctx: &mut Ctx<Msg>, bytes: Vec<u8>, cert: QuorumCert) {
+    fn on_local_entry_certified(&mut self, ctx: &mut Ctx<Msg>, bytes: Bytes, cert: QuorumCert) {
         let Some((id, reqs)) = decode_batch(&bytes) else {
             return;
         };
@@ -1205,7 +1216,7 @@ impl Node {
         &mut self,
         ctx: &mut Ctx<Msg>,
         id: EntryId,
-        bytes: &[u8],
+        bytes: &Bytes,
         cert: &QuorumCert,
     ) {
         // BR (§IV-A): f1 + f2 + 1 nodes each send a complete copy to a
@@ -1226,7 +1237,7 @@ impl Node {
                     NodeId::new(dst_group, self.id.node),
                     Msg::Entry {
                         id,
-                        bytes: bytes.to_vec(),
+                        bytes: bytes.clone(),
                         cert: cert.clone(),
                     },
                 );
@@ -1246,7 +1257,7 @@ impl Node {
         &mut self,
         ctx: &mut Ctx<Msg>,
         id: EntryId,
-        bytes: &[u8],
+        bytes: &Bytes,
         cert: &QuorumCert,
     ) {
         // Leader one-way replication with the GeoBFT optimization: send to
@@ -1263,7 +1274,7 @@ impl Node {
                     NodeId::new(dst_group, i),
                     Msg::Entry {
                         id,
-                        bytes: bytes.to_vec(),
+                        bytes: bytes.clone(),
                         cert: cert.clone(),
                     },
                 );
@@ -1738,7 +1749,7 @@ impl Node {
     /// pipeline in a single batched call. The drain stops at the first
     /// entry whose content hasn't arrived — order must be preserved.
     fn try_execute(&mut self, ctx: &mut Ctx<Msg>) {
-        let mut ready: Vec<(EntryId, Vec<u8>)> = Vec::new();
+        let mut ready: Vec<(EntryId, Bytes)> = Vec::new();
         while let Some(&id) = self.exec_queue.front() {
             let runnable = self
                 .tracking
@@ -1771,9 +1782,9 @@ impl Node {
     /// archive bookkeeping. Replication-state cleanup that used to
     /// rescan per entry (`stamped.retain`) now does a single pass over
     /// the whole executed set.
-    fn execute_ready(&mut self, ctx: &mut Ctx<Msg>, ready: Vec<(EntryId, Vec<u8>)>) {
+    fn execute_ready(&mut self, ctx: &mut Ctx<Msg>, ready: Vec<(EntryId, Bytes)>) {
         let mut prepared: Vec<PreparedEntry> = Vec::with_capacity(ready.len());
-        let mut contents: Vec<(EntryId, Vec<u8>)> = Vec::with_capacity(ready.len());
+        let mut contents: Vec<(EntryId, Bytes)> = Vec::with_capacity(ready.len());
         for (id, bytes) in ready {
             let Some((decoded_id, requests)) = decode_batch(&bytes) else {
                 continue;
@@ -1816,7 +1827,7 @@ impl Node {
         &mut self,
         ctx: &mut Ctx<Msg>,
         id: EntryId,
-        bytes: &[u8],
+        bytes: &Bytes,
         result: crate::exec::EntryResult,
     ) {
         ctx.spend_cpu(result.executed as Time * self.params.exec_us);
@@ -1860,6 +1871,7 @@ impl Node {
         }
         if let Some(l) = latency_sample {
             self.latency.record(l);
+            commit_latency_histogram().record(l);
         }
         if let Some(p) = phases {
             for (acc, v) in self.phase_sums.iter_mut().zip(p) {
@@ -1886,7 +1898,7 @@ impl Node {
         // mid-replication) fetches it from a peer that executed it.
         if let Some(cert) = cert {
             const ARCHIVE_DEPTH: usize = 2048;
-            self.archive.insert(id, (bytes.to_vec(), cert));
+            self.archive.insert(id, (bytes.clone(), cert));
             self.archive_order.push_back(id);
             while self.archive_order.len() > ARCHIVE_DEPTH {
                 if let Some(old) = self.archive_order.pop_front() {
@@ -1954,7 +1966,7 @@ impl Node {
                     origin_entry,
                     bytes.len() as u64,
                 );
-                self.on_entry_content(ctx, bytes);
+                self.on_entry_content(ctx, bytes.into());
             }
             ChunkOutcome::Rejected(_) => {}
         }
@@ -1965,7 +1977,7 @@ impl Node {
         ctx: &mut Ctx<Msg>,
         from: NodeId,
         id: EntryId,
-        bytes: Vec<u8>,
+        bytes: Bytes,
         cert: QuorumCert,
     ) {
         // Steward master: a forwarded entry from another group's leader.
@@ -2044,7 +2056,7 @@ impl Node {
     }
 
     /// Entry content became available (rebuilt or copied).
-    fn on_entry_content(&mut self, ctx: &mut Ctx<Msg>, bytes: Vec<u8>) {
+    fn on_entry_content(&mut self, ctx: &mut Ctx<Msg>, bytes: Bytes) {
         let Some((id, _)) = decode_batch(&bytes) else {
             return;
         };
@@ -2541,7 +2553,7 @@ mod tests {
         );
         let entry_msg = Msg::Entry {
             id,
-            bytes: bytes.clone(),
+            bytes: bytes.clone().into(),
             cert: cert.clone(),
         };
         assert!(

@@ -25,6 +25,12 @@ pub const SHARDS: usize = 32;
 pub struct KvStore {
     shards: Vec<HashMap<Key, Value>>,
     version: u64,
+    /// Incrementally maintained XOR of per-pair hashes; see
+    /// [`KvStore::content_hash`]. XOR is self-inverting, so every mutation
+    /// can fold the old pair out and the new pair in, keeping the
+    /// fingerprint O(1) to read instead of O(keys) — the executor reads it
+    /// once per entry, which made the full scan the simulator's hot spot.
+    content_acc: u64,
 }
 
 impl Default for KvStore {
@@ -32,8 +38,22 @@ impl Default for KvStore {
         KvStore {
             shards: vec![HashMap::new(); SHARDS],
             version: 0,
+            content_acc: 0,
         }
     }
+}
+
+/// Hash of one (key, value) pair as folded into the content fingerprint.
+/// `Vec<u8>` hashes identically to its `[u8]` slice, so callers may pass
+/// either form for the same bytes.
+#[inline]
+fn pair_hash(k: &[u8], v: &[u8]) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    k.hash(&mut h);
+    v.hash(&mut h);
+    h.finish()
 }
 
 /// Shard index for a key: FNV-1a over the key bytes, masked to [`SHARDS`].
@@ -61,12 +81,30 @@ impl KvStore {
     /// Writes a key (used for loading initial state; transactional writes
     /// go through the executor).
     pub fn put(&mut self, key: Key, value: Value) {
-        self.shards[shard_of(&key)].insert(key, value);
+        use std::collections::hash_map::Entry;
+        let shard = &mut self.shards[shard_of(&key)];
+        let delta = match shard.entry(key) {
+            Entry::Occupied(mut e) => {
+                let d = pair_hash(e.key(), e.get()) ^ pair_hash(e.key(), &value);
+                e.insert(value);
+                d
+            }
+            Entry::Vacant(e) => {
+                let d = pair_hash(e.key(), &value);
+                e.insert(value);
+                d
+            }
+        };
+        self.content_acc ^= delta;
     }
 
     /// Deletes a key. Returns the previous value.
     pub fn delete(&mut self, key: &[u8]) -> Option<Value> {
-        self.shards[shard_of(key)].remove(key)
+        let old = self.shards[shard_of(key)].remove(key);
+        if let Some(v) = &old {
+            self.content_acc ^= pair_hash(key, v);
+        }
+        old
     }
 
     /// Number of keys.
@@ -109,36 +147,56 @@ impl KvStore {
         }
         let lanes = pool.workers().min(SHARDS);
         let group = SHARDS.div_ceil(lanes);
+        // Each lane folds its fingerprint delta into its own slot; XOR is
+        // commutative, so combining the slots afterwards is lane-order
+        // independent and matches what serial puts would have produced.
+        let mut deltas = vec![0u64; SHARDS.div_ceil(group)];
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
             .shards
             .chunks_mut(group)
             .zip(buckets.chunks(group))
-            .map(|(shard_group, bucket_group)| {
+            .zip(deltas.iter_mut())
+            .map(|((shard_group, bucket_group), delta)| {
                 Box::new(move || {
+                    let mut d = 0u64;
                     for (shard, bucket) in shard_group.iter_mut().zip(bucket_group) {
                         for &(k, v) in bucket {
-                            shard.insert(k.clone(), v.clone());
+                            d ^= pair_hash(k, v);
+                            if let Some(old) = shard.insert(k.clone(), v.clone()) {
+                                d ^= pair_hash(k, &old);
+                            }
                         }
                     }
+                    *delta = d;
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
         pool.run_tasks(tasks);
+        self.content_acc ^= deltas.into_iter().fold(0, |a, d| a ^ d);
     }
 
     /// Order-independent content fingerprint: XOR of per-pair hashes.
     /// Two replicas that applied the same batches agree on this, and the
     /// shard layout cannot affect it.
+    ///
+    /// The value is maintained incrementally by [`put`](KvStore::put),
+    /// [`delete`](KvStore::delete), and the batch apply path, so reading
+    /// it is O(1). The executor stamps it into every entry's
+    /// `state_fingerprint`; recomputing the XOR over a growing table on
+    /// each executed entry was the single largest per-event cost in
+    /// paper-scale simulations.
     pub fn content_hash(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
+        debug_assert_eq!(self.content_acc, self.recompute_content_hash());
+        self.content_acc
+    }
+
+    /// From-scratch recomputation of the fingerprint — the reference
+    /// implementation the incremental accumulator must agree with.
+    fn recompute_content_hash(&self) -> u64 {
         let mut acc = 0u64;
         for shard in &self.shards {
             for (k, v) in shard {
-                let mut h = DefaultHasher::new();
-                k.hash(&mut h);
-                v.hash(&mut h);
-                acc ^= h.finish();
+                acc ^= pair_hash(k, v);
             }
         }
         acc
@@ -173,6 +231,35 @@ mod tests {
         assert_eq!(a.content_hash(), b.content_hash());
         b.put(b"z".to_vec(), b"3".to_vec());
         assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn incremental_hash_matches_recomputation() {
+        // Inserts, overwrites, deletes of absent and present keys, and the
+        // parallel batch-apply path must all keep the O(1) accumulator in
+        // lock-step with a from-scratch scan.
+        let mut s = KvStore::new();
+        assert_eq!(s.content_hash(), s.recompute_content_hash());
+        for i in 0..64u32 {
+            s.put(i.to_le_bytes().to_vec(), vec![i as u8; 16]);
+        }
+        s.put(3u32.to_le_bytes().to_vec(), b"overwritten".to_vec());
+        s.put(3u32.to_le_bytes().to_vec(), b"overwritten again".to_vec());
+        assert_eq!(s.delete(&9u32.to_le_bytes()), Some(vec![9u8; 16]));
+        assert_eq!(s.delete(b"never inserted"), None);
+        assert_eq!(s.content_hash(), s.recompute_content_hash());
+
+        let keys: Vec<Key> = (32..200u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let vals: Vec<Value> = (32..200u32).map(|i| vec![!i as u8; 8]).collect();
+        let writes: Vec<(&Key, &Value)> = keys.iter().zip(vals.iter()).collect();
+        s.apply_writes(&WorkerPool::new(4), &writes);
+        assert_eq!(s.content_hash(), s.recompute_content_hash());
+
+        // An empty store built by deleting everything matches a fresh one.
+        let mut t = KvStore::new();
+        t.put(b"k".to_vec(), b"v".to_vec());
+        t.delete(b"k");
+        assert_eq!(t.content_hash(), KvStore::new().content_hash());
     }
 
     #[test]

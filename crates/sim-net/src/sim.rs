@@ -12,6 +12,18 @@
 //! a monotonically increasing tiebreaker, so two runs over the same actor
 //! logic and inputs produce byte-identical traces. Randomness, where a
 //! protocol wants it, must come from the actor's own seeded RNG.
+//!
+//! # Hot-path layout
+//!
+//! Node ids in a topology are contiguous (group-major), so every per-node
+//! table — actors, uplink/CPU clocks, crash flags, send delays, per-link
+//! FIFO clamps, traffic counters — is a dense `Vec` indexed by a prefix-sum
+//! of the group sizes, not a `BTreeMap`. The event heap stores only a
+//! 24-byte `(time, seq, slot)` key; message payloads live in a slab indexed
+//! by `slot`, so heap sifts move fixed-size keys instead of whole message
+//! enums. Cold fault structures (partitions, link faults) stay as ordered
+//! maps but are guarded by `is_empty()` checks so fault-free runs never
+//! touch them.
 
 use crate::{
     metrics::Metrics,
@@ -103,6 +115,15 @@ pub enum Command<M> {
         /// The message.
         msg: M,
     },
+    /// Send the same message to many destinations. The engine routes the
+    /// destinations in order and clones the payload only for all but the
+    /// last hop — a broadcast to `k` peers costs `k - 1` clones, not `k`.
+    SendMany {
+        /// Destinations, routed in order.
+        dsts: Vec<NodeId>,
+        /// The message; the final destination takes ownership.
+        msg: M,
+    },
     /// Fire `on_timer(token)` after `delay` microseconds.
     SetTimer {
         /// Delay from now, microseconds.
@@ -151,17 +172,19 @@ impl<M> Ctx<M> {
         self.out.push(Command::Send { dst, msg });
     }
 
-    /// Queues the same message to many destinations.
+    /// Queues the same message to many destinations. The payload is cloned
+    /// at most once per extra destination (the last hop takes ownership),
+    /// so broadcasting an already-shared (`Arc`/`Bytes`-backed) message
+    /// stays cheap.
     pub fn send_many(&mut self, dsts: impl IntoIterator<Item = NodeId>, msg: M)
     where
         M: Clone,
     {
-        for dst in dsts {
-            self.out.push(Command::Send {
-                dst,
-                msg: msg.clone(),
-            });
+        let dsts: Vec<NodeId> = dsts.into_iter().collect();
+        if dsts.is_empty() {
+            return;
         }
+        self.out.push(Command::SendMany { dsts, msg });
     }
 
     /// Schedules `on_timer(token)` after `delay` microseconds.
@@ -202,26 +225,25 @@ enum EventKind<M> {
     },
 }
 
-struct Event<M> {
+/// Heap entry: the `(time, seq)` ordering key plus a slot index into the
+/// event slab. Payloads never enter the heap, so every sift moves a
+/// fixed 24-byte key regardless of the message type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventRef {
     at: Time,
     seq: u64,
-    kind: EventKind<M>,
+    slot: u32,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
+impl PartialOrd for EventRef {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Event<M> {
+impl Ord for EventRef {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
+        // BinaryHeap is a max-heap; invert for earliest-first. `seq` is
+        // unique, so the order is total and the slot never participates.
         Reverse((self.at, self.seq)).cmp(&Reverse((other.at, other.seq)))
     }
 }
@@ -229,20 +251,32 @@ impl<M> Ord for Event<M> {
 /// The simulation engine: actors + clock + network + faults.
 pub struct Simulation<A: Actor> {
     topology: Topology,
-    actors: BTreeMap<NodeId, A>,
-    heap: BinaryHeap<Event<A::Msg>>,
+    /// Dense index → node id, in topology order (group-major).
+    ids: Vec<NodeId>,
+    /// Per-group base offset into the dense node index (prefix sums of the
+    /// group sizes).
+    node_base: Vec<usize>,
+    actors: Vec<A>,
+    heap: BinaryHeap<EventRef>,
+    /// Slab of pending event payloads, indexed by [`EventRef::slot`].
+    slots: Vec<Option<EventKind<A::Msg>>>,
+    free_slots: Vec<u32>,
     now: Time,
     seq: u64,
     /// Next instant each node's WAN uplink is free.
-    uplink_free: BTreeMap<NodeId, Time>,
-    /// Last scheduled arrival per (src, dst, control-lane) triple: real
+    uplink_free: Vec<Time>,
+    /// Last scheduled arrival per (src, dst, control-lane) stream: real
     /// transports are TCP connections, which deliver in FIFO order per
     /// stream — without this clamp a small message could leapfrog a large
     /// one sent earlier on the same link and reorder protocol streams.
-    link_fifo: BTreeMap<(NodeId, NodeId, bool), Time>,
+    /// Flattened to `(src_idx * n + dst_idx) * 2 + lane`.
+    link_fifo: Vec<Time>,
     /// Next instant each node's CPU is free.
-    cpu_free: BTreeMap<NodeId, Time>,
-    crashed: BTreeSet<NodeId>,
+    cpu_free: Vec<Time>,
+    /// Extra delay added to every message a node sends (adversarial
+    /// `DelayAll` strategies; zero = none).
+    send_delay: Vec<Time>,
+    crashed: Vec<bool>,
     /// Pairs of groups that cannot communicate (unordered pairs).
     partitions: BTreeSet<(u32, u32)>,
     /// Pairs of individual nodes that cannot communicate (unordered
@@ -253,15 +287,14 @@ pub struct Simulation<A: Actor> {
     link_faults: BTreeMap<(NodeId, NodeId), LinkFault>,
     /// Fault model applied to every WAN link without a per-link override.
     wan_fault: Option<LinkFault>,
-    /// Extra delay added to every message a node sends (adversarial
-    /// `DelayAll` strategies; zero = none).
-    send_delay: BTreeMap<NodeId, Time>,
     /// xorshift64* state for fault decisions. Only consumed when a fault
     /// model applies to the routed link, so fault-free runs are
     /// bit-identical with and without a configured seed.
     fault_rng: u64,
     metrics: Metrics,
     trace: TraceBuffer,
+    /// Reused command outbox, so dispatching an event does not allocate.
+    scratch: Vec<Command<A::Msg>>,
     started: bool,
 }
 
@@ -269,27 +302,54 @@ impl<A: Actor> Simulation<A> {
     /// Builds a simulation. `make_actor` constructs the actor for each node
     /// in the topology.
     pub fn new(topology: Topology, mut make_actor: impl FnMut(NodeId) -> A) -> Self {
-        let actors: BTreeMap<NodeId, A> = topology.nodes().map(|id| (id, make_actor(id))).collect();
+        let ids: Vec<NodeId> = topology.nodes().collect();
+        let mut node_base = Vec::with_capacity(topology.group_count());
+        let mut acc = 0usize;
+        for &sz in &topology.group_sizes {
+            node_base.push(acc);
+            acc += sz;
+        }
+        let actors: Vec<A> = ids.iter().map(|&id| make_actor(id)).collect();
+        let n = ids.len();
+        let cap = (n * 64).max(1024);
         Simulation {
-            topology,
+            metrics: Metrics::for_nodes(ids.clone()),
+            ids,
+            node_base,
             actors,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            free_slots: Vec::new(),
             now: 0,
             seq: 0,
-            uplink_free: BTreeMap::new(),
-            link_fifo: BTreeMap::new(),
-            cpu_free: BTreeMap::new(),
-            crashed: BTreeSet::new(),
+            uplink_free: vec![0; n],
+            link_fifo: vec![0; n * n * 2],
+            cpu_free: vec![0; n],
+            send_delay: vec![0; n],
+            crashed: vec![false; n],
             partitions: BTreeSet::new(),
             node_partitions: BTreeSet::new(),
             link_faults: BTreeMap::new(),
             wan_fault: None,
-            send_delay: BTreeMap::new(),
             fault_rng: splitmix64(0x6d61_7373_6266_7421),
-            metrics: Metrics::default(),
             trace: TraceBuffer::new(65_536),
+            scratch: Vec::new(),
             started: false,
+            topology,
         }
+    }
+
+    /// Dense index of a node; panics on ids outside the topology (such a
+    /// message could only come from buggy actor logic).
+    #[inline]
+    fn idx(&self, id: NodeId) -> usize {
+        let g = id.group as usize;
+        let node = id.node as usize;
+        assert!(
+            g < self.node_base.len() && node < self.topology.group_sizes[g],
+            "unknown node {id:?}"
+        );
+        self.node_base[g] + node
     }
 
     /// Current virtual time.
@@ -324,43 +384,46 @@ impl<A: Actor> Simulation<A> {
 
     /// Immutable access to a node's actor (assertions in tests).
     pub fn actor(&self, id: NodeId) -> &A {
-        &self.actors[&id]
+        &self.actors[self.idx(id)]
     }
 
     /// Mutable access to a node's actor (measurement helpers only — do
     /// not drive protocol logic through this).
     pub fn actor_mut(&mut self, id: NodeId) -> &mut A {
-        self.actors.get_mut(&id).expect("actor exists")
+        let i = self.idx(id);
+        &mut self.actors[i]
     }
 
     /// Iterates over all actors.
     pub fn actors(&self) -> impl Iterator<Item = (&NodeId, &A)> {
-        self.actors.iter()
+        self.ids.iter().zip(self.actors.iter())
     }
 
     /// Marks a node crashed: it stops receiving, sending, and firing
     /// timers. Its state is retained for a later [`Self::recover`].
     pub fn crash(&mut self, id: NodeId) {
-        self.crashed.insert(id);
+        let i = self.idx(id);
+        self.crashed[i] = true;
     }
 
     /// Crashes every node of a group (paper §VI-E, data-center outage).
     pub fn crash_group(&mut self, g: u32) {
         let nodes: Vec<NodeId> = self.topology.group_nodes(g).collect();
         for id in nodes {
-            self.crashed.insert(id);
+            self.crash(id);
         }
     }
 
     /// Recovers a crashed node (state intact, as after a process restart
     /// with durable state).
     pub fn recover(&mut self, id: NodeId) {
-        self.crashed.remove(&id);
+        let i = self.idx(id);
+        self.crashed[i] = false;
     }
 
     /// Whether a node is currently crashed.
     pub fn is_crashed(&self, id: NodeId) -> bool {
-        self.crashed.contains(&id)
+        self.crashed[self.idx(id)]
     }
 
     /// Severs all WAN links between two groups.
@@ -411,22 +474,15 @@ impl<A: Actor> Simulation<A> {
     /// Adds `delay` microseconds to every message `id` sends (the
     /// `DelayAll` adversary strategy). Zero removes the delay.
     pub fn set_send_delay(&mut self, id: NodeId, delay: Time) {
-        if delay == 0 {
-            self.send_delay.remove(&id);
-        } else {
-            self.send_delay.insert(id, delay);
-        }
+        let i = self.idx(id);
+        self.send_delay[i] = delay;
     }
 
     /// Injects a message from outside the simulation (e.g. a client
     /// request) for delivery at `at`.
     pub fn inject_at(&mut self, at: Time, src: NodeId, dst: NodeId, msg: A::Msg) {
         let seq = self.next_seq();
-        self.heap.push(Event {
-            at,
-            seq,
-            kind: EventKind::Deliver { src, dst, msg },
-        });
+        self.push_event(at, seq, EventKind::Deliver { src, dst, msg });
     }
 
     /// Runs `on_start` for every node (idempotent; run_* call it lazily).
@@ -435,15 +491,42 @@ impl<A: Actor> Simulation<A> {
             return;
         }
         self.started = true;
-        let ids: Vec<NodeId> = self.actors.keys().copied().collect();
-        for id in ids {
+        for i in 0..self.ids.len() {
+            let id = self.ids[i];
             let seq = self.next_seq();
-            self.heap.push(Event {
-                at: self.now,
-                seq,
-                kind: EventKind::Start { node: id },
-            });
+            self.push_event(self.now, seq, EventKind::Start { node: id });
         }
+    }
+
+    /// Stores an event payload in the slab and queues its ordering key.
+    #[inline]
+    fn push_event(&mut self, at: Time, seq: u64, kind: EventKind<A::Msg>) {
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(kind);
+                s
+            }
+            None => {
+                self.slots.push(Some(kind));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(EventRef { at, seq, slot });
+    }
+
+    /// Pops the next event at or before `until`, reclaiming its slab slot.
+    #[inline]
+    fn pop_event(&mut self, until: Time) -> Option<(Time, EventKind<A::Msg>)> {
+        let head = *self.heap.peek()?;
+        if head.at > until {
+            return None;
+        }
+        self.heap.pop();
+        let kind = self.slots[head.slot as usize]
+            .take()
+            .expect("event slot populated");
+        self.free_slots.push(head.slot);
+        Some((head.at, kind))
     }
 
     /// Processes events until the heap is empty or virtual time would pass
@@ -451,12 +534,8 @@ impl<A: Actor> Simulation<A> {
     pub fn run_until(&mut self, until: Time) -> u64 {
         self.start();
         let mut n = 0;
-        while let Some(ev) = self.heap.peek() {
-            if ev.at > until {
-                break;
-            }
-            let ev = self.heap.pop().expect("peeked");
-            self.dispatch(ev);
+        while let Some((at, kind)) = self.pop_event(until) {
+            self.dispatch(at, kind);
             n += 1;
         }
         // Advance the clock to the window edge even if the system went idle.
@@ -471,12 +550,20 @@ impl<A: Actor> Simulation<A> {
     pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
         self.start();
         let mut n = 0;
-        while let Some(ev) = self.heap.pop() {
-            self.dispatch(ev);
+        while let Some((at, kind)) = self.pop_event(Time::MAX) {
+            self.dispatch(at, kind);
             n += 1;
             assert!(n <= max_events, "simulation exceeded {max_events} events");
         }
         n
+    }
+
+    /// Whether anything would observe a trace record right now — the
+    /// per-simulation buffer or the telemetry debug ring. Checked before
+    /// constructing records so the steady-state costs two loads + branch.
+    #[inline]
+    fn trace_active(&self) -> bool {
+        self.trace.is_enabled() || telemetry::net_enabled()
     }
 
     /// Records a trace event in the per-simulation buffer and mirrors it
@@ -486,150 +573,167 @@ impl<A: Actor> Simulation<A> {
         self.trace.push(rec);
     }
 
-    fn dispatch(&mut self, ev: Event<A::Msg>) {
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+    fn dispatch(&mut self, at: Time, kind: EventKind<A::Msg>) {
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
         self.metrics.events_processed += 1;
-        match ev.kind {
+        match kind {
             EventKind::Deliver { src, dst, msg } => {
-                if self.crashed.contains(&dst) {
+                let di = self.idx(dst);
+                if self.crashed[di] {
                     self.metrics.dropped_messages += 1;
-                    self.record_trace(TraceRecord {
-                        at: self.now,
-                        kind: TraceKind::Drop,
-                        src,
-                        dst,
-                        bytes: msg.wire_size(),
-                    });
+                    if self.trace_active() {
+                        self.record_trace(TraceRecord {
+                            at: self.now,
+                            kind: TraceKind::Drop,
+                            src,
+                            dst,
+                            bytes: msg.wire_size(),
+                        });
+                    }
                     return;
                 }
                 // CPU model: if the receiver is busy, push the delivery to
                 // when its CPU frees up.
-                let free = self.cpu_free.get(&dst).copied().unwrap_or(0);
+                let free = self.cpu_free[di];
                 if free > self.now {
                     let seq = self.next_seq();
-                    self.heap.push(Event {
-                        at: free,
-                        seq,
-                        kind: EventKind::Deliver { src, dst, msg },
-                    });
+                    self.push_event(free, seq, EventKind::Deliver { src, dst, msg });
                     return;
                 }
-                self.record_trace(TraceRecord {
-                    at: self.now,
-                    kind: TraceKind::Deliver,
-                    src,
-                    dst,
-                    bytes: msg.wire_size(),
-                });
+                if self.trace_active() {
+                    self.record_trace(TraceRecord {
+                        at: self.now,
+                        kind: TraceKind::Deliver,
+                        src,
+                        dst,
+                        bytes: msg.wire_size(),
+                    });
+                }
                 let mut ctx = Ctx {
                     now: self.now,
                     self_id: dst,
-                    out: Vec::new(),
+                    out: std::mem::take(&mut self.scratch),
                 };
-                self.actors
-                    .get_mut(&dst)
-                    .expect("actor exists")
-                    .on_message(&mut ctx, src, msg);
-                self.apply(dst, ctx.out);
+                self.actors[di].on_message(&mut ctx, src, msg);
+                let mut out = ctx.out;
+                self.apply(dst, &mut out);
+                out.clear();
+                self.scratch = out;
             }
             EventKind::Route { src, dst, msg } => {
                 self.route(src, dst, msg);
             }
             EventKind::Timer { node, token } => {
-                if self.crashed.contains(&node) {
+                let ni = self.idx(node);
+                if self.crashed[ni] {
                     return;
                 }
-                self.record_trace(TraceRecord {
-                    at: self.now,
-                    kind: TraceKind::Timer,
-                    src: node,
-                    dst: node,
-                    bytes: 0,
-                });
+                if self.trace_active() {
+                    self.record_trace(TraceRecord {
+                        at: self.now,
+                        kind: TraceKind::Timer,
+                        src: node,
+                        dst: node,
+                        bytes: 0,
+                    });
+                }
                 let mut ctx = Ctx {
                     now: self.now,
                     self_id: node,
-                    out: Vec::new(),
+                    out: std::mem::take(&mut self.scratch),
                 };
-                self.actors
-                    .get_mut(&node)
-                    .expect("actor exists")
-                    .on_timer(&mut ctx, token);
-                self.apply(node, ctx.out);
+                self.actors[ni].on_timer(&mut ctx, token);
+                let mut out = ctx.out;
+                self.apply(node, &mut out);
+                out.clear();
+                self.scratch = out;
             }
             EventKind::Start { node } => {
-                if self.crashed.contains(&node) {
+                let ni = self.idx(node);
+                if self.crashed[ni] {
                     return;
                 }
                 let mut ctx = Ctx {
                     now: self.now,
                     self_id: node,
-                    out: Vec::new(),
+                    out: std::mem::take(&mut self.scratch),
                 };
-                self.actors
-                    .get_mut(&node)
-                    .expect("actor exists")
-                    .on_start(&mut ctx);
-                self.apply(node, ctx.out);
+                self.actors[ni].on_start(&mut ctx);
+                let mut out = ctx.out;
+                self.apply(node, &mut out);
+                out.clear();
+                self.scratch = out;
             }
         }
     }
 
-    fn apply(&mut self, src: NodeId, commands: Vec<Command<A::Msg>>) {
-        for cmd in commands {
+    fn apply(&mut self, src: NodeId, commands: &mut Vec<Command<A::Msg>>) {
+        for cmd in commands.drain(..) {
             match cmd {
                 Command::Send { dst, msg } => self.route(src, dst, msg),
+                Command::SendMany { dsts, msg } => {
+                    // Route in destination order (identical seq assignment
+                    // to an equivalent series of `Send`s); the last hop
+                    // takes ownership, so a k-broadcast costs k-1 clones.
+                    let (last, rest) = dsts.split_last().expect("send_many is non-empty");
+                    for &dst in rest {
+                        self.route(src, dst, msg.clone());
+                    }
+                    self.route(src, *last, msg);
+                }
                 Command::SetTimer { delay, token } => {
                     let seq = self.next_seq();
-                    self.heap.push(Event {
-                        at: self.now.saturating_add(delay),
+                    self.push_event(
+                        self.now.saturating_add(delay),
                         seq,
-                        kind: EventKind::Timer { node: src, token },
-                    });
+                        EventKind::Timer { node: src, token },
+                    );
                 }
                 Command::SpendCpu(t) => {
-                    let free = self.cpu_free.entry(src).or_insert(0);
+                    let si = self.idx(src);
+                    let free = &mut self.cpu_free[si];
                     *free = (*free).max(self.now).saturating_add(t);
-                    *self.metrics.cpu_time.entry(src).or_insert(0) += t;
+                    self.metrics.add_cpu(si, t);
                 }
                 Command::SendAfter { delay, dst, msg } => {
                     let seq = self.next_seq();
-                    self.heap.push(Event {
-                        at: self.now.saturating_add(delay),
+                    self.push_event(
+                        self.now.saturating_add(delay),
                         seq,
-                        kind: EventKind::Route { src, dst, msg },
-                    });
+                        EventKind::Route { src, dst, msg },
+                    );
                 }
             }
         }
     }
 
     fn route(&mut self, src: NodeId, dst: NodeId, msg: A::Msg) {
-        if self.crashed.contains(&src) {
+        let si = self.idx(src);
+        if self.crashed[si] {
             self.metrics.dropped_messages += 1;
             return;
         }
         if src == dst {
             // Loopback: deliver immediately (next instant, same time).
             let seq = self.next_seq();
-            self.heap.push(Event {
-                at: self.now,
-                seq,
-                kind: EventKind::Deliver { src, dst, msg },
-            });
+            self.push_event(self.now, seq, EventKind::Deliver { src, dst, msg });
             return;
         }
-        if self.node_partitions.contains(&ordered_nodes(src, dst)) {
+        if !self.node_partitions.is_empty()
+            && self.node_partitions.contains(&ordered_nodes(src, dst))
+        {
             self.metrics.dropped_messages += 1;
             self.metrics.faults_dropped += 1;
-            self.record_trace(TraceRecord {
-                at: self.now,
-                kind: TraceKind::Drop,
-                src,
-                dst,
-                bytes: msg.wire_size(),
-            });
+            if self.trace_active() {
+                self.record_trace(TraceRecord {
+                    at: self.now,
+                    kind: TraceKind::Drop,
+                    src,
+                    dst,
+                    bytes: msg.wire_size(),
+                });
+            }
             return;
         }
         let size = msg.wire_size();
@@ -637,24 +741,27 @@ impl<A: Actor> Simulation<A> {
         let is_wan = self.topology.is_wan(src, dst);
         // Link-level fault injection: per-link override first, then the
         // WAN-wide default. RNG draws happen only on faulty links.
-        let fault = self.link_faults.get(&(src, dst)).copied().or(if is_wan {
-            self.wan_fault
+        let wan_default = if is_wan { self.wan_fault } else { None };
+        let fault = if self.link_faults.is_empty() {
+            wan_default
         } else {
-            None
-        });
+            self.link_faults.get(&(src, dst)).copied().or(wan_default)
+        };
         let mut duplicate = false;
         let mut jitter = 0;
         if let Some(f) = fault {
             if f.drop_prob > 0.0 && self.rng_unit() < f.drop_prob {
                 self.metrics.dropped_messages += 1;
                 self.metrics.faults_dropped += 1;
-                self.record_trace(TraceRecord {
-                    at: self.now,
-                    kind: TraceKind::Drop,
-                    src,
-                    dst,
-                    bytes: size,
-                });
+                if self.trace_active() {
+                    self.record_trace(TraceRecord {
+                        at: self.now,
+                        kind: TraceKind::Drop,
+                        src,
+                        dst,
+                        bytes: size,
+                    });
+                }
                 return;
             }
             duplicate = f.dup_prob > 0.0 && self.rng_unit() < f.dup_prob;
@@ -663,8 +770,11 @@ impl<A: Actor> Simulation<A> {
                 self.metrics.faults_jittered += 1;
             }
         }
+        let di = self.idx(dst);
         let arrival = if is_wan {
-            if self.partitions.contains(&ordered(src.group, dst.group)) {
+            if !self.partitions.is_empty()
+                && self.partitions.contains(&ordered(src.group, dst.group))
+            {
                 self.metrics.dropped_messages += 1;
                 return;
             }
@@ -673,7 +783,7 @@ impl<A: Actor> Simulation<A> {
             // granularity: they consume capacity but are not head-of-line
             // blocked behind queued bulk transfers.
             let tx = self.topology.wan_tx_time(src, size);
-            let free = self.uplink_free.entry(src).or_insert(0);
+            let free = &mut self.uplink_free[si];
             let start = if control {
                 *free = (*free).max(self.now) + tx;
                 self.now
@@ -682,61 +792,59 @@ impl<A: Actor> Simulation<A> {
                 *free = start + tx;
                 start
             };
-            *self.metrics.wan_bytes_sent.entry(src).or_insert(0) += size as u64;
-            self.metrics.wan_messages += 1;
-            self.record_trace(TraceRecord {
-                at: self.now,
-                kind: TraceKind::WanSend,
-                src,
-                dst,
-                bytes: size,
-            });
+            self.metrics.record_wan_send(si, size as u64);
+            if self.trace_active() {
+                self.record_trace(TraceRecord {
+                    at: self.now,
+                    kind: TraceKind::WanSend,
+                    src,
+                    dst,
+                    bytes: size,
+                });
+            }
             start + tx + self.topology.latency(src, dst)
         } else {
             // LAN: high bandwidth, no per-node queue modelled (2.5 Gbps is
             // never the bottleneck in the paper's setup), but the
             // serialization time still counts toward delivery.
             let tx = self.topology.lan_tx_time(size);
-            *self.metrics.lan_bytes_sent.entry(src).or_insert(0) += size as u64;
-            self.metrics.lan_messages += 1;
-            self.record_trace(TraceRecord {
-                at: self.now,
-                kind: TraceKind::LanSend,
-                src,
-                dst,
-                bytes: size,
-            });
+            self.metrics.record_lan_send(si, size as u64);
+            if self.trace_active() {
+                self.record_trace(TraceRecord {
+                    at: self.now,
+                    kind: TraceKind::LanSend,
+                    src,
+                    dst,
+                    bytes: size,
+                });
+            }
             self.now + tx + self.topology.latency(src, dst)
         };
         // Adversarial sender delay and fault jitter extend the flight
         // time before the FIFO clamp, so per-stream ordering is kept.
         let arrival = arrival
             .saturating_add(jitter)
-            .saturating_add(self.send_delay.get(&src).copied().unwrap_or(0));
+            .saturating_add(self.send_delay[si]);
         // Per-stream FIFO: never deliver before an earlier send on the
         // same (src, dst, lane) stream.
-        let fifo = self.link_fifo.entry((src, dst, control)).or_insert(0);
+        let fifo = &mut self.link_fifo[(si * self.ids.len() + di) * 2 + control as usize];
         let arrival = arrival.max(*fifo);
         *fifo = arrival;
         let seq = self.next_seq();
         if duplicate {
             self.metrics.faults_duplicated += 1;
             let seq2 = self.next_seq();
-            self.heap.push(Event {
-                at: arrival,
-                seq: seq2,
-                kind: EventKind::Deliver {
+            self.push_event(
+                arrival,
+                seq2,
+                EventKind::Deliver {
                     src,
                     dst,
                     msg: msg.clone(),
                 },
-            });
+            );
         }
-        self.heap.push(Event {
-            at: arrival,
-            seq,
-            kind: EventKind::Deliver { src, dst, msg },
-        });
+        self.push_event(arrival, seq, EventKind::Deliver { src, dst, msg });
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -1058,7 +1166,7 @@ mod tests {
         assert_eq!(got[0], 0);
         assert_eq!(got[1], 5 * MILLISECOND);
         assert_eq!(got[2], 10 * MILLISECOND);
-        assert_eq!(s.metrics().cpu_time[&dst], 15 * MILLISECOND);
+        assert_eq!(s.metrics().cpu_time_of(dst), 15 * MILLISECOND);
     }
 
     #[test]
@@ -1087,6 +1195,108 @@ mod tests {
             all
         };
         assert_eq!(trace(0), trace(0));
+    }
+
+    #[test]
+    fn same_timestamp_events_pop_in_seq_order() {
+        // The event queue's tie-break: equal timestamps are a total order
+        // by sequence number, regardless of push order or slab slot.
+        let mut h = BinaryHeap::new();
+        h.push(EventRef {
+            at: 5,
+            seq: 2,
+            slot: 9,
+        });
+        h.push(EventRef {
+            at: 5,
+            seq: 0,
+            slot: 4,
+        });
+        h.push(EventRef {
+            at: 3,
+            seq: 7,
+            slot: 1,
+        });
+        h.push(EventRef {
+            at: 5,
+            seq: 1,
+            slot: 0,
+        });
+        let order: Vec<(Time, u64)> = std::iter::from_fn(|| h.pop())
+            .map(|r| (r.at, r.seq))
+            .collect();
+        assert_eq!(order, vec![(3, 7), (5, 0), (5, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn same_arrival_deliveries_keep_injection_order() {
+        // Behavioral version of the tie-break: three messages delivered at
+        // the same instant arrive in the order they were scheduled.
+        let mut s = sim(false);
+        let dst = NodeId::new(0, 0);
+        for tag in [11, 12, 13] {
+            s.inject_at(500, NodeId::new(1, 0), dst, TestMsg { tag, size: 10 });
+        }
+        s.run_until(SECOND);
+        let tags: Vec<u64> = s.actor(dst).received.iter().map(|r| r.2).collect();
+        assert_eq!(tags, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn send_many_clones_payload_once_per_extra_destination() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        /// Payload that counts how many times it is cloned.
+        #[derive(Debug)]
+        struct CountingMsg {
+            clones: Arc<AtomicUsize>,
+        }
+        impl Clone for CountingMsg {
+            fn clone(&self) -> Self {
+                self.clones.fetch_add(1, Ordering::SeqCst);
+                CountingMsg {
+                    clones: Arc::clone(&self.clones),
+                }
+            }
+        }
+        impl SimMessage for CountingMsg {
+            fn wire_size(&self) -> usize {
+                100
+            }
+        }
+        struct Spray {
+            peers: Vec<NodeId>,
+            clones: Arc<AtomicUsize>,
+        }
+        impl Actor for Spray {
+            type Msg = CountingMsg;
+            fn on_start(&mut self, ctx: &mut Ctx<CountingMsg>) {
+                if ctx.id() == NodeId::new(0, 0) {
+                    ctx.send_many(
+                        self.peers.iter().copied(),
+                        CountingMsg {
+                            clones: Arc::clone(&self.clones),
+                        },
+                    );
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<CountingMsg>, _f: NodeId, _m: CountingMsg) {}
+        }
+
+        let clones = Arc::new(AtomicUsize::new(0));
+        let topo = TopologyBuilder::new(&[8]).build();
+        let peers: Vec<NodeId> = (1..8).map(|n| NodeId::new(0, n)).collect();
+        let mut s = Simulation::new(topo, |_| Spray {
+            peers: peers.clone(),
+            clones: Arc::clone(&clones),
+        });
+        s.run_to_quiescence(100);
+        // A broadcast to 7 peers costs exactly 6 payload copies: every hop
+        // but the last clones once, the last takes ownership, and nothing
+        // in dispatch/routing copies again.
+        debug_assert_eq!(clones.load(Ordering::SeqCst), peers.len() - 1);
+        assert_eq!(clones.load(Ordering::SeqCst), peers.len() - 1);
     }
 
     #[test]

@@ -87,6 +87,20 @@ impl Topology {
     }
 }
 
+/// Deterministic synthetic one-way latency for group pairs beyond the
+/// 7 named data centers of a preset: a splitmix-style hash of the
+/// unordered pair, folded into `[min_ms, max_ms]`. Symmetric by
+/// construction, and stable across runs (no RNG state involved).
+fn synth_latency_ms(a: usize, b: usize, min_ms: u64, max_ms: u64) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut z = (lo as u64) << 32 | hi as u64;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    min_ms + z % (max_ms - min_ms + 1)
+}
+
 /// `bytes` over a link of `bps` bits per second, in microseconds
 /// (rounded up so zero-size messages still take nonzero queue slots only
 /// when bandwidth is finite).
@@ -128,7 +142,9 @@ impl TopologyBuilder {
     /// The paper's *nationwide* cluster: Zhangjiakou / Chengdu / Hangzhou,
     /// RTT 26.7–43.4 ms. One-way latencies are half the measured RTTs.
     /// Extra groups (the Fig. 13b scale-out adds Shenzhen, Beijing,
-    /// Shanghai, Guangzhou) get latencies in the same band.
+    /// Shanghai, Guangzhou) get latencies in the same band; beyond the 7
+    /// named data centers, synthetic DCs get deterministic in-band
+    /// latencies so the Fig. 7 scalability sweep can run 8–16 groups.
     pub fn nationwide(group_sizes: &[usize]) -> Self {
         // One-way latency matrix in milliseconds, symmetric. The three
         // anchor RTTs from the paper: 26.7, 34.8, 43.4 (interpolated), plus
@@ -142,11 +158,12 @@ impl TopologyBuilder {
             [16, 17, 13, 14, 15, 0, 14],
             [18, 16, 15, 13, 17, 14, 0],
         ];
-        Self::from_latency_table(group_sizes, &ONE_WAY_MS)
+        Self::from_latency_table(group_sizes, &ONE_WAY_MS, 13, 22)
     }
 
     /// The paper's *worldwide* cluster: Hong Kong / London / Silicon
-    /// Valley, RTT 156–206 ms.
+    /// Valley, RTT 156–206 ms. Beyond 7 groups, synthetic DCs get
+    /// deterministic latencies in the same band.
     pub fn worldwide(group_sizes: &[usize]) -> Self {
         const ONE_WAY_MS: [[u64; 7]; 7] = [
             [0, 98, 78, 88, 95, 85, 90],
@@ -157,17 +174,31 @@ impl TopologyBuilder {
             [85, 97, 88, 90, 86, 0, 89],
             [90, 95, 93, 87, 92, 89, 0],
         ];
-        Self::from_latency_table(group_sizes, &ONE_WAY_MS)
+        Self::from_latency_table(group_sizes, &ONE_WAY_MS, 78, 103)
     }
 
-    fn from_latency_table(group_sizes: &[usize], table: &[[u64; 7]; 7]) -> Self {
-        assert!(
-            group_sizes.len() <= 7,
-            "latency presets cover at most 7 groups; use wan_latency_matrix"
-        );
+    fn from_latency_table(
+        group_sizes: &[usize],
+        table: &[[u64; 7]; 7],
+        band_min_ms: u64,
+        band_max_ms: u64,
+    ) -> Self {
         let n = group_sizes.len();
         let matrix: Vec<Vec<Time>> = (0..n)
-            .map(|a| (0..n).map(|b| table[a][b] * MILLISECOND).collect())
+            .map(|a| {
+                (0..n)
+                    .map(|b| {
+                        let ms = if a == b {
+                            0
+                        } else if a < 7 && b < 7 {
+                            table[a][b]
+                        } else {
+                            synth_latency_ms(a, b, band_min_ms, band_max_ms)
+                        };
+                        ms * MILLISECOND
+                    })
+                    .collect()
+            })
             .collect();
         let mut b = Self::new(group_sizes);
         b.wan_latency_us = Some(matrix);
@@ -343,9 +374,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 7 groups")]
-    fn nationwide_preset_rejects_8_groups() {
-        let _ = TopologyBuilder::nationwide(&[4; 8]);
+    fn presets_scale_past_7_groups_in_band() {
+        // The Fig. 7 sweep needs up to 16 groups; synthesized latencies
+        // must stay inside each preset's band, be symmetric, and keep the
+        // named 7×7 table byte-identical.
+        let t16 = TopologyBuilder::nationwide(&[4; 16]).build();
+        let t7 = TopologyBuilder::nationwide(&[4; 7]).build();
+        for a in 0..16 {
+            for b in 0..16 {
+                let l = t16.wan_latency_us[a][b];
+                if a == b {
+                    assert_eq!(l, 0);
+                    continue;
+                }
+                assert!(
+                    (13 * MILLISECOND..=22 * MILLISECOND).contains(&l),
+                    "{a}->{b}: {l}"
+                );
+                assert_eq!(l, t16.wan_latency_us[b][a], "asymmetric {a}<->{b}");
+                if a < 7 && b < 7 {
+                    assert_eq!(l, t7.wan_latency_us[a][b], "named table changed");
+                }
+            }
+        }
+        let w = TopologyBuilder::worldwide(&[4; 12]).build();
+        for a in 0..12 {
+            for b in 0..12 {
+                if a != b {
+                    let l = w.wan_latency_us[a][b];
+                    assert!((78 * MILLISECOND..=103 * MILLISECOND).contains(&l));
+                }
+            }
+        }
+        // Determinism: rebuilding yields the identical matrix.
+        let again = TopologyBuilder::nationwide(&[4; 16]).build();
+        assert_eq!(t16.wan_latency_us, again.wan_latency_us);
     }
 
     #[test]

@@ -163,6 +163,63 @@ impl Histogram {
         }
         self.max()
     }
+
+    /// Captures the current bucket contents, so a later
+    /// [`Histogram::percentile_since`] can report percentiles over a
+    /// measurement window on a process-wide (never reset) histogram.
+    pub fn window(&self) -> HistogramWindow {
+        HistogramWindow {
+            buckets: self.0.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+
+    /// Samples recorded since `base` was captured.
+    pub fn count_since(&self, base: &HistogramWindow) -> u64 {
+        self.count().saturating_sub(base.count)
+    }
+
+    /// Mean of samples recorded since `base` (0 when none).
+    pub fn mean_since(&self, base: &HistogramWindow) -> f64 {
+        let n = self.count_since(base);
+        if n == 0 {
+            0.0
+        } else {
+            self.sum().saturating_sub(base.sum) as f64 / n as f64
+        }
+    }
+
+    /// The `p`-th percentile over samples recorded since `base` was
+    /// captured. Same ≤ ~3% bucket error as [`Histogram::percentile`];
+    /// the cap is the window's own largest occupied bucket edge, not the
+    /// all-time max.
+    pub fn percentile_since(&self, base: &HistogramWindow, p: f64) -> u64 {
+        let n = self.count_since(base);
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, b) in self.0.buckets.iter().enumerate() {
+            let delta = b.load(Relaxed).saturating_sub(base.buckets[idx]);
+            seen += delta;
+            if seen >= rank {
+                return bucket_value(idx);
+            }
+        }
+        0
+    }
+}
+
+/// A point-in-time copy of one histogram's buckets, captured with
+/// [`Histogram::window`]. Subtracting it from a later reading yields
+/// per-window percentiles without resetting the shared histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramWindow {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
 }
 
 /// A named metric handle, as stored in the registry.
@@ -355,6 +412,27 @@ mod tests {
             assert!(idx >= last, "bucket index not monotone at {v}");
             last = idx;
         }
+    }
+
+    #[test]
+    fn window_percentiles_ignore_prior_samples() {
+        let h = Registry::default().histogram("test.win");
+        for _ in 0..1000 {
+            h.record(5);
+        }
+        let base = h.window();
+        assert_eq!(h.count_since(&base), 0);
+        assert_eq!(h.percentile_since(&base, 99.0), 0);
+        for v in 1..=100u64 {
+            h.record(v * 100);
+        }
+        assert_eq!(h.count_since(&base), 100);
+        // Window median ≈ 5000 even though the all-time median is 5.
+        let p50 = h.percentile_since(&base, 50.0) as f64;
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.05, "p50 {p50}");
+        assert_eq!(h.percentile(50.0), 5);
+        let mean = h.mean_since(&base);
+        assert!((mean - 5050.0).abs() < 1.0, "mean {mean}");
     }
 
     #[test]

@@ -55,6 +55,25 @@ EOF
   fi
   rm -rf "${tracedir}"
 
+  # Scale-sweep gate: the scale bench's smoke mode runs the 4x4
+  # nationwide and 8x8 worldwide points twice each on one seed and exits
+  # non-zero on a determinism divergence (ledger head or final virtual
+  # time) or a blown wall-clock budget. Reduced rate/length vs the full
+  # sweep keeps the gate fast; the topology is the full bench topology.
+  echo "==> scale sweep smoke test"
+  scaledir=$(mktemp -d)
+  cargo run --release -q -p massbft-bench --bin scale -- \
+    --smoke --secs 1 --arrival-tps 1000 --budget-secs 240 \
+    --out "${scaledir}/BENCH_scale.json"
+  [[ -s "${scaledir}/BENCH_scale.json" ]]
+  rm -rf "${scaledir}"
+
+  # Simulator microbench: prints the before/after events-per-second line
+  # for each hot-path case (informational — absolute numbers vary across
+  # hosts, so this does not gate).
+  echo "==> simulator microbench (before/after)"
+  cargo run --release -q -p massbft-bench --bin sim_micro -- --secs 1
+
   # Fault-matrix gate: run every adversary scenario on a short clock. The
   # bin exits non-zero if any scenario ends with no post-fault progress or
   # a cross-node consistency violation.

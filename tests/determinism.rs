@@ -132,6 +132,45 @@ fn conflict_retry_is_deterministic_across_worker_counts() {
     assert_ne!(parallel_run(1, false), serial);
 }
 
+/// The scale-sweep regression point: the 8-group × 8-node worldwide
+/// topology (the `scale` bench's headline configuration) run twice with
+/// the same seed must agree on every replica's ledger root and on the
+/// final virtual clock. This pins the simulator's event ordering — heap
+/// tie-breaks, route FIFO state, payload sharing — at bench scale, not
+/// just on the small nationwide fixtures above. (Arrival rate and run
+/// length are scaled down from the bench so the test stays cheap in
+/// debug builds; the topology is what the bench sweeps.)
+#[test]
+fn scale_sweep_point_8x8_reproduces_exactly() {
+    let run = || {
+        let sizes = vec![8usize; 8];
+        let cfg = ClusterConfig::worldwide(&sizes, Protocol::MassBft)
+            .workload(WorkloadKind::YcsbA)
+            .seed(7)
+            .arrival_tps(800.0)
+            .max_batch(100);
+        let mut c = Cluster::new(cfg);
+        c.run_until(SECOND);
+        let final_vtime = c.sim_mut().now();
+        let mut roots = Vec::new();
+        for g in 0..8u32 {
+            for i in 0..8u32 {
+                let n = c.node(NodeId::new(g, i));
+                roots.push((n.ledger().height(), n.ledger().head_hash().0));
+            }
+        }
+        (final_vtime, roots)
+    };
+    let (vtime_a, roots_a) = run();
+    let (vtime_b, roots_b) = run();
+    assert_eq!(vtime_a, vtime_b, "final virtual time diverged");
+    assert_eq!(roots_a, roots_b, "ledger roots diverged between runs");
+    assert!(
+        roots_a.iter().any(|(h, _)| *h > 0),
+        "run committed nothing — the point is too short to pin anything"
+    );
+}
+
 #[test]
 fn virtual_time_decouples_from_wall_clock() {
     // Two identical configurations must agree even when the host machine
