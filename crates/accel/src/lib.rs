@@ -49,6 +49,47 @@ pub fn sha256_compress_blocks(state: &mut [u32; 8], blocks: &[u8]) -> bool {
     }
 }
 
+/// Compresses many independent SHA-256 lanes in one kernel entry: lane
+/// `i`'s `states[i]` absorbs `blocks_per_lane` whole 64-byte blocks taken
+/// contiguously from `blocks` (lane `i` owns
+/// `blocks[i * blocks_per_lane * 64 ..][.. blocks_per_lane * 64]`).
+///
+/// One runtime feature check and one `#[target_feature]` call cover the
+/// entire batch — the quorum-certificate verifier lays every signature's
+/// HMAC blocks back to back and validates a whole `2f+1` certificate per
+/// pass, instead of paying the detection branch and kernel entry once per
+/// signature.
+///
+/// Returns `false` (leaving every state untouched) when SHA-NI is
+/// unavailable; `true` with no work for an empty batch.
+///
+/// # Panics
+/// Debug-asserts that `blocks` is exactly `states.len() * blocks_per_lane`
+/// blocks long.
+pub fn sha256_compress_lanes(
+    states: &mut [[u32; 8]],
+    blocks: &[u8],
+    blocks_per_lane: usize,
+) -> bool {
+    debug_assert_eq!(
+        blocks.len(),
+        states.len() * blocks_per_lane * 64,
+        "whole lanes only"
+    );
+    if states.is_empty() || blocks_per_lane == 0 {
+        return true;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        x86::sha256_compress_lanes(states, blocks, blocks_per_lane)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (states, blocks, blocks_per_lane);
+        false
+    }
+}
+
 /// Computes `dst[i] ^= table[src[i]]` over the common prefix of `dst` and
 /// `src`, where `table` is the 256-entry GF(256) product table of one
 /// coefficient (`table[x] == mul(c, x)`), using `pshufb` nibble lookups.

@@ -37,6 +37,36 @@ pub(crate) fn sha256_compress_blocks(state: &mut [u32; 8], blocks: &[u8]) -> boo
     true
 }
 
+pub(crate) fn sha256_compress_lanes(
+    states: &mut [[u32; 8]],
+    blocks: &[u8],
+    blocks_per_lane: usize,
+) -> bool {
+    if !(is_x86_feature_detected!("sha")
+        && is_x86_feature_detected!("ssse3")
+        && is_x86_feature_detected!("sse4.1"))
+    {
+        return false;
+    }
+    // SAFETY: the required target features were just detected at runtime.
+    unsafe { compress_lanes_shani(states, blocks, blocks_per_lane) };
+    true
+}
+
+/// Multi-lane SHA-NI compression: each lane's state absorbs its own
+/// contiguous run of blocks. The feature check and the `target_feature`
+/// boundary are crossed once for the whole batch; inside, the round
+/// constants and shuffle masks are set up per call, not per lane.
+#[target_feature(enable = "sha,ssse3,sse4.1")]
+unsafe fn compress_lanes_shani(states: &mut [[u32; 8]], blocks: &[u8], blocks_per_lane: usize) {
+    let run = blocks_per_lane * 64;
+    for (state, lane_blocks) in states.iter_mut().zip(blocks.chunks_exact(run)) {
+        // SAFETY: caller (sha256_compress_lanes) detected the features
+        // this function also requires.
+        unsafe { compress_blocks_shani(state, lane_blocks) };
+    }
+}
+
 /// SHA-NI two-lane compression, following Intel's reference flow: state is
 /// repacked into ABEF/CDGH lanes, each block runs 16 four-round
 /// `sha256rnds2` steps with the message schedule extended in-register by
@@ -332,6 +362,46 @@ mod tests {
             compress_ref(&mut want, &data);
             assert_eq!(got, want, "nblocks={nblocks}");
         }
+    }
+
+    #[test]
+    fn sha_lanes_kernel_matches_reference_per_lane() {
+        if !(is_x86_feature_detected!("sha")
+            && is_x86_feature_detected!("ssse3")
+            && is_x86_feature_detected!("sse4.1"))
+        {
+            eprintln!("skipping: no sha-ni");
+            return;
+        }
+        for (lanes, bpl) in [(1usize, 1usize), (2, 2), (5, 2), (7, 3), (16, 1)] {
+            let blocks: Vec<u8> = (0..lanes * bpl * 64)
+                .map(|i| (i as u32 * 131 + 17) as u8)
+                .collect();
+            // Distinct per-lane init states so lane mixups can't cancel.
+            let init: Vec<[u32; 8]> = (0..lanes)
+                .map(|l| {
+                    std::array::from_fn(|i| (l as u32 + 1).wrapping_mul(0x9e3779b9) ^ i as u32)
+                })
+                .collect();
+            let mut got = init.clone();
+            assert!(crate::sha256_compress_lanes(&mut got, &blocks, bpl));
+            let mut want = init;
+            for (l, st) in want.iter_mut().enumerate() {
+                compress_ref(st, &blocks[l * bpl * 64..(l + 1) * bpl * 64]);
+            }
+            assert_eq!(got, want, "lanes={lanes} bpl={bpl}");
+        }
+    }
+
+    #[test]
+    fn sha_lanes_empty_batch_is_identity() {
+        let mut states: Vec<[u32; 8]> = vec![[3; 8]; 4];
+        let before = states.clone();
+        // Zero blocks per lane: reported complete, nothing changes.
+        assert!(crate::sha256_compress_lanes(&mut states, &[], 0));
+        assert_eq!(states, before);
+        let mut none: Vec<[u32; 8]> = Vec::new();
+        assert!(crate::sha256_compress_lanes(&mut none, &[], 5));
     }
 
     #[test]

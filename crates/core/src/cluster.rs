@@ -104,6 +104,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Forces Aria's deterministic same-batch abort fallback on or off,
+    /// overriding the `MASSBFT_EXEC_FALLBACK` environment default.
+    pub fn exec_fallback(mut self, on: bool) -> Self {
+        self.params.exec_fallback = on;
+        self
+    }
+
     /// Sets the default WAN uplink bandwidth in Mbps.
     pub fn wan_mbps(mut self, mbps: u64) -> Self {
         self.wan_mbps = mbps;

@@ -60,10 +60,15 @@ pub struct EntryResult {
     pub executed: usize,
     /// Committed transactions.
     pub committed: usize,
-    /// Conflict (WAW/RAW) aborts.
+    /// Conflict (WAW/RAW) aborts left unresolved after the batch (with the
+    /// deterministic fallback on, rescued txns move to `fallback_committed`
+    /// and this stays 0).
     pub conflict_aborted: usize,
     /// Logic-level aborts.
     pub logic_aborted: usize,
+    /// Conflict-aborted transactions committed by the serial fallback
+    /// re-run within the same batch.
+    pub fallback_committed: usize,
     /// `store.content_hash()` after this entry's batch — what the ledger
     /// block records.
     pub state_fingerprint: u64,
@@ -80,12 +85,17 @@ pub struct ExecutionPipeline {
 }
 
 impl ExecutionPipeline {
-    /// A pipeline with `workers` Aria lanes (1 = serial) and the given
-    /// retry policy.
-    pub fn new(workers: usize, retry_aborts: bool) -> Self {
+    /// A pipeline with `workers` Aria lanes (1 = serial), the given
+    /// cross-entry retry policy, and (when `fallback` is on) Aria's
+    /// deterministic same-batch abort fallback.
+    ///
+    /// The two abort policies compose: the fallback rescues conflict
+    /// aborts *inside* the batch (leaving none for the retry queue), so
+    /// with fallback on the retry queue naturally stays empty.
+    pub fn new(workers: usize, retry_aborts: bool, fallback: bool) -> Self {
         ExecutionPipeline {
             store: KvStore::new(),
-            executor: AriaExecutor::parallel(workers),
+            executor: AriaExecutor::parallel(workers).with_fallback(fallback),
             retry: VecDeque::new(),
             retry_aborts,
         }
@@ -145,6 +155,7 @@ impl ExecutionPipeline {
                     committed: out.committed,
                     conflict_aborted: out.conflict_aborted.len(),
                     logic_aborted,
+                    fallback_committed: out.fallback_committed,
                     state_fingerprint: self.store.content_hash(),
                 }
             })
@@ -174,7 +185,7 @@ mod tests {
     #[test]
     fn one_fingerprint_per_entry_matches_sequential_execution() {
         let run_batched = || {
-            let mut p = ExecutionPipeline::new(1, false);
+            let mut p = ExecutionPipeline::new(1, false, false);
             let entries = vec![
                 entry(0, 0, vec![deposit(1, 100), deposit(2, 100)]),
                 entry(1, 0, vec![payment(1, 2, 30)]),
@@ -182,7 +193,7 @@ mod tests {
             p.execute_entries(entries)
         };
         let run_single = || {
-            let mut p = ExecutionPipeline::new(1, false);
+            let mut p = ExecutionPipeline::new(1, false, false);
             let a = p.execute_entries(vec![entry(0, 0, vec![deposit(1, 100), deposit(2, 100)])]);
             let b = p.execute_entries(vec![entry(1, 0, vec![payment(1, 2, 30)])]);
             [a, b].concat()
@@ -194,7 +205,7 @@ mod tests {
 
     #[test]
     fn conflict_aborts_requeue_at_front_when_enabled() {
-        let mut p = ExecutionPipeline::new(1, true);
+        let mut p = ExecutionPipeline::new(1, true, false);
         // Both payments drain account 1: the second conflict-aborts.
         let r = p.execute_entries(vec![entry(
             0,
@@ -216,7 +227,7 @@ mod tests {
 
     #[test]
     fn retries_drop_silently_when_disabled() {
-        let mut p = ExecutionPipeline::new(1, false);
+        let mut p = ExecutionPipeline::new(1, false, false);
         let r = p.execute_entries(vec![entry(
             0,
             0,
@@ -227,9 +238,42 @@ mod tests {
     }
 
     #[test]
+    fn fallback_rescues_conflicts_and_leaves_no_residue() {
+        let conflicting = |seq: u64| {
+            entry(
+                0,
+                seq,
+                vec![deposit(1, 100), payment(1, 2, 10), payment(1, 3, 10)],
+            )
+        };
+        // Without the fallback, two payments conflict-abort.
+        let mut plain = ExecutionPipeline::new(1, false, false);
+        let r = plain.execute_entries(vec![conflicting(0)]);
+        assert_eq!(r[0].conflict_aborted, 2);
+        assert_eq!(r[0].fallback_committed, 0);
+        // With it, the same entry commits everything in one batch and the
+        // retry queue has nothing to pick up even with retries enabled.
+        let run = |workers: usize| {
+            let mut p = ExecutionPipeline::new(workers, true, true);
+            let r = p.execute_entries(vec![conflicting(0), conflicting(1)]);
+            assert_eq!(p.pending_retries(), 0);
+            r
+        };
+        let serial = run(1);
+        for res in &serial {
+            assert_eq!(res.conflict_aborted, 0);
+            assert_eq!(res.committed, 3);
+            assert_eq!(res.fallback_committed, 2);
+        }
+        for workers in [2, 4, 8] {
+            assert_eq!(run(workers), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn retry_pipeline_is_deterministic_across_worker_counts() {
         let run = |workers: usize| {
-            let mut p = ExecutionPipeline::new(workers, true);
+            let mut p = ExecutionPipeline::new(workers, true, false);
             let mk = |seq: u64| {
                 entry(
                     0,

@@ -165,6 +165,11 @@ pub struct ProtocolParams {
     /// entry's batch. Off by default to preserve the paper's
     /// drop-on-conflict abort accounting (Fig. 8d).
     pub retry_aborts: bool,
+    /// Aria's deterministic abort fallback: re-run conflict-aborted
+    /// transactions serially, in txn-id order, within the same batch.
+    /// Deterministic at any worker width. Defaults to the
+    /// `MASSBFT_EXEC_FALLBACK` environment knob (off when unset).
+    pub exec_fallback: bool,
 }
 
 impl ProtocolParams {
@@ -206,6 +211,9 @@ impl ProtocolParams {
             // suite through the parallel executor.
             exec_workers: WorkerPool::from_env().workers(),
             retry_aborts: false,
+            // `MASSBFT_EXEC_FALLBACK=1` likewise forces the deterministic
+            // abort fallback on for the whole suite.
+            exec_fallback: massbft_db::fallback_from_env(),
         }
     }
 
@@ -626,7 +634,11 @@ impl Node {
             last_stalled: None,
             ordering,
             exec_queue: VecDeque::new(),
-            pipeline: ExecutionPipeline::new(params.exec_workers, params.retry_aborts),
+            pipeline: ExecutionPipeline::new(
+                params.exec_workers,
+                params.retry_aborts,
+                params.exec_fallback,
+            ),
             rep,
             executed_txns: 0,
             executed_entries: 0,

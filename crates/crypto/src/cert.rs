@@ -87,6 +87,13 @@ impl QuorumCert {
 
     /// Validates the certificate: `2f+1` distinct in-group signers, all
     /// signatures valid over `digest`.
+    ///
+    /// Every signature's expected HMAC tag is computed up front through
+    /// [`KeyRegistry::verify_digest_batch`] — one multi-lane SHA pass per
+    /// HMAC stage for the whole quorum instead of a kernel entry per
+    /// signature. The structural checks then walk signatures in order, so
+    /// the reported error (variant *and* which signer) is identical to
+    /// checking one signature at a time.
     pub fn validate(&self, registry: &KeyRegistry) -> Result<(), CertError> {
         let n = registry.group_size(self.group);
         let need = quorum(n);
@@ -96,15 +103,16 @@ impl QuorumCert {
                 need,
             });
         }
+        let verdicts = registry.verify_digest_batch(&self.digest, &self.signatures);
         let mut seen = std::collections::BTreeSet::new();
-        for sig in &self.signatures {
+        for (sig, &ok) in self.signatures.iter().zip(&verdicts) {
             if sig.signer.group != self.group {
                 return Err(CertError::ForeignSigner(sig.signer));
             }
             if !seen.insert(sig.signer) {
                 return Err(CertError::DuplicateSigner(sig.signer));
             }
-            if !registry.verify_digest(&self.digest, sig) {
+            if !ok {
                 return Err(CertError::BadSignature(sig.signer));
             }
         }
@@ -211,6 +219,74 @@ mod tests {
         let cert = QuorumCert::assemble(other, 0, &reg, signer_range(0, 5));
         assert_eq!(cert.validate(&reg), Ok(()));
         assert!(cert.validate_for(&d, &reg).is_err());
+    }
+
+    /// Reference validator: the original one-signature-at-a-time path.
+    /// The batched `validate` must agree exactly — same verdict, same
+    /// error variant, same blamed signer.
+    fn validate_scalar(cert: &QuorumCert, registry: &KeyRegistry) -> Result<(), CertError> {
+        let need = quorum(registry.group_size(cert.group));
+        if cert.signatures.len() < need {
+            return Err(CertError::InsufficientSignatures {
+                have: cert.signatures.len(),
+                need,
+            });
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for sig in &cert.signatures {
+            if sig.signer.group != cert.group {
+                return Err(CertError::ForeignSigner(sig.signer));
+            }
+            if !seen.insert(sig.signer) {
+                return Err(CertError::DuplicateSigner(sig.signer));
+            }
+            if !registry.verify_digest(&cert.digest, sig) {
+                return Err(CertError::BadSignature(sig.signer));
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn batched_validate_matches_scalar_path() {
+        let (reg, d) = setup();
+        let good = QuorumCert::assemble(d, 0, &reg, signer_range(0, 6));
+        let mut variants: Vec<QuorumCert> = vec![good.clone()];
+        // Tamper each signature's tag in turn.
+        for i in 0..6 {
+            let mut c = good.clone();
+            c.signatures[i].tag[31] ^= 0x80;
+            variants.push(c);
+        }
+        // Duplicate, foreign, unknown, short, and tampered-digest shapes.
+        let mut dup = good.clone();
+        dup.signatures[5] = dup.signatures[2];
+        variants.push(dup);
+        let mut foreign = good.clone();
+        foreign.signatures[3].signer = NodeId::new(1, 3);
+        variants.push(foreign);
+        let mut unknown = good.clone();
+        unknown.signatures[0].signer = NodeId::new(0, 42);
+        variants.push(unknown);
+        let mut short = good.clone();
+        short.signatures.truncate(4);
+        variants.push(short);
+        let mut swapped = good.clone();
+        swapped.digest = Digest::of(b"swapped");
+        variants.push(swapped);
+        // A foreign signer *after* a bad tag: tag error must win (order).
+        let mut both = good.clone();
+        both.signatures[1].tag[0] ^= 1;
+        both.signatures[4].signer = NodeId::new(1, 4);
+        variants.push(both);
+
+        for (i, cert) in variants.iter().enumerate() {
+            assert_eq!(
+                cert.validate(&reg),
+                validate_scalar(cert, &reg),
+                "variant {i} diverged from the scalar path"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,87 @@ pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
     outer.finalize()
 }
 
+/// Computes `HMAC-SHA256(keys[i], msg)` for every key, batching all lanes
+/// through one multi-lane SHA pass per HMAC stage.
+///
+/// HMAC is two chained SHA-256 computations — `SHA(opad ‖ SHA(ipad ‖
+/// msg))` — and the outer stage consumes the inner digest, so two passes
+/// is the minimum. Within each stage every lane is independent: the inner
+/// pass compresses `ipad_i ‖ msg ‖ padding` for all lanes in one
+/// `compress_lanes` call (every lane has the same length, so the padding
+/// tail is shared bytes), and the outer pass does the same for
+/// `opad_i ‖ inner_i ‖ padding` (always exactly two blocks). One quorum
+/// certificate therefore costs two accel kernel entries total, instead of
+/// two per signature plus per-call feature detection.
+pub fn hmac_sha256_batch(keys: &[&[u8]], msg: &[u8]) -> Vec<[u8; 32]> {
+    let lanes = keys.len();
+    if lanes == 0 {
+        return Vec::new();
+    }
+    // RFC 2104 key normalization to one block per lane.
+    let norm: Vec<[u8; BLOCK]> = keys
+        .iter()
+        .map(|key| {
+            let mut k = [0u8; BLOCK];
+            if key.len() > BLOCK {
+                k[..32].copy_from_slice(&crate::sha256::sha256(key));
+            } else {
+                k[..key.len()].copy_from_slice(key);
+            }
+            k
+        })
+        .collect();
+
+    // Inner stage: SHA256(ipad_i ‖ msg). Total message length is the same
+    // in every lane, so the padded tail (msg ‖ 0x80 ‖ zeros ‖ bitlen) is
+    // identical bytes — build it once, then prepend each lane's ipad.
+    let inner_len = BLOCK + msg.len();
+    let padded = (inner_len + 1 + 8).div_ceil(BLOCK) * BLOCK;
+    let bpl = padded / BLOCK;
+    let mut tail = vec![0u8; padded - BLOCK];
+    tail[..msg.len()].copy_from_slice(msg);
+    tail[msg.len()] = 0x80;
+    let bits = (inner_len as u64) * 8;
+    let tlen = tail.len();
+    tail[tlen - 8..].copy_from_slice(&bits.to_be_bytes());
+    let mut buf = vec![0u8; lanes * padded];
+    for (lane, k) in buf.chunks_exact_mut(padded).zip(&norm) {
+        for (b, &kb) in lane[..BLOCK].iter_mut().zip(k.iter()) {
+            *b = kb ^ 0x36;
+        }
+        lane[BLOCK..].copy_from_slice(&tail);
+    }
+    let mut states = vec![crate::sha256::H0; lanes];
+    crate::sha256::compress_lanes(&mut states, &buf, bpl);
+
+    // Outer stage: SHA256(opad_i ‖ inner_i) — 96 message bytes, always
+    // exactly two blocks after padding.
+    let mut obuf = vec![0u8; lanes * 2 * BLOCK];
+    for ((lane, k), inner) in obuf.chunks_exact_mut(2 * BLOCK).zip(&norm).zip(&states) {
+        for (b, &kb) in lane[..BLOCK].iter_mut().zip(k.iter()) {
+            *b = kb ^ 0x5c;
+        }
+        for (j, w) in inner.iter().enumerate() {
+            lane[BLOCK + j * 4..BLOCK + j * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        lane[96] = 0x80;
+        lane[120..].copy_from_slice(&(96u64 * 8).to_be_bytes());
+    }
+    let mut ostates = vec![crate::sha256::H0; lanes];
+    crate::sha256::compress_lanes(&mut ostates, &obuf, 2);
+
+    ostates
+        .into_iter()
+        .map(|st| {
+            let mut out = [0u8; 32];
+            for (i, w) in st.iter().enumerate() {
+                out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+            }
+            out
+        })
+        .collect()
+}
+
 /// Constant-time-ish tag comparison. (The simulator has no timing side
 /// channel, but branch-free comparison is the idiom worth keeping.)
 pub fn verify_tag(expected: &[u8; 32], actual: &[u8; 32]) -> bool {
@@ -113,5 +194,39 @@ mod tests {
     fn different_keys_different_tags() {
         assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
         assert_ne!(hmac_sha256(b"k", b"m1"), hmac_sha256(b"k", b"m2"));
+    }
+
+    #[test]
+    fn batch_matches_scalar_hmac() {
+        // Mixed key lengths (short, exactly one block, longer than a block
+        // so the hash-the-key path runs) over message lengths that land on
+        // every padding edge: empty, short, 55 (one block exactly after
+        // padding), 56 (spills), block-multiple, and multi-block.
+        let long_key = [0xaa; 131];
+        let block_key = [0x42; 64];
+        let keys: Vec<&[u8]> = vec![b"k0", b"Jefe", &long_key, &block_key, b"", b"another key"];
+        for msg_len in [0usize, 8, 55, 56, 63, 64, 65, 200] {
+            let msg: Vec<u8> = (0..msg_len as u32).map(|i| (i * 13 + 5) as u8).collect();
+            let batched = hmac_sha256_batch(&keys, &msg);
+            assert_eq!(batched.len(), keys.len());
+            for (key, tag) in keys.iter().zip(&batched) {
+                assert_eq!(tag, &hmac_sha256(key, &msg), "msg_len={msg_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_rfc4231() {
+        let key = [0x0b; 20];
+        let tags = hmac_sha256_batch(&[&key], b"Hi There");
+        assert_eq!(
+            hex(&tags[0]),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(hmac_sha256_batch(&[], b"msg").is_empty());
     }
 }

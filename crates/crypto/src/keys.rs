@@ -134,6 +134,38 @@ impl KeyRegistry {
         self.verify(&d.0, sig)
     }
 
+    /// Verifies many signatures over the same digest in one batched HMAC
+    /// pass, returning per-signature verdicts in input order.
+    ///
+    /// All known signers' expected tags are computed through
+    /// [`hmac::hmac_sha256_batch`] — two multi-lane SHA passes for the
+    /// whole set instead of two per signature — which is where a quorum
+    /// certificate spends its verification time. Unknown signers verify to
+    /// `false` without consuming a lane.
+    pub fn verify_digest_batch(&self, d: &Digest, sigs: &[Signature]) -> Vec<bool> {
+        let secrets: Vec<Option<&[u8; 32]>> = sigs
+            .iter()
+            .map(|sig| self.inner.secrets.get(&sig.signer))
+            .collect();
+        let keys: Vec<&[u8]> = secrets
+            .iter()
+            .filter_map(|s| s.map(|k| k.as_slice()))
+            .collect();
+        let tags = hmac::hmac_sha256_batch(&keys, &d.0);
+        let mut lane = 0;
+        sigs.iter()
+            .zip(&secrets)
+            .map(|(sig, secret)| match secret {
+                Some(_) => {
+                    let ok = hmac::verify_tag(&tags[lane], &sig.tag);
+                    lane += 1;
+                    ok
+                }
+                None => false,
+            })
+            .collect()
+    }
+
     /// All registered node ids, ordered.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.inner.secrets.keys().copied()
@@ -216,6 +248,32 @@ mod tests {
         assert_eq!(reg.group_size(2), 7);
         assert_eq!(reg.group_size(3), 0);
         assert_eq!(reg.nodes().count(), 18);
+    }
+
+    #[test]
+    fn batch_verdicts_match_scalar_verify() {
+        let reg = registry();
+        let d = crate::Digest::of(b"batched entry");
+        // Mix of valid, tampered, signer-swapped, and unknown-signer
+        // signatures — including an unknown in the middle so the lane
+        // cursor has to skip it.
+        let mut sigs: Vec<Signature> = (0..4)
+            .map(|n| reg.key_of(NodeId::new(1, n)).unwrap().sign_digest(&d))
+            .collect();
+        sigs[1].tag[0] ^= 1; // tampered
+        sigs.insert(
+            2,
+            Signature {
+                signer: NodeId::new(9, 9),
+                tag: [7; 32],
+            },
+        );
+        sigs[3].signer = NodeId::new(1, 6); // valid tag, wrong claimed signer
+        let batch = reg.verify_digest_batch(&d, &sigs);
+        let scalar: Vec<bool> = sigs.iter().map(|s| reg.verify_digest(&d, s)).collect();
+        assert_eq!(batch, scalar);
+        assert_eq!(batch, vec![true, false, false, false, true]);
+        assert!(reg.verify_digest_batch(&d, &[]).is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 /// Initial hash values: first 32 bits of the fractional parts of the square
 /// roots of the first 8 primes.
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
@@ -171,6 +171,29 @@ fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
     *state = [h0, h1, h2, h3, h4, h5, h6, h7];
 }
 
+/// Compresses many independent SHA-256 lanes: lane `i`'s state absorbs
+/// `blocks_per_lane` whole blocks from
+/// `blocks[i * blocks_per_lane * 64 ..][.. blocks_per_lane * 64]`.
+///
+/// One accel dispatch (single feature check + kernel entry) covers the
+/// whole batch; on hosts without SHA-NI each lane runs the scalar
+/// multi-block path. The batched HMAC verifier feeds every signature of a
+/// quorum certificate through here as one pass per HMAC stage.
+pub(crate) fn compress_lanes(states: &mut [[u32; 8]], blocks: &[u8], blocks_per_lane: usize) {
+    debug_assert_eq!(
+        blocks.len(),
+        states.len() * blocks_per_lane * 64,
+        "whole lanes only"
+    );
+    if massbft_accel::sha256_compress_lanes(states, blocks, blocks_per_lane) {
+        return;
+    }
+    let run = blocks_per_lane * 64;
+    for (state, lane_blocks) in states.iter_mut().zip(blocks.chunks_exact(run.max(64))) {
+        compress_blocks(state, lane_blocks);
+    }
+}
+
 /// One-shot SHA-256.
 pub fn sha256(data: &[u8]) -> [u8; 32] {
     let mut h = Sha256::new();
@@ -234,6 +257,22 @@ mod tests {
                 h.update(piece);
             }
             assert_eq!(h.finalize(), oneshot, "n={n}");
+        }
+    }
+
+    #[test]
+    fn compress_lanes_matches_per_lane_compress() {
+        for (lanes, bpl) in [(1usize, 1usize), (3, 1), (4, 2), (7, 3)] {
+            let blocks: Vec<u8> = (0..lanes * bpl * 64)
+                .map(|i| (i as u32).wrapping_mul(167).wrapping_add(11) as u8)
+                .collect();
+            let mut batched = vec![H0; lanes];
+            compress_lanes(&mut batched, &blocks, bpl);
+            for (l, lane_blocks) in blocks.chunks_exact(bpl * 64).enumerate() {
+                let mut solo = H0;
+                compress_blocks(&mut solo, lane_blocks);
+                assert_eq!(batched[l], solo, "lanes={lanes} bpl={bpl} lane={l}");
+            }
         }
     }
 

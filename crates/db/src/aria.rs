@@ -15,7 +15,8 @@
 //!      to a smaller id (its snapshot read is stale).
 //!
 //! Aborted transactions are reported so the caller can retry them in a
-//! later batch.
+//! later batch — or, with the **deterministic fallback** enabled, rescued
+//! inside the same batch (below).
 //!
 //! Because all three phases depend only on the batch contents and the
 //! snapshot, every replica that executes the same ordered batch commits
@@ -32,30 +33,97 @@
 //!
 //! - **Execution** partitions the batch into contiguous chunks; each
 //!   worker runs its chunk against the shared immutable snapshot.
-//! - **Reservation** builds a per-worker reservation map over that
-//!   worker's chunk, then merges lowest-txn-id-wins. Minimum is
-//!   commutative and associative, so the merged map cannot depend on
-//!   worker interleaving.
-//! - **Commit checks** are pure per-transaction reads of the merged map,
-//!   chunked like phase 1. The **apply** step buckets committed writes by
-//!   store shard and applies shard groups concurrently; the WAW rule
-//!   guarantees one committed writer per key, so per-shard order is
-//!   irrelevant (see [`KvStore`]'s striping docs).
+//! - **Reservation** uses a table sharded by key hash ([`RSV_SHARDS`]
+//!   stripes). Each worker owns a contiguous shard range and scans the
+//!   whole batch in id order, inserting only the keys that hash into its
+//!   range — first insert wins, which *is* lowest-id-wins. Every shard's
+//!   content is a pure function of the batch, so the table is identical
+//!   at any lane count and there is no serial merge step (the previous
+//!   design built per-chunk maps and paid an O(keys) single-threaded
+//!   merge — serial-equivalent work that capped the phase).
+//! - **Commit checks and the apply bucketing are fused**: each worker
+//!   checks its chunk against the reservation table *and* buckets its
+//!   committed writes by store shard in the same pass. The per-lane
+//!   buckets go straight to the store's shard-parallel apply
+//!   (`KvStore::apply_sharded`), eliminating the serial collect +
+//!   re-bucket scan between check and apply. The WAW rule guarantees one
+//!   committed writer per key, so per-shard order is irrelevant (see
+//!   [`KvStore`]'s striping docs).
 //!
 //! Small batches skip the fork-join entirely and take the exact serial
 //! path, so a parallel executor never pays thread overhead for work that
 //! doesn't amortize it.
+//!
+//! ## Deterministic fallback
+//!
+//! Aria's fallback pass (enabled with [`AriaExecutor::with_fallback`] or
+//! [`FALLBACK_ENV`]): after the batch's committed writes apply, the
+//! conflict-aborted transactions re-execute **serially, in ascending
+//! transaction id**, each against the store as left by everything before
+//! it (the batch's committed writes plus earlier rescued transactions).
+//! The re-run order is a pure function of the batch, so replicas still
+//! byte-agree at every worker width, and a hotspot batch commits in one
+//! round instead of bleeding a 24% abort tax into retry batches. Rescued
+//! transactions report [`TxnOutcome::FallbackCommitted`]; a re-run whose
+//! own logic aborts (e.g. funds consumed by an earlier rescue) becomes
+//! [`TxnOutcome::LogicAborted`]. With the fallback on, a batch leaves no
+//! conflict-aborted residue for the caller to retry.
 
 use crate::pool::WorkerPool;
 use crate::stats::{record_batch, BatchSample};
-use crate::{store::KvStore, DetTransaction, Key, Value};
+use crate::store::{self, KvStore};
+use crate::{DetTransaction, Key, Value};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// Environment variable toggling the deterministic abort fallback for
+/// executors built with [`AriaExecutor::from_env`] (`1`/`true`/`on`/`yes`
+/// enable it; `0`/`false`/`off`/`no` and unset disable it).
+pub const FALLBACK_ENV: &str = "MASSBFT_EXEC_FALLBACK";
+
+/// Stripes in the write-reservation table. Wider than the store's shard
+/// count so reservation lanes stay balanced at 16 workers.
+const RSV_SHARDS: usize = 64;
+
+/// Reservation-table stripe for a key. Uses the high half of the shared
+/// FNV hash so reservation striping is not correlated with the store's
+/// shard selection (which masks the low bits of the same hash).
+#[inline]
+fn rsv_shard_of(key: &[u8]) -> usize {
+    (store::fnv64(key).rotate_right(32) as usize) & (RSV_SHARDS - 1)
+}
+
 /// Write-reservation map: key → lowest transaction id writing it.
 type ReserveMap<'e> = HashMap<&'e [u8], usize>;
-/// One worker-lane task producing a chunk-local reservation map.
-type ReserveTask<'e, 's> = Box<dyn FnOnce() -> ReserveMap<'e> + Send + 's>;
+/// One worker-lane task producing the reservation maps for its contiguous
+/// shard range.
+type ReserveTask<'e, 's> = Box<dyn FnOnce() -> Vec<ReserveMap<'e>> + Send + 's>;
+/// One worker-lane task running the fused commit-check + bucketing pass
+/// over its chunk.
+type CommitTask<'e, 's> = Box<dyn FnOnce() -> CommitLane<'e> + Send + 's>;
+
+/// The sharded write-reservation table (phase 2 output).
+struct ReservationTable<'e> {
+    shards: Vec<ReserveMap<'e>>,
+}
+
+impl ReservationTable<'_> {
+    /// The lowest transaction id that reserved `key`, if any.
+    #[inline]
+    fn owner(&self, key: &[u8]) -> Option<usize> {
+        self.shards[rsv_shard_of(key)].get(key).copied()
+    }
+}
+
+/// What one commit-phase lane produced over its contiguous chunk.
+struct CommitLane<'e> {
+    outcomes: Vec<TxnOutcome>,
+    conflicted: Vec<usize>,
+    committed: usize,
+    logic_aborted: usize,
+    /// Committed writes bucketed by store shard, chunk order.
+    buckets: Vec<Vec<(&'e Key, &'e Value)>>,
+}
 
 /// What a transaction did during the execution phase.
 #[derive(Debug, Clone, Default)]
@@ -90,6 +158,9 @@ pub enum TxnOutcome {
     ConflictAborted,
     /// The transaction's own logic aborted; do not retry.
     LogicAborted,
+    /// Conflict-aborted in the parallel round, then committed by the
+    /// deterministic fallback re-run.
+    FallbackCommitted,
 }
 
 /// Batch-level result.
@@ -97,14 +168,18 @@ pub enum TxnOutcome {
 pub struct BatchOutcome {
     /// Outcome per transaction, batch order.
     pub outcomes: Vec<TxnOutcome>,
-    /// Count of committed transactions.
+    /// Count of committed transactions (including fallback rescues).
     pub committed: usize,
-    /// Indices of conflict-aborted transactions (candidates for retry).
+    /// Indices of transactions still conflict-aborted after the batch
+    /// (candidates for retry). Empty when the fallback is enabled.
     pub conflict_aborted: Vec<usize>,
+    /// Count of transactions committed by the fallback re-run.
+    pub fallback_committed: usize,
 }
 
 impl BatchOutcome {
-    /// Abort rate of the batch (conflict aborts / batch size).
+    /// Residual abort rate of the batch: transactions still
+    /// conflict-aborted after any fallback, over batch size.
     pub fn abort_rate(&self) -> f64 {
         if self.outcomes.is_empty() {
             0.0
@@ -118,6 +193,24 @@ impl BatchOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct AriaExecutor {
     pool: WorkerPool,
+    fallback: bool,
+}
+
+/// Reads [`FALLBACK_ENV`]; unset and recognized "off" spellings mean
+/// disabled, anything unrecognized warns (stderr + telemetry ring) and
+/// stays disabled.
+pub fn fallback_from_env() -> bool {
+    match std::env::var(FALLBACK_ENV) {
+        Err(_) => false,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" | "yes" => true,
+            "" | "0" | "false" | "off" | "no" => false,
+            _ => {
+                crate::stats::warn_invalid_env(FALLBACK_ENV, &v, crate::stats::ENV_CODE_FALLBACK);
+                false
+            }
+        },
+    }
 }
 
 impl AriaExecutor {
@@ -125,6 +218,7 @@ impl AriaExecutor {
     pub fn new() -> Self {
         AriaExecutor {
             pool: WorkerPool::new(1),
+            fallback: false,
         }
     }
 
@@ -133,15 +227,30 @@ impl AriaExecutor {
     pub fn parallel(workers: usize) -> Self {
         AriaExecutor {
             pool: WorkerPool::new(workers),
+            fallback: false,
         }
     }
 
-    /// Worker count from [`crate::pool::WORKERS_ENV`], defaulting to
-    /// serial.
+    /// Worker count from [`crate::pool::WORKERS_ENV`] and fallback policy
+    /// from [`FALLBACK_ENV`], defaulting to serial with no fallback.
     pub fn from_env() -> Self {
         AriaExecutor {
             pool: WorkerPool::from_env(),
+            fallback: fallback_from_env(),
         }
+    }
+
+    /// Enables or disables the deterministic abort fallback (see the
+    /// module docs). Off by default to preserve the paper's
+    /// drop-on-conflict abort accounting.
+    pub fn with_fallback(mut self, on: bool) -> Self {
+        self.fallback = on;
+        self
+    }
+
+    /// Whether the deterministic abort fallback is enabled.
+    pub fn fallback_enabled(&self) -> bool {
+        self.fallback
     }
 
     /// Configured worker lanes.
@@ -166,58 +275,118 @@ impl AriaExecutor {
 
         // Phase 2: write reservations — lowest writer id per key. Logic
         // aborts don't reserve (their writes will never apply).
-        let write_rsv = self.reserve(&effects, lanes);
+        let rsv = self.reserve(&effects, lanes);
         let t2 = Instant::now();
 
-        // Phase 3: commit checks, a pure function of (effects, write_rsv).
-        let outcomes: Vec<TxnOutcome> = self.pool.map_chunks(&effects, &|i, eff: &TxnEffects| {
-            if eff.abort {
-                return TxnOutcome::LogicAborted;
-            }
-            let waw = eff
-                .writes
-                .iter()
-                .any(|(k, _)| write_rsv.get(k.as_slice()).is_some_and(|&o| o < i));
-            let raw = eff
-                .reads
-                .iter()
-                .any(|k| write_rsv.get(k.as_slice()).is_some_and(|&o| o < i));
-            if waw || raw {
-                TxnOutcome::ConflictAborted
-            } else {
-                TxnOutcome::Committed
-            }
-        });
-        let mut conflict_aborted = Vec::new();
+        // Phase 3: fused commit checks + shard bucketing + apply.
+        let mut outcomes: Vec<TxnOutcome>;
+        let mut conflict_aborted: Vec<usize> = Vec::new();
         let mut committed = 0usize;
         let mut logic_aborted = 0usize;
-        for (i, o) in outcomes.iter().enumerate() {
-            match o {
-                TxnOutcome::Committed => committed += 1,
-                TxnOutcome::ConflictAborted => conflict_aborted.push(i),
-                TxnOutcome::LogicAborted => logic_aborted += 1,
+        if lanes <= 1 {
+            outcomes = Vec::with_capacity(effects.len());
+            let mut writes: Vec<(&Key, &Value)> = Vec::new();
+            for (i, eff) in effects.iter().enumerate() {
+                let o = commit_check(i, eff, &rsv);
+                match o {
+                    TxnOutcome::Committed => {
+                        committed += 1;
+                        writes.extend(eff.writes.iter().map(|(k, v)| (k, v)));
+                    }
+                    TxnOutcome::ConflictAborted => conflict_aborted.push(i),
+                    TxnOutcome::LogicAborted => logic_aborted += 1,
+                    TxnOutcome::FallbackCommitted => unreachable!("fallback runs after checks"),
+                }
+                outcomes.push(o);
             }
+            store.apply_writes(&self.pool, &writes);
+        } else {
+            let chunk = effects.len().div_ceil(lanes);
+            let rsv_ref = &rsv;
+            let tasks: Vec<CommitTask<'_, '_>> = effects
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, slice)| {
+                    let base = ci * chunk;
+                    Box::new(move || {
+                        let mut lane = CommitLane {
+                            outcomes: Vec::with_capacity(slice.len()),
+                            conflicted: Vec::new(),
+                            committed: 0,
+                            logic_aborted: 0,
+                            buckets: vec![Vec::new(); store::SHARDS],
+                        };
+                        for (off, eff) in slice.iter().enumerate() {
+                            let i = base + off;
+                            let o = commit_check(i, eff, rsv_ref);
+                            match o {
+                                TxnOutcome::Committed => {
+                                    lane.committed += 1;
+                                    for (k, v) in &eff.writes {
+                                        lane.buckets[store::shard_of(k)].push((k, v));
+                                    }
+                                }
+                                TxnOutcome::ConflictAborted => lane.conflicted.push(i),
+                                TxnOutcome::LogicAborted => lane.logic_aborted += 1,
+                                TxnOutcome::FallbackCommitted => {
+                                    unreachable!("fallback runs after checks")
+                                }
+                            }
+                            lane.outcomes.push(o);
+                        }
+                        lane
+                    }) as CommitTask<'_, '_>
+                })
+                .collect();
+            let lane_results = self.pool.run_tasks(tasks);
+            outcomes = Vec::with_capacity(effects.len());
+            let mut lane_buckets = Vec::with_capacity(lane_results.len());
+            for lane in lane_results {
+                outcomes.extend(lane.outcomes);
+                conflict_aborted.extend(lane.conflicted);
+                committed += lane.committed;
+                logic_aborted += lane.logic_aborted;
+                lane_buckets.push(lane.buckets);
+            }
+            store.apply_sharded(&self.pool, &lane_buckets);
         }
-
-        // Apply committed writes, batch order, shard-parallel when wide.
-        let writes: Vec<(&Key, &Value)> = effects
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| outcomes[*i] == TxnOutcome::Committed)
-            .flat_map(|(_, eff)| eff.writes.iter().map(|(k, v)| (k, v)))
-            .collect();
-        store.apply_writes(&self.pool, &writes);
-        store.bump_version();
         let t3 = Instant::now();
+
+        // Phase 4 (optional): deterministic fallback. Re-run the abort set
+        // serially in ascending id order against the evolving store; the
+        // order is a pure function of the batch, so replicas agree.
+        let pre_fallback_conflicts = conflict_aborted.len();
+        let mut fallback_committed = 0usize;
+        if self.fallback && !conflict_aborted.is_empty() {
+            for &i in &conflict_aborted {
+                let eff = batch[i].execute(store);
+                if eff.abort {
+                    outcomes[i] = TxnOutcome::LogicAborted;
+                    logic_aborted += 1;
+                } else {
+                    for (k, v) in eff.writes {
+                        store.put(k, v);
+                    }
+                    outcomes[i] = TxnOutcome::FallbackCommitted;
+                    committed += 1;
+                    fallback_committed += 1;
+                }
+            }
+            conflict_aborted.clear();
+        }
+        store.bump_version();
+        let t4 = Instant::now();
 
         record_batch(BatchSample {
             txns: batch.len() as u64,
             committed: committed as u64,
-            conflict_aborted: conflict_aborted.len() as u64,
+            conflict_aborted: pre_fallback_conflicts as u64,
             logic_aborted: logic_aborted as u64,
             execute_ns: (t1 - t0).as_nanos() as u64,
             reserve_ns: (t2 - t1).as_nanos() as u64,
             commit_ns: (t3 - t2).as_nanos() as u64,
+            fallback_ns: (t4 - t3).as_nanos() as u64,
+            fallback_committed: fallback_committed as u64,
             workers: lanes as u64,
         });
 
@@ -225,62 +394,78 @@ impl AriaExecutor {
             outcomes,
             committed,
             conflict_aborted,
+            fallback_committed,
         }
     }
 
-    /// Phase 2: the write-reservation map. Parallel lanes each build a
-    /// map over their contiguous chunk (ids ascend within a chunk, so
-    /// first-insert wins locally), then the chunk maps merge with
-    /// lowest-id-wins — a commutative/associative minimum, identical to
-    /// the serial left-to-right scan regardless of worker interleaving.
-    fn reserve<'e>(&self, effects: &'e [TxnEffects], lanes: usize) -> ReserveMap<'e> {
+    /// Phase 2: the sharded write-reservation table. Each lane owns a
+    /// contiguous shard range and scans the whole batch in id order,
+    /// keeping only the keys that hash into its range; the first insert
+    /// per key is therefore the lowest id, and each shard's content is
+    /// independent of the lane count. The redundant per-lane key hashing
+    /// is cheap; what it buys is the removal of the old serial
+    /// lowest-id-wins merge over every reserved key.
+    fn reserve<'e>(&self, effects: &'e [TxnEffects], lanes: usize) -> ReservationTable<'e> {
         if lanes <= 1 {
-            let mut rsv: ReserveMap = HashMap::new();
+            let mut shards: Vec<ReserveMap> = vec![HashMap::new(); RSV_SHARDS];
             for (i, eff) in effects.iter().enumerate() {
                 if eff.abort {
                     continue;
                 }
                 for (k, _) in &eff.writes {
-                    rsv.entry(k.as_slice()).or_insert(i);
+                    shards[rsv_shard_of(k)].entry(k.as_slice()).or_insert(i);
                 }
             }
-            return rsv;
+            return ReservationTable { shards };
         }
-        let chunk = effects.len().div_ceil(lanes);
-        let tasks: Vec<ReserveTask<'e, '_>> = effects
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, slice)| {
-                let base = ci * chunk;
+        let lanes = lanes.min(RSV_SHARDS);
+        let group = RSV_SHARDS.div_ceil(lanes);
+        let tasks: Vec<ReserveTask<'e, '_>> = (0..RSV_SHARDS.div_ceil(group))
+            .map(|gi| {
+                let lo = gi * group;
+                let hi = (lo + group).min(RSV_SHARDS);
                 Box::new(move || {
-                    let mut rsv: ReserveMap = HashMap::new();
-                    for (off, eff) in slice.iter().enumerate() {
+                    let mut maps: Vec<ReserveMap> = vec![HashMap::new(); hi - lo];
+                    for (i, eff) in effects.iter().enumerate() {
                         if eff.abort {
                             continue;
                         }
                         for (k, _) in &eff.writes {
-                            rsv.entry(k.as_slice()).or_insert(base + off);
+                            let s = rsv_shard_of(k);
+                            if (lo..hi).contains(&s) {
+                                maps[s - lo].entry(k.as_slice()).or_insert(i);
+                            }
                         }
                     }
-                    rsv
+                    maps
                 }) as ReserveTask<'e, '_>
             })
             .collect();
-        let mut maps = self.pool.run_tasks(tasks).into_iter();
-        let mut merged = maps.next().unwrap_or_default();
-        for m in maps {
-            for (k, i) in m {
-                merged
-                    .entry(k)
-                    .and_modify(|e| {
-                        if i < *e {
-                            *e = i;
-                        }
-                    })
-                    .or_insert(i);
-            }
-        }
-        merged
+        let shards: Vec<ReserveMap> = self.pool.run_tasks(tasks).into_iter().flatten().collect();
+        debug_assert_eq!(shards.len(), RSV_SHARDS);
+        ReservationTable { shards }
+    }
+}
+
+/// The commit decision for transaction `i`: a pure function of its
+/// effects and the reservation table.
+#[inline]
+fn commit_check(i: usize, eff: &TxnEffects, rsv: &ReservationTable) -> TxnOutcome {
+    if eff.abort {
+        return TxnOutcome::LogicAborted;
+    }
+    let waw = eff
+        .writes
+        .iter()
+        .any(|(k, _)| rsv.owner(k).is_some_and(|o| o < i));
+    let raw = eff
+        .reads
+        .iter()
+        .any(|k| rsv.owner(k).is_some_and(|o| o < i));
+    if waw || raw {
+        TxnOutcome::ConflictAborted
+    } else {
+        TxnOutcome::Committed
     }
 }
 
@@ -511,5 +696,62 @@ mod tests {
         assert_eq!(out.committed, 0);
         assert_eq!(out.abort_rate(), 0.0);
         assert_eq!(store.version(), 1);
+    }
+
+    #[test]
+    fn fallback_commits_entire_abort_set_in_id_order() {
+        // 64 order-sensitive RMWs on one hot key: txn i folds
+        // `hot = hot * 31 + (i + 1)`. Only txn 0 survives the parallel
+        // round; the fallback must rescue ids 1..64 serially in ascending
+        // order — the final value is the unique left-fold, so any other
+        // order (or a dropped id) changes the bytes.
+        let mk = |i: u64| {
+            move |view: &KvStore| {
+                let mut eff = TxnEffects::default();
+                eff.read(b"hot".as_slice());
+                let v = balance(view, b"hot");
+                eff.write(
+                    b"hot".as_slice(),
+                    (v.wrapping_mul(31).wrapping_add(i + 1))
+                        .to_le_bytes()
+                        .to_vec(),
+                );
+                eff
+            }
+        };
+        let batch: Vec<_> = (0..64u64).map(mk).collect();
+        let expect = (0..64u64).fold(7u64, |v, i| v.wrapping_mul(31).wrapping_add(i + 1));
+        for workers in [1usize, 2, 4, 8, 16] {
+            let mut store = bank(&[(b"hot", 7)]);
+            let exec = AriaExecutor::parallel(workers).with_fallback(true);
+            let out = exec.execute_batch(&mut store, &batch);
+            assert_eq!(out.committed, 64, "workers={workers}");
+            assert_eq!(out.fallback_committed, 63);
+            assert!(out.conflict_aborted.is_empty());
+            assert_eq!(out.outcomes[0], TxnOutcome::Committed);
+            assert!(out.outcomes[1..]
+                .iter()
+                .all(|o| *o == TxnOutcome::FallbackCommitted));
+            assert_eq!(balance(&store, b"hot"), expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fallback_rerun_can_logic_abort() {
+        // Txn 1 conflicts with txn 0; by the time the fallback re-runs it,
+        // txn 0 has drained the account, so the re-run's own logic aborts.
+        let mut store = bank(&[(b"a", 15), (b"b", 0), (b"c", 0)]);
+        let batch = vec![transfer(b"a", b"b", 10), transfer(b"a", b"c", 10)];
+        let exec = AriaExecutor::new().with_fallback(true);
+        let out = exec.execute_batch(&mut store, &batch);
+        assert_eq!(
+            out.outcomes,
+            vec![TxnOutcome::Committed, TxnOutcome::LogicAborted]
+        );
+        assert_eq!(out.committed, 1);
+        assert_eq!(out.fallback_committed, 0);
+        assert!(out.conflict_aborted.is_empty());
+        assert_eq!(balance(&store, b"a"), 5);
+        assert_eq!(balance(&store, b"c"), 0);
     }
 }

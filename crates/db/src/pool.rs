@@ -45,11 +45,21 @@ impl WorkerPool {
     }
 
     /// Reads the width from [`WORKERS_ENV`], defaulting to 1 (serial).
+    /// An unparsable value still defaults to serial, but loudly: one
+    /// stderr line plus an `exec_config_invalid` telemetry event, so a
+    /// typo'd `MASSBFT_EXEC_WORKERS=eight` can't silently serialize a
+    /// benchmark.
     pub fn from_env() -> Self {
-        let workers = std::env::var(WORKERS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(1);
+        let workers = match std::env::var(WORKERS_ENV) {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    crate::stats::warn_invalid_env(WORKERS_ENV, &v, crate::stats::ENV_CODE_WORKERS);
+                    1
+                }
+            },
+            Err(_) => 1,
+        };
         Self::new(workers)
     }
 
@@ -197,5 +207,28 @@ mod tests {
     #[test]
     fn zero_width_clamps_to_one() {
         assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn from_env_warns_on_unparsable_width() {
+        let saved = std::env::var(WORKERS_ENV).ok();
+        std::env::set_var(WORKERS_ENV, "eight");
+        massbft_telemetry::set_enabled(true);
+        let _ = massbft_telemetry::drain();
+        let pool = WorkerPool::from_env();
+        let drained = massbft_telemetry::drain();
+        massbft_telemetry::set_enabled(false);
+        match saved {
+            Some(v) => std::env::set_var(WORKERS_ENV, v),
+            None => std::env::remove_var(WORKERS_ENV),
+        }
+        assert_eq!(pool.workers(), 1, "unparsable width falls back to serial");
+        assert!(
+            drained.events.iter().any(|e| {
+                e.kind == massbft_telemetry::EventKind::ExecConfigInvalid
+                    && e.value == crate::stats::ENV_CODE_WORKERS
+            }),
+            "expected an exec_config_invalid event in the ring"
+        );
     }
 }

@@ -5,10 +5,34 @@
 //! facade that keeps the original `record_batch` / `exec_stats` API. The
 //! executor records one sample per batch ([`record_batch`]); the worker
 //! pool feeds per-task busy time ([`record_busy_ns`]) so utilization can
-//! be computed as `busy / (wall × workers)` over the parallel batches.
+//! be computed as `busy / (wall × workers)` over every batch: serial
+//! batches count their single inline lane as fully busy (one lane, one
+//! wall of work), so workers=1 honestly reports ~1.0 instead of 0.
 
 use massbft_telemetry::registry::{counter, Counter};
+use massbft_telemetry::{emit, Event, EventKind};
 use std::sync::OnceLock;
+
+/// `value` payload of an [`EventKind::ExecConfigInvalid`] event: which
+/// environment knob held the unparsable value.
+pub const ENV_CODE_WORKERS: u64 = 0;
+/// See [`ENV_CODE_WORKERS`].
+pub const ENV_CODE_FALLBACK: u64 = 1;
+
+/// Reports an unparsable execution-config environment variable: one line
+/// on stderr (always) plus an [`EventKind::ExecConfigInvalid`] event in
+/// the telemetry ring (when telemetry is enabled), so headless runs that
+/// only collect the ring still see the misconfiguration.
+pub(crate) fn warn_invalid_env(var: &str, value: &str, code: u64) {
+    eprintln!("massbft-db: ignoring unparsable {var}={value:?}; using the default");
+    emit(Event {
+        at: 0,
+        kind: EventKind::ExecConfigInvalid,
+        node: (0, 0),
+        entry: (0, 0),
+        value: code,
+    });
+}
 
 /// The registry handles, resolved once per process.
 struct Counters {
@@ -21,6 +45,8 @@ struct Counters {
     execute_ns: Counter,
     reserve_ns: Counter,
     commit_ns: Counter,
+    fallback_ns: Counter,
+    fallback_committed: Counter,
     busy_ns: Counter,
     capacity_ns: Counter,
 }
@@ -37,6 +63,8 @@ fn counters() -> &'static Counters {
         execute_ns: counter("db.exec.execute_ns"),
         reserve_ns: counter("db.exec.reserve_ns"),
         commit_ns: counter("db.exec.commit_ns"),
+        fallback_ns: counter("db.exec.fallback_ns"),
+        fallback_committed: counter("db.exec.fallback_committed"),
         busy_ns: counter("db.exec.busy_ns"),
         capacity_ns: counter("db.exec.capacity_ns"),
     })
@@ -59,6 +87,11 @@ pub struct BatchSample {
     pub reserve_ns: u64,
     /// Wall time of the commit-check + apply phase.
     pub commit_ns: u64,
+    /// Wall time of the deterministic abort-fallback phase (0 when the
+    /// fallback is disabled or nothing aborted).
+    pub fallback_ns: u64,
+    /// Conflict-aborted transactions rescued by the fallback re-run.
+    pub fallback_committed: u64,
     /// Worker lanes actually used (1 = serial path).
     pub workers: u64,
 }
@@ -74,10 +107,22 @@ pub fn record_batch(s: BatchSample) {
     c.execute_ns.add(s.execute_ns);
     c.reserve_ns.add(s.reserve_ns);
     c.commit_ns.add(s.commit_ns);
+    c.fallback_ns.add(s.fallback_ns);
+    c.fallback_committed.add(s.fallback_committed);
+    // Capacity accrues for every batch so utilization is honest at any
+    // width. The fallback re-run is inherently single-lane, so it
+    // contributes one lane of capacity and one lane of busy time; on the
+    // serial path the inline lane is likewise busy for the whole wall
+    // (the pool's busy counters only see spawned tasks).
+    let wall = s.execute_ns + s.reserve_ns + s.commit_ns;
     if s.workers > 1 {
         c.parallel_batches.inc();
-        let wall = s.execute_ns + s.reserve_ns + s.commit_ns;
-        c.capacity_ns.add(wall.saturating_mul(s.workers));
+        c.capacity_ns
+            .add(wall.saturating_mul(s.workers).saturating_add(s.fallback_ns));
+        c.busy_ns.add(s.fallback_ns);
+    } else {
+        c.capacity_ns.add(wall + s.fallback_ns);
+        c.busy_ns.add(wall + s.fallback_ns);
     }
 }
 
@@ -107,14 +152,22 @@ pub struct ExecStats {
     pub reserve_ns: u64,
     /// Cumulative commit-check + apply phase wall time.
     pub commit_ns: u64,
-    /// Cumulative per-worker busy time (pool tasks only).
+    /// Cumulative abort-fallback phase wall time.
+    pub fallback_ns: u64,
+    /// Conflict aborts rescued (committed) by the fallback re-run.
+    pub fallback_committed: u64,
+    /// Cumulative per-worker busy time (pool tasks, plus the inline lane
+    /// of serial batches and the fallback re-run).
     pub busy_ns: u64,
-    /// Cumulative `wall × workers` over parallel batches.
+    /// Cumulative `wall × workers` over all batches (serial batches count
+    /// one lane).
     pub capacity_ns: u64,
 }
 
 impl ExecStats {
-    /// Conflict-abort rate over all executed transactions.
+    /// Conflict-abort rate over all executed transactions, *before* the
+    /// deterministic fallback rescues any of them — the raw contention
+    /// signal of the workload.
     pub fn abort_rate(&self) -> f64 {
         if self.txns == 0 {
             0.0
@@ -123,8 +176,19 @@ impl ExecStats {
         }
     }
 
-    /// Fraction of parallel-batch worker capacity spent busy (0..=1);
-    /// 0 when no batch took the parallel path.
+    /// Conflict-abort rate after the fallback re-run: aborts that stayed
+    /// aborted. With the fallback enabled this is what callers actually
+    /// pay in retries.
+    pub fn effective_abort_rate(&self) -> f64 {
+        if self.txns == 0 {
+            0.0
+        } else {
+            (self.conflict_aborted - self.fallback_committed) as f64 / self.txns as f64
+        }
+    }
+
+    /// Fraction of worker capacity spent busy (0..=1) across all batches;
+    /// 0 only before any batch has run.
     pub fn worker_utilization(&self) -> f64 {
         if self.capacity_ns == 0 {
             0.0
@@ -145,6 +209,8 @@ impl ExecStats {
             execute_ns: self.execute_ns - earlier.execute_ns,
             reserve_ns: self.reserve_ns - earlier.reserve_ns,
             commit_ns: self.commit_ns - earlier.commit_ns,
+            fallback_ns: self.fallback_ns - earlier.fallback_ns,
+            fallback_committed: self.fallback_committed - earlier.fallback_committed,
             busy_ns: self.busy_ns - earlier.busy_ns,
             capacity_ns: self.capacity_ns - earlier.capacity_ns,
         }
@@ -164,6 +230,8 @@ pub fn exec_stats() -> ExecStats {
         execute_ns: c.execute_ns.get(),
         reserve_ns: c.reserve_ns.get(),
         commit_ns: c.commit_ns.get(),
+        fallback_ns: c.fallback_ns.get(),
+        fallback_committed: c.fallback_committed.get(),
         busy_ns: c.busy_ns.get(),
         capacity_ns: c.capacity_ns.get(),
     }
@@ -184,6 +252,8 @@ mod tests {
             execute_ns: 100,
             reserve_ns: 20,
             commit_ns: 30,
+            fallback_ns: 0,
+            fallback_committed: 0,
             workers: 4,
         });
         let d = exec_stats().since(&before);
@@ -198,7 +268,9 @@ mod tests {
     }
 
     #[test]
-    fn serial_batches_do_not_add_capacity() {
+    fn serial_batches_report_full_utilization() {
+        // A one-lane batch is by definition 100% busy for its wall time;
+        // utilization must not read 0 just because the pool never spawned.
         let before = exec_stats();
         record_batch(BatchSample {
             txns: 5,
@@ -209,8 +281,33 @@ mod tests {
         });
         let d = exec_stats().since(&before);
         assert_eq!(d.parallel_batches, 0);
-        assert_eq!(d.capacity_ns, 0);
-        assert_eq!(d.worker_utilization(), 0.0);
+        assert_eq!(d.capacity_ns, 50);
+        assert_eq!(d.busy_ns, 50);
+        assert_eq!(d.worker_utilization(), 1.0);
+    }
+
+    #[test]
+    fn fallback_time_counts_as_one_busy_lane() {
+        let before = exec_stats();
+        record_batch(BatchSample {
+            txns: 8,
+            committed: 8,
+            conflict_aborted: 3,
+            fallback_committed: 3,
+            execute_ns: 60,
+            reserve_ns: 20,
+            commit_ns: 20,
+            fallback_ns: 40,
+            workers: 4,
+            ..Default::default()
+        });
+        let d = exec_stats().since(&before);
+        // 100 ns of fan-out wall × 4 lanes + 40 ns of single-lane fallback.
+        assert_eq!(d.capacity_ns, 100 * 4 + 40);
+        assert_eq!(d.busy_ns, 40); // pool busy time is recorded separately
+        assert_eq!(d.fallback_committed, 3);
+        assert!((d.abort_rate() - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(d.effective_abort_rate(), 0.0);
     }
 
     // The facade and the registry must read the same counter.

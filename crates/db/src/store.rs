@@ -56,15 +56,23 @@ fn pair_hash(k: &[u8], v: &[u8]) -> u64 {
     h.finish()
 }
 
-/// Shard index for a key: FNV-1a over the key bytes, masked to [`SHARDS`].
+/// FNV-1a over the key bytes — the shared key hash for both the store's
+/// shard selection and the executor's reservation-table sharding (the two
+/// mask different bit counts off the same hash).
 #[inline]
-pub(crate) fn shard_of(key: &[u8]) -> usize {
+pub(crate) fn fnv64(key: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in key {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
-    (h as usize) & (SHARDS - 1)
+    h
+}
+
+/// Shard index for a key: FNV-1a masked to [`SHARDS`].
+#[inline]
+pub(crate) fn shard_of(key: &[u8]) -> usize {
+    (fnv64(key) as usize) & (SHARDS - 1)
 }
 
 impl KvStore {
@@ -164,6 +172,64 @@ impl KvStore {
                             d ^= pair_hash(k, v);
                             if let Some(old) = shard.insert(k.clone(), v.clone()) {
                                 d ^= pair_hash(k, &old);
+                            }
+                        }
+                    }
+                    *delta = d;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_tasks(tasks);
+        self.content_acc ^= deltas.into_iter().fold(0, |a, d| a ^ d);
+    }
+
+    /// Applies a batch's committed writes from per-lane, per-shard buckets
+    /// (`lane_buckets[lane][shard]`) as produced by the executor's fused
+    /// commit pass — the writes arrive pre-sharded, so this skips the
+    /// serial re-bucketing scan [`KvStore::apply_writes`] pays. Within one
+    /// shard, lanes apply in lane order; lane order is ascending
+    /// transaction id and each lane's bucket preserves program order, so
+    /// repeated writes of one key keep last-write-wins semantics. Across
+    /// transactions the WAW rule has already made committed key sets
+    /// disjoint.
+    pub(crate) fn apply_sharded(
+        &mut self,
+        pool: &WorkerPool,
+        lane_buckets: &[Vec<Vec<(&Key, &Value)>>],
+    ) {
+        let total: usize = lane_buckets
+            .iter()
+            .flat_map(|lane| lane.iter().map(Vec::len))
+            .sum();
+        if pool.is_serial() || total < crate::pool::MIN_CHUNK * 2 {
+            for shard in 0..SHARDS {
+                for lane in lane_buckets {
+                    for &(k, v) in &lane[shard] {
+                        self.put(k.clone(), v.clone());
+                    }
+                }
+            }
+            return;
+        }
+        let lanes = pool.workers().min(SHARDS);
+        let group = SHARDS.div_ceil(lanes);
+        let mut deltas = vec![0u64; SHARDS.div_ceil(group)];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = self
+            .shards
+            .chunks_mut(group)
+            .enumerate()
+            .zip(deltas.iter_mut())
+            .map(|((gi, shard_group), delta)| {
+                Box::new(move || {
+                    let mut d = 0u64;
+                    for (si, shard) in shard_group.iter_mut().enumerate() {
+                        let s = gi * group + si;
+                        for lane in lane_buckets {
+                            for &(k, v) in &lane[s] {
+                                d ^= pair_hash(k, v);
+                                if let Some(old) = shard.insert(k.clone(), v.clone()) {
+                                    d ^= pair_hash(k, &old);
+                                }
                             }
                         }
                     }
@@ -290,6 +356,31 @@ mod tests {
 
         assert_eq!(serial.len(), parallel.len());
         assert_eq!(serial.content_hash(), parallel.content_hash());
+    }
+
+    #[test]
+    fn apply_sharded_matches_serial_puts() {
+        // Pre-bucketed lanes (as the fused commit pass produces) must land
+        // exactly where a serial put-loop in lane order would, on both the
+        // small-batch serial path and the pool path.
+        let keys: Vec<Key> = (0..300u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let vals: Vec<Value> = (0..300u32).map(|i| vec![i as u8; 8]).collect();
+        let mut serial = KvStore::new();
+        for (k, v) in keys.iter().zip(vals.iter()) {
+            serial.put(k.clone(), v.clone());
+        }
+        for (lanes, pool_width) in [(2usize, 1usize), (3, 4)] {
+            let mut lane_buckets: Vec<Vec<Vec<(&Key, &Value)>>> =
+                vec![vec![Vec::new(); SHARDS]; lanes];
+            for (i, (k, v)) in keys.iter().zip(vals.iter()).enumerate() {
+                lane_buckets[i % lanes][shard_of(k)].push((k, v));
+            }
+            let mut s = KvStore::new();
+            s.apply_sharded(&WorkerPool::new(pool_width), &lane_buckets);
+            assert_eq!(s.len(), serial.len());
+            assert_eq!(s.content_hash(), serial.content_hash());
+            assert_eq!(s.content_hash(), s.recompute_content_hash());
+        }
     }
 
     #[test]

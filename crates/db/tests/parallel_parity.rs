@@ -11,7 +11,10 @@
 //!
 //! `scripts/check.sh` re-runs this suite with `MASSBFT_EXEC_WORKERS`
 //! forced to 2 and 8 so nondeterminism that only shows up under real
-//! thread interleaving is caught by the gate.
+//! thread interleaving is caught by the gate, and once more with
+//! `MASSBFT_EXEC_FALLBACK=1` so the deterministic abort fallback is
+//! exercised under real parallelism too (the env-driven tests below
+//! mirror the executor's fallback setting into their serial reference).
 
 use massbft_db::pool::WORKERS_ENV;
 use massbft_db::{AriaExecutor, DetTransaction, KvStore, TxnEffects};
@@ -178,10 +181,8 @@ fn env_forced_width_matches_serial() {
     }
     let raw = lcg_bytes(99, 6 * 600);
     let batches = vec![decode_txns(&raw)];
-    assert_eq!(
-        run(&exec, 3, &batches),
-        run(&AriaExecutor::new(), 3, &batches)
-    );
+    let reference = AriaExecutor::new().with_fallback(exec.fallback_enabled());
+    assert_eq!(run(&exec, 3, &batches), run(&reference, 3, &batches));
 }
 
 #[test]
@@ -192,10 +193,29 @@ fn env_default_width_parity() {
     let raw = lcg_bytes(1234, 6 * 2000);
     let txns = decode_txns(&raw);
     let batches: Vec<Vec<TestTxn>> = txns.chunks(500).map(|c| c.to_vec()).collect();
-    assert_eq!(
-        run(&exec, 11, &batches),
-        run(&AriaExecutor::new(), 11, &batches)
-    );
+    let reference = AriaExecutor::new().with_fallback(exec.fallback_enabled());
+    assert_eq!(run(&exec, 11, &batches), run(&reference, 11, &batches));
+}
+
+#[test]
+fn fallback_parity_at_many_widths() {
+    // The deterministic fallback re-runs the abort set against the
+    // evolving store, so stale or reordered rescues would change the
+    // database bytes — the strictest parity target in the suite.
+    let raw = lcg_bytes(77, 6 * 1024);
+    let txns = decode_txns(&raw);
+    let batches: Vec<Vec<TestTxn>> = txns.chunks(400).map(|c| c.to_vec()).collect();
+    let serial = run(&AriaExecutor::new().with_fallback(true), 5, &batches);
+    for workers in [2, 3, 4, 5, 8, 16] {
+        let par = run(
+            &AriaExecutor::parallel(workers).with_fallback(true),
+            5,
+            &batches,
+        );
+        assert_eq!(par, serial, "fallback divergence at workers={workers}");
+    }
+    // With the fallback on, no batch leaves conflict residue behind.
+    assert!(serial.0.iter().all(|o| o.conflict_aborted.is_empty()));
 }
 
 mod prop {
@@ -217,9 +237,16 @@ mod prop {
             let batches: Vec<Vec<TestTxn>> =
                 txns.chunks(per).map(|c| c.to_vec()).collect();
             let serial = run(&AriaExecutor::new(), seed, &batches);
+            let serial_fb = run(&AriaExecutor::new().with_fallback(true), seed, &batches);
             for workers in [2usize, 3, 8] {
                 let par = run(&AriaExecutor::parallel(workers), seed, &batches);
                 prop_assert_eq!(&par, &serial);
+                let par_fb = run(
+                    &AriaExecutor::parallel(workers).with_fallback(true),
+                    seed,
+                    &batches,
+                );
+                prop_assert_eq!(&par_fb, &serial_fb);
             }
         }
     }

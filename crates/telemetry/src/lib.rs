@@ -122,6 +122,10 @@ pub enum EventKind {
     /// View-change driver: replica adopted a new view via `NewView`
     /// (`value` = the adopted view).
     NewViewAdopted = 20,
+    /// An execution-pipeline environment knob held an unparsable value
+    /// and the default was used instead (`value` = which knob, as the
+    /// emitting crate defines it).
+    ExecConfigInvalid = 21,
 }
 
 impl EventKind {
@@ -166,6 +170,7 @@ impl EventKind {
             EventKind::ViewStallDetected => "view_stall_detected",
             EventKind::ViewChangeStarted => "view_change_started",
             EventKind::NewViewAdopted => "new_view_adopted",
+            EventKind::ExecConfigInvalid => "exec_config_invalid",
         }
     }
 
@@ -188,7 +193,7 @@ impl EventKind {
     }
 }
 
-const ALL_KINDS: [EventKind; 21] = [
+const ALL_KINDS: [EventKind; 22] = [
     EventKind::Submitted,
     EventKind::PbftPrePrepare,
     EventKind::PbftPrepare,
@@ -210,6 +215,7 @@ const ALL_KINDS: [EventKind; 21] = [
     EventKind::ViewStallDetected,
     EventKind::ViewChangeStarted,
     EventKind::NewViewAdopted,
+    EventKind::ExecConfigInvalid,
 ];
 
 /// One telemetry event: a phase boundary stamped with virtual time.

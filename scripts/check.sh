@@ -30,6 +30,14 @@ for workers in 2 8; do
   MASSBFT_EXEC_WORKERS=${workers} cargo test -q --test determinism
 done
 
+# Same, with the deterministic abort fallback forced on: the serial
+# rescue re-run is the most order-sensitive path in the executor, so it
+# gets its own pass under real parallelism.
+echo "==> execution parity under MASSBFT_EXEC_FALLBACK=1 (workers=8)"
+MASSBFT_EXEC_FALLBACK=1 MASSBFT_EXEC_WORKERS=8 \
+  cargo test -q -p massbft-db --test parallel_parity
+MASSBFT_EXEC_FALLBACK=1 MASSBFT_EXEC_WORKERS=8 cargo test -q --test determinism
+
 if [[ $fast -eq 0 ]]; then
   # Telemetry gate: capture a short trace and validate the emitted JSON.
   # The bin itself exits non-zero if the Chrome trace is structurally
@@ -67,6 +75,14 @@ EOF
     --out "${scaledir}/BENCH_scale.json"
   [[ -s "${scaledir}/BENCH_scale.json" ]]
   rm -rf "${scaledir}"
+
+  # Execution phase-regression gate: re-measures the reserve+commit
+  # phase share (quick profile, best of 3) and exits non-zero when it
+  # exceeds the gate_baseline recorded in BENCH_execution.json by >10%.
+  # Phase *shares* cancel host speed, so the gate stays meaningful on
+  # single-core or noisy runners where wall-clock speedup does not.
+  echo "==> execution phase-regression gate"
+  cargo run --release -q -p massbft-bench --bin execution -- --gate
 
   # Simulator microbench: prints the before/after events-per-second line
   # for each hot-path case (informational — absolute numbers vary across

@@ -65,17 +65,21 @@ fn fault_schedules_are_reproducible() {
     assert_eq!(run(), run());
 }
 
-/// Runs a MassBFT cluster with `workers` Aria lanes and `retry` conflict
-/// retries, capturing every node's full ledger view (height, head hash,
-/// per-block state fingerprints via the head chain hash) plus state.
-fn parallel_run(workers: usize, retry: bool) -> Vec<(u64, [u8; 32], u64, usize)> {
+/// Runs a MassBFT cluster with `workers` Aria lanes, `retry` conflict
+/// retries, and the deterministic abort `fallback` pinned explicitly
+/// (so `MASSBFT_EXEC_FALLBACK` in the environment cannot change what
+/// these tests compare), capturing every node's full ledger view
+/// (height, head hash, per-block state fingerprints via the head chain
+/// hash) plus state.
+fn parallel_run(workers: usize, retry: bool, fallback: bool) -> Vec<(u64, [u8; 32], u64, usize)> {
     let cfg = ClusterConfig::nationwide(&[4, 4, 4], Protocol::MassBft)
         .workload(WorkloadKind::SmallBank)
         .seed(41)
         .arrival_tps(3000.0)
         .max_batch(60)
         .exec_workers(workers)
-        .retry_aborts(retry);
+        .retry_aborts(retry)
+        .exec_fallback(fallback);
     let mut c = Cluster::new(cfg);
     c.run_secs(2);
     let mut out = Vec::new();
@@ -102,14 +106,14 @@ fn parallel_execution_is_byte_identical_to_serial() {
     // The tentpole property: worker count is invisible in the results.
     // Ledger root hashes cover per-entry state fingerprints, so equality
     // here means byte-identical execution histories on every replica.
-    let serial = parallel_run(1, false);
-    assert_eq!(parallel_run(4, false), serial, "4 workers diverged");
-    assert_eq!(parallel_run(8, false), serial, "8 workers diverged");
+    let serial = parallel_run(1, false, false);
+    assert_eq!(parallel_run(4, false, false), serial, "4 workers diverged");
+    assert_eq!(parallel_run(8, false, false), serial, "8 workers diverged");
 }
 
 #[test]
 fn parallel_replicas_agree_on_ledger_roots() {
-    let nodes = parallel_run(4, false);
+    let nodes = parallel_run(4, false, false);
     let max_height = nodes.iter().map(|n| n.0).max().unwrap();
     assert!(max_height > 10, "run too short: {max_height}");
     let reference = nodes.iter().find(|n| n.0 == max_height).unwrap();
@@ -126,10 +130,23 @@ fn conflict_retry_is_deterministic_across_worker_counts() {
     // Retry re-queues conflict aborts at the front of the next entry's
     // batch; the queue must be a pure function of the entry sequence,
     // so worker width cannot show through even with retries on.
-    let serial = parallel_run(1, true);
-    assert_eq!(parallel_run(8, true), serial);
+    let serial = parallel_run(1, true, false);
+    assert_eq!(parallel_run(8, true, false), serial);
     // And retries genuinely change the history vs drop-on-conflict.
-    assert_ne!(parallel_run(1, false), serial);
+    assert_ne!(parallel_run(1, false, false), serial);
+}
+
+#[test]
+fn deterministic_fallback_is_byte_identical_across_worker_counts() {
+    // Aria's same-batch abort fallback re-runs the conflict set serially
+    // against the evolving store — the most order-sensitive path in the
+    // executor. Worker width must still be invisible end to end.
+    let serial = parallel_run(1, false, true);
+    assert_eq!(parallel_run(4, false, true), serial, "4 workers diverged");
+    assert_eq!(parallel_run(8, false, true), serial, "8 workers diverged");
+    // And rescuing aborts genuinely changes the committed history vs
+    // drop-on-conflict — the fallback is doing real work here.
+    assert_ne!(parallel_run(1, false, false), serial);
 }
 
 /// The scale-sweep regression point: the 8-group × 8-node worldwide
