@@ -1,0 +1,513 @@
+//! The first *wall-clock* throughput numbers: MassBFT on the real-TCP
+//! thread-per-node runtime (`massbft-runtime`), loopback sockets with
+//! netem-style latency injected at the connection layer from the same
+//! nationwide/worldwide presets the simulator uses.
+//!
+//! Emits `BENCH_wallclock.json` with one record per point — committed
+//! ktps, p50/p99 commit latency (wall-clock telemetry histogram), plus
+//! *transport-truth* costs the simulator can only model: actual TCP
+//! bytes and write/read syscalls per committed transaction, frames, and
+//! the write-coalescing ratio.
+//!
+//! ```text
+//! cargo run --release -p massbft-bench --bin wallclock
+//! cargo run --release -p massbft-bench --bin wallclock -- --smoke
+//! cargo run --release -p massbft-bench --bin wallclock -- --mode process --only nationwide-3x4
+//! ```
+//!
+//! `--smoke` is the CI gate: one small nationwide point, short window,
+//! failing on inconsistency, zero progress, or a blown wall budget.
+//!
+//! `--mode process` hosts group 0 in this process and forks one child
+//! process per remaining group (fixed-port address scheme, no
+//! coordination); the parent cross-checks every child's ledger block
+//! hashes against its own for prefix agreement across process
+//! boundaries.
+
+use massbft_bench::report::{self, Json, Obj, Verdict};
+use massbft_core::cluster::{ClusterConfig, Region};
+use massbft_core::protocol::Protocol;
+use massbft_runtime::{Cluster, HostSpec};
+use massbft_sim_net::SECOND;
+use massbft_telemetry::registry;
+use massbft_workloads::WorkloadKind;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+/// Block hashes reported per process for the cross-process prefix
+/// check (hash `i` covers the whole chain up to height `i+1`, so a
+/// capped list still proves prefix agreement).
+const PREFIX_CAP: usize = 128;
+
+struct Point {
+    name: &'static str,
+    region: Region,
+    groups: usize,
+    size: usize,
+    /// Per-point multiplier on `--arrival-tps`: every node here shares
+    /// one CPU core, so the 32-node points must be offered less load
+    /// per group or execution falls behind, PBFT timers expire, and the
+    /// resulting view-change storm commits nothing.
+    tps_scale: f64,
+}
+
+/// Acceptance grid: nationwide AND worldwide at 3×4 and 4×8 nodes.
+const SWEEP: &[Point] = &[
+    Point {
+        name: "nationwide-3x4",
+        region: Region::Nationwide,
+        groups: 3,
+        size: 4,
+        tps_scale: 1.0,
+    },
+    Point {
+        name: "worldwide-3x4",
+        region: Region::Worldwide,
+        groups: 3,
+        size: 4,
+        tps_scale: 1.0,
+    },
+    Point {
+        name: "nationwide-4x8",
+        region: Region::Nationwide,
+        groups: 4,
+        size: 8,
+        tps_scale: 0.32,
+    },
+    Point {
+        name: "worldwide-4x8",
+        region: Region::Worldwide,
+        groups: 4,
+        size: 8,
+        tps_scale: 0.32,
+    },
+];
+
+#[derive(Debug, Clone)]
+struct Args {
+    secs: u64,
+    seed: u64,
+    arrival_tps: f64,
+    max_batch: usize,
+    out: String,
+    only: Option<String>,
+    smoke: bool,
+    budget_secs: u64,
+    process_mode: bool,
+    /// Set on child processes: host exactly these groups.
+    child_groups: Option<Vec<u32>>,
+    port_base: u16,
+    region: String,
+    sizes: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wallclock [--secs N] [--seed N] [--arrival-tps N] [--max-batch N]
+                 [--out FILE] [--only SUBSTRING] [--smoke] [--budget-secs N]
+                 [--mode thread|process]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        secs: 4,
+        seed: 7,
+        arrival_tps: 2500.0,
+        max_batch: 100,
+        out: "BENCH_wallclock.json".to_string(),
+        only: None,
+        smoke: false,
+        budget_secs: 240,
+        process_mode: false,
+        child_groups: None,
+        port_base: 0,
+        region: String::new(),
+        sizes: String::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--secs" => args.secs = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--arrival-tps" => args.arrival_tps = val().parse().unwrap_or_else(|_| usage()),
+            "--max-batch" => args.max_batch = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = val(),
+            "--only" => args.only = Some(val()),
+            "--smoke" => args.smoke = true,
+            "--budget-secs" => args.budget_secs = val().parse().unwrap_or_else(|_| usage()),
+            "--mode" => match val().as_str() {
+                "thread" => args.process_mode = false,
+                "process" => args.process_mode = true,
+                _ => usage(),
+            },
+            "--child-groups" => {
+                args.child_groups = Some(
+                    val()
+                        .split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                )
+            }
+            "--port-base" => args.port_base = val().parse().unwrap_or_else(|_| usage()),
+            "--region" => args.region = val(),
+            "--sizes" => args.sizes = val(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn config(region: Region, sizes: &[usize], args: &Args) -> ClusterConfig {
+    match region {
+        Region::Nationwide => ClusterConfig::nationwide(sizes, Protocol::MassBft),
+        Region::Worldwide => ClusterConfig::worldwide(sizes, Protocol::MassBft),
+    }
+    .workload(WorkloadKind::YcsbA)
+    .seed(args.seed)
+    .arrival_tps(args.arrival_tps)
+    .max_batch(args.max_batch)
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+struct PointResult {
+    name: String,
+    nodes: usize,
+    ktps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    txns: u64,
+    tcp_bytes_per_txn: f64,
+    syscalls_per_txn: f64,
+    frames_out: u64,
+    coalesce_ratio: f64,
+    wan_bytes_per_txn: f64,
+    wall_secs: f64,
+    consistent: bool,
+    ledger_height: u64,
+    ledger_head: String,
+}
+
+/// Snapshot of the process-wide transport counters.
+struct NetSnap {
+    bytes: u64,
+    syscalls: u64,
+    frames_out: u64,
+    coalesced: u64,
+}
+
+fn net_snap() -> NetSnap {
+    NetSnap {
+        bytes: registry::counter("net.tcp_bytes_out").get()
+            + registry::counter("net.tcp_bytes_in").get(),
+        syscalls: registry::counter("net.syscalls_write").get()
+            + registry::counter("net.syscalls_read").get(),
+        frames_out: registry::counter("net.frames_out").get(),
+        coalesced: registry::counter("net.coalesced_writes").get(),
+    }
+}
+
+/// Runs one point on the TCP runtime: 1 s warmup, `secs` measured.
+/// In process mode the returned metrics cover this process's share of
+/// the transport (group 0 plus the observer's ledger), and children are
+/// cross-checked for ledger prefix agreement.
+fn run_point(p: &Point, args: &Args) -> PointResult {
+    let sizes = vec![p.size; p.groups];
+    let mut args = args.clone();
+    args.arrival_tps *= p.tps_scale;
+    let args = &args;
+    let cfg = config(p.region, &sizes, args);
+    let commit_lat = registry::histogram("core.entry.commit_latency_us");
+
+    let t0 = Instant::now();
+    let (mut cluster, children) = if args.process_mode {
+        let port_base = 42000 + (fxhash(p.name) % 64) as u16 * 300;
+        let children: Vec<Child> = (1..p.groups as u32)
+            .map(|g| spawn_child(p, args, g, port_base))
+            .collect();
+        let c = Cluster::new_hosted(cfg, Some(HostSpec::groups(&[0], port_base)));
+        (c, children)
+    } else {
+        (Cluster::new(cfg), Vec::new())
+    };
+
+    cluster.run_until(SECOND);
+    cluster.open_window();
+    let lat_base = commit_lat.window();
+    let net_base = net_snap();
+    cluster.run_until(cluster.now() + args.secs * SECOND);
+    let rep = cluster.close_window();
+    let net_end = net_snap();
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let obs = cluster.observer();
+    let (height, head, prefix) = cluster.with_node(obs, |n| {
+        let l = n.ledger();
+        (
+            l.height(),
+            hex(l.head_hash().as_bytes()),
+            l.blocks()
+                .iter()
+                .take(PREFIX_CAP)
+                .map(|b| hex(b.hash.as_bytes()))
+                .collect::<Vec<_>>(),
+        )
+    });
+
+    let mut consistent = rep.all_nodes_consistent;
+    for child in children {
+        consistent &= join_child(child, &prefix);
+    }
+    drop(cluster);
+
+    let txns = rep.throughput.txns;
+    let d = txns.max(1) as f64;
+    PointResult {
+        name: p.name.to_string(),
+        nodes: p.groups * p.size,
+        ktps: rep.throughput.tps() / 1e3,
+        p50_ms: commit_lat.percentile_since(&lat_base, 50.0) as f64 / 1e3,
+        p99_ms: commit_lat.percentile_since(&lat_base, 99.0) as f64 / 1e3,
+        txns,
+        tcp_bytes_per_txn: (net_end.bytes - net_base.bytes) as f64 / d,
+        syscalls_per_txn: (net_end.syscalls - net_base.syscalls) as f64 / d,
+        frames_out: net_end.frames_out - net_base.frames_out,
+        coalesce_ratio: (net_end.coalesced - net_base.coalesced) as f64
+            / (net_end.frames_out - net_base.frames_out).max(1) as f64,
+        wan_bytes_per_txn: rep.wan_bytes as f64 / d,
+        wall_secs,
+        consistent,
+        ledger_height: height,
+        ledger_head: head,
+    }
+}
+
+/// Stable tiny hash for picking per-point port ranges.
+fn fxhash(s: &str) -> u32 {
+    s.bytes()
+        .fold(2166136261u32, |h, b| (h ^ b as u32).wrapping_mul(16777619))
+}
+
+fn spawn_child(p: &Point, args: &Args, group: u32, port_base: u16) -> Child {
+    let exe = std::env::current_exe().expect("current_exe");
+    // Children run warmup + window + 1 s grace so the parent's window
+    // never outlives its peers.
+    Command::new(exe)
+        .args([
+            "--child-groups".into(),
+            group.to_string(),
+            "--port-base".into(),
+            port_base.to_string(),
+            "--region".into(),
+            match p.region {
+                Region::Nationwide => "nationwide".to_string(),
+                Region::Worldwide => "worldwide".to_string(),
+            },
+            "--sizes".into(),
+            vec![p.size.to_string(); p.groups].join(","),
+            "--secs".into(),
+            (args.secs + 2).to_string(),
+            "--seed".into(),
+            args.seed.to_string(),
+            "--arrival-tps".into(),
+            args.arrival_tps.to_string(),
+            "--max-batch".into(),
+            args.max_batch.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn child process")
+}
+
+/// Waits for a child, parses its `CHILD_RESULT` line, and checks its
+/// ledger block hashes prefix-agree with the parent's.
+fn join_child(mut child: Child, parent_prefix: &[String]) -> bool {
+    let out = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    for l in BufReader::new(out).lines().map_while(Result::ok) {
+        if let Some(rest) = l.strip_prefix("CHILD_RESULT ") {
+            line = rest.to_string();
+        }
+    }
+    let ok_exit = child.wait().map(|s| s.success()).unwrap_or(false);
+    if line.is_empty() {
+        eprintln!("child produced no result line");
+        return false;
+    }
+    // `line` is `consistent=<bool> hashes=<h1,h2,...>` — a flat format
+    // so the parent needs no JSON parser.
+    let mut consistent = false;
+    let mut agree = true;
+    for part in line.split_whitespace() {
+        if let Some(v) = part.strip_prefix("consistent=") {
+            consistent = v == "true";
+        } else if let Some(v) = part.strip_prefix("hashes=") {
+            let hashes: Vec<&str> = if v.is_empty() {
+                Vec::new()
+            } else {
+                v.split(',').collect()
+            };
+            let k = hashes.len().min(parent_prefix.len());
+            agree = k > 0 && hashes[..k].iter().zip(parent_prefix).all(|(a, b)| a == b);
+            if !agree {
+                eprintln!("child ledger prefix disagrees with parent at first {k} blocks");
+            }
+        }
+    }
+    ok_exit && consistent && agree
+}
+
+/// Child-process entry: host the given groups, run, report, exit.
+fn run_child(args: &Args) -> ! {
+    let groups = args.child_groups.clone().expect("child groups");
+    let region = match args.region.as_str() {
+        "worldwide" => Region::Worldwide,
+        _ => Region::Nationwide,
+    };
+    let sizes: Vec<usize> = args
+        .sizes
+        .split(',')
+        .map(|s| s.parse().expect("group size"))
+        .collect();
+    let cfg = config(region, &sizes, args);
+    let mut cluster = Cluster::new_hosted(cfg, Some(HostSpec::groups(&groups, args.port_base)));
+    cluster.run_until(args.secs * SECOND);
+    let consistent = cluster.check_consistency();
+    let first = cluster.hosted_nodes()[0];
+    let hashes = cluster.with_node(first, |n| {
+        n.ledger()
+            .blocks()
+            .iter()
+            .take(PREFIX_CAP)
+            .map(|b| hex(b.hash.as_bytes()))
+            .collect::<Vec<_>>()
+            .join(",")
+    });
+    println!("CHILD_RESULT consistent={consistent} hashes={hashes}");
+    std::process::exit(if consistent { 0 } else { 1 });
+}
+
+fn point_json(r: &PointResult, mode: &str) -> Json {
+    Obj::new()
+        .set("name", r.name.as_str())
+        .set("mode", mode)
+        .set("nodes", r.nodes)
+        .set("ktps", Json::fixed(r.ktps, 2))
+        .set("p50_latency_ms", Json::fixed(r.p50_ms, 2))
+        .set("p99_latency_ms", Json::fixed(r.p99_ms, 2))
+        .set("committed_txns", r.txns)
+        .set("tcp_bytes_per_txn", Json::fixed(r.tcp_bytes_per_txn, 1))
+        .set("syscalls_per_txn", Json::fixed(r.syscalls_per_txn, 3))
+        .set("frames_out", r.frames_out)
+        .set("coalesce_ratio", Json::fixed(r.coalesce_ratio, 3))
+        .set("wan_bytes_per_txn", Json::fixed(r.wan_bytes_per_txn, 1))
+        .set("wall_secs", Json::fixed(r.wall_secs, 2))
+        .set("consistent", r.consistent)
+        .set("ledger_height", r.ledger_height)
+        .set("ledger_head", r.ledger_head.as_str())
+        .into()
+}
+
+fn print_row(r: &PointResult) {
+    println!(
+        "{:<16} {:>5} {:>7.2} {:>8.1} {:>8.1} {:>10.0} {:>9.3} {:>8.3} {:>7.2}s  {}",
+        r.name,
+        r.nodes,
+        r.ktps,
+        r.p50_ms,
+        r.p99_ms,
+        r.tcp_bytes_per_txn,
+        r.syscalls_per_txn,
+        r.coalesce_ratio,
+        r.wall_secs,
+        if r.consistent { "ok" } else { "DIVERGED" }
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    if args.child_groups.is_some() {
+        run_child(&args);
+    }
+    let mode = if args.process_mode {
+        "process"
+    } else {
+        "thread"
+    };
+    let mut verdict = Verdict::new();
+
+    println!(
+        "{:<16} {:>5} {:>7} {:>8} {:>8} {:>10} {:>9} {:>8} {:>8}",
+        "point", "nodes", "ktps", "p50 ms", "p99 ms", "tcpB/txn", "sysc/txn", "coalesce", "wall"
+    );
+
+    if args.smoke {
+        // CI gate: one small nationwide point, short real-time window.
+        let mut a = args.clone();
+        a.secs = 2;
+        let t0 = Instant::now();
+        let r = run_point(&SWEEP[0], &a);
+        print_row(&r);
+        let wall = t0.elapsed().as_secs_f64();
+        verdict.check("smoke committed transactions", r.txns > 0);
+        verdict.check("smoke replicas consistent", r.consistent);
+        verdict.check(
+            &format!("smoke wall-clock under {}s", a.budget_secs),
+            wall <= a.budget_secs as f64,
+        );
+        let doc = Json::from(
+            Obj::new()
+                .set("bench", "wallclock_smoke")
+                .set("config", config_json(&a, mode))
+                .set("wall_secs", Json::fixed(wall, 1))
+                .set("points", vec![point_json(&r, mode)]),
+        );
+        report::write_json(&a.out, &doc);
+        verdict.finish("wallclock smoke gate");
+        return;
+    }
+
+    let mut rows: Vec<Json> = Vec::new();
+    for p in SWEEP {
+        if let Some(f) = &args.only {
+            if !p.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let r = run_point(p, &args);
+        print_row(&r);
+        verdict.check(&format!("{} consistent", r.name), r.consistent);
+        verdict.check(&format!("{} progressed", r.name), r.txns > 0);
+        rows.push(point_json(&r, mode));
+    }
+    if rows.is_empty() {
+        eprintln!("error: --only matched no sweep point");
+        std::process::exit(2);
+    }
+    let doc = Json::from(
+        Obj::new()
+            .set("bench", "wallclock")
+            .set("config", config_json(&args, mode))
+            .set("points", rows),
+    );
+    report::write_json(&args.out, &doc);
+    verdict.finish("wallclock bench");
+}
+
+fn config_json(args: &Args, mode: &str) -> Obj {
+    Obj::new()
+        .set("workload", "ycsb-a")
+        .set("protocol", "massbft")
+        .set("driver", "tcp-runtime")
+        .set("mode", mode)
+        .set("secs", args.secs)
+        .set("seed", args.seed)
+        .set("arrival_tps_per_group", args.arrival_tps)
+        .set("max_batch", args.max_batch)
+}

@@ -54,6 +54,7 @@ pub mod protocol;
 pub mod replication;
 pub mod round;
 pub mod stats;
+pub mod wire;
 
 pub use entry::EntryId;
 pub use exec::{ExecutionPipeline, PreparedEntry};

@@ -247,13 +247,6 @@ pub struct GlobalCmd {
     pub stamps: Vec<(EntryId, u64)>,
 }
 
-impl GlobalCmd {
-    fn wire_size(&self) -> usize {
-        let entry = if self.entry.is_some() { 12 + 32 } else { 0 };
-        entry + self.stamps.len() * 20 + 24
-    }
-}
-
 /// Ordering events a group representative feeds to its members over LAN.
 #[derive(Debug, Clone)]
 pub enum FeedEvent {
@@ -340,33 +333,9 @@ pub enum Msg {
 
 impl SimMessage for Msg {
     fn wire_size(&self) -> usize {
-        match self {
-            Msg::Pbft(m) => match m {
-                PbftMsg::PrePrepare { payload, .. } => payload.len() + 64,
-                PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => 112,
-                PbftMsg::Heartbeat { .. } => 48,
-                PbftMsg::ViewChange { prepared, .. } => {
-                    112 + prepared.iter().map(|(_, _, p)| p.len() + 40).sum::<usize>()
-                }
-                PbftMsg::NewView { reproposals, .. } => {
-                    64 + reproposals.iter().map(|(_, p)| p.len() + 8).sum::<usize>()
-                }
-            },
-            Msg::Chunk { chunk, cert } => chunk.wire_size() + cert.signatures.len() * 72 + 40,
-            Msg::Entry { bytes, cert, .. } => bytes.len() + cert.signatures.len() * 72 + 104,
-            Msg::Raft {
-                rmsg, cert_bytes, ..
-            } => match rmsg {
-                RaftMsg::AppendEntries { entries, .. } => {
-                    entries.iter().map(|e| e.data.wire_size()).sum::<usize>() + cert_bytes + 64
-                }
-                _ => 64,
-            },
-            Msg::Feed { events } => events.len() * 24 + 32,
-            Msg::EntryRequest { .. } => 64,
-            Msg::AcceptNotice { entries, .. } => entries.len() * 16 + 48,
-            Msg::EpochClose { .. } => 48,
-        }
+        // Single source of truth shared with the TCP frame codec, which
+        // produces frame bodies of exactly this many bytes per variant.
+        crate::wire::msg_wire_size(self)
     }
 }
 
@@ -2623,8 +2592,11 @@ mod tests {
             entry: None,
             stamps: vec![(id, 1), (id, 2)],
         };
-        assert!(with_entry.wire_size() > stamps_only.wire_size() - 40);
-        assert_eq!(stamps_only.wire_size(), 2 * 20 + 24);
+        assert!(
+            crate::wire::global_cmd_wire(&with_entry)
+                > crate::wire::global_cmd_wire(&stamps_only) - 40
+        );
+        assert_eq!(crate::wire::global_cmd_wire(&stamps_only), 2 * 20 + 24);
     }
 
     #[test]

@@ -33,6 +33,7 @@ struct ChunkCounters {
     accepted: Counter,
     rebuilds: Counter,
     rejects: Counter,
+    cert_memo_hits: Counter,
 }
 
 fn counters() -> &'static ChunkCounters {
@@ -41,6 +42,7 @@ fn counters() -> &'static ChunkCounters {
         accepted: counter("core.replication.chunks_accepted"),
         rebuilds: counter("core.replication.rebuilds"),
         rejects: counter("core.replication.chunk_rejects"),
+        cert_memo_hits: counter("core.replication.cert_memo_hits"),
     })
 }
 
@@ -64,9 +66,10 @@ pub struct ChunkMsg {
 }
 
 impl ChunkMsg {
-    /// Approximate wire size: payload + proof hashes + header.
+    /// Approximate wire size: payload + proof hashes + header. Constants
+    /// live in [`crate::wire`], shared with the TCP frame codec.
     pub fn wire_size(&self) -> usize {
-        self.data.len() + self.proof.path.len() * 33 + 64
+        crate::wire::chunk_wire(self.data.len(), self.proof.path.len())
     }
 }
 
@@ -191,6 +194,9 @@ const MAX_BUCKETS_PER_ENTRY: usize = 8;
 /// the bound explicit rather than emergent.
 const MAX_BLACKLIST_PER_ENTRY: usize = 256;
 
+/// Upper bound on memoized known-certified entry digests (FIFO-evicted).
+const MAX_CERT_MEMO: usize = 1024;
+
 /// Per-entry reassembly state at one receiver node.
 struct EntryAssembly {
     /// Buckets keyed by Merkle root: chunk id → data. Chunk payloads stay
@@ -213,6 +219,14 @@ pub struct ChunkAssembler {
     entries: HashMap<EntryId, EntryAssembly>,
     /// Completed entries, kept until taken by the protocol layer.
     completed: HashMap<EntryId, Vec<u8>>,
+    /// Digests whose quorum certificate already validated once, with
+    /// FIFO eviction order. A LAN re-shared chunk arriving after the
+    /// entry was rebuilt and `gc`'d recreates assembly state and would
+    /// re-pay the whole batched-HMAC pass on rebuild; any cert claiming
+    /// a digest in this set is known good (the digest is what the quorum
+    /// certified — the messenger's cert copy adds nothing).
+    cert_memo: BTreeSet<Digest>,
+    cert_memo_order: std::collections::VecDeque<Digest>,
 }
 
 impl ChunkAssembler {
@@ -229,6 +243,8 @@ impl ChunkAssembler {
             registry,
             entries: HashMap::new(),
             completed: HashMap::new(),
+            cert_memo: BTreeSet::new(),
+            cert_memo_order: std::collections::VecDeque::new(),
         }
     }
 
@@ -319,9 +335,30 @@ impl ChunkAssembler {
             }
             let rebuilt = self.codec.decode_from(&shards);
             let valid = match &rebuilt {
-                Ok(bytes) => cert
-                    .validate_for(&entry_digest(bytes), &self.registry)
-                    .is_ok(),
+                Ok(bytes) => {
+                    // Memoized by entry digest: a rebuild whose bytes hash
+                    // to an already-certified digest (e.g. a late LAN
+                    // re-share after the first rebuild was consumed and
+                    // gc'd) skips the batched-HMAC pass entirely.
+                    let digest = entry_digest(bytes);
+                    if self.cert_memo.contains(&digest) {
+                        counters().cert_memo_hits.inc();
+                        true
+                    } else {
+                        let ok = cert.validate_for(&digest, &self.registry).is_ok();
+                        // Direct field accesses keep the borrows disjoint
+                        // from the live `asm` borrow of `self.entries`.
+                        if ok && self.cert_memo.insert(digest) {
+                            self.cert_memo_order.push_back(digest);
+                            while self.cert_memo_order.len() > MAX_CERT_MEMO {
+                                if let Some(old) = self.cert_memo_order.pop_front() {
+                                    self.cert_memo.remove(&old);
+                                }
+                            }
+                        }
+                        ok
+                    }
+                }
                 Err(_) => false,
             };
             if valid {

@@ -1,0 +1,652 @@
+//! Thread-per-node reactors and a wall-clock [`Cluster`] facade
+//! mirroring `massbft_core::cluster::Cluster`, so the same experiment
+//! code, fault schedules, and adversary specs drive either the
+//! simulator or real TCP.
+//!
+//! Differences from the simulator, by design:
+//! - `Ctx::now()` is wall-clock microseconds since cluster start, so
+//!   latency samples and telemetry spans measure real time.
+//! - `Command::SpendCpu` is ignored: the actors burn real CPU here, the
+//!   virtual cost model would double-count it.
+//! - Runs are *not* bit-deterministic (thread scheduling orders message
+//!   interleavings); protocol-level agreement still holds, which
+//!   `tests/cross_driver.rs` checks by comparing ledgers across
+//!   drivers under timing-independent configurations.
+//!
+//! Crash semantics mirror the simulator exactly: a crashed node's
+//! reactor drops inbound messages and expiring timers silently (state
+//! retained, timers consumed), and its sends are gated in
+//! [`crate::net::NetHandle::send`]; recovery just clears the flag
+//! without re-running `on_start`.
+
+use crate::frame::encode_frame;
+use crate::net::{spawn_acceptor, Event, NetHandle, Shared};
+use crate::wheel::TimerWheel;
+use bytes::Bytes;
+use massbft_core::adversary::{FaultEvent, ScheduledFault, Strategy};
+use massbft_core::cluster::{ClusterConfig, Region, Report};
+use massbft_core::protocol::{Msg, Node};
+use massbft_core::stats::Throughput;
+use massbft_crypto::KeyRegistry;
+use massbft_sim_net::{Actor, Command, Ctx, NodeId, Time, Topology, TopologyBuilder, SECOND};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Max time a reactor sleeps in `recv_timeout` before re-checking the
+/// wheel and the shutdown flag.
+const REACTOR_POLL_US: u64 = 20_000;
+/// Messages drained per node-lock acquisition.
+const DRAIN_BATCH: usize = 64;
+
+/// Which part of the cluster this OS process hosts (multi-process
+/// mode). The default, [`HostSpec::all`], hosts everything in-process
+/// with ephemeral loopback ports.
+#[derive(Debug, Clone)]
+pub struct HostSpec {
+    /// Groups whose nodes run in this process.
+    pub hosted_groups: Vec<u32>,
+    /// When set, node `(g, n)` listens on `127.0.0.1:(base + dense
+    /// index)` — every process computes the same address table without
+    /// coordination. `None` means ephemeral ports (single-process only).
+    pub port_base: Option<u16>,
+}
+
+impl HostSpec {
+    /// Host every group in this process on ephemeral ports.
+    pub fn all(num_groups: usize) -> Self {
+        HostSpec {
+            hosted_groups: (0..num_groups as u32).collect(),
+            port_base: None,
+        }
+    }
+
+    /// Host a subset of groups with the fixed-port address scheme.
+    pub fn groups(hosted: &[u32], port_base: u16) -> Self {
+        HostSpec {
+            hosted_groups: hosted.to_vec(),
+            port_base: Some(port_base),
+        }
+    }
+}
+
+enum Pending {
+    Timer(u64),
+    /// A `SendAfter` whose network entry was postponed: the frame is
+    /// pre-encoded, the destination resolved at fire time.
+    Send(NodeId, Bytes),
+}
+
+struct LocalNode {
+    id: NodeId,
+    node: Arc<Mutex<Node>>,
+    tx: Sender<Event>,
+    reactor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A running wall-clock cluster experiment. The API mirrors
+/// [`massbft_core::cluster::Cluster`]: `run_until`/`run_secs` advance
+/// (real) time applying the scripted fault schedule, windows produce
+/// the same [`Report`].
+pub struct Cluster {
+    shared: Arc<Shared>,
+    cfg: ClusterConfig,
+    nodes: Vec<LocalNode>,
+    schedule: Vec<ScheduledFault>,
+    next_fault: usize,
+    window_start_txns: u64,
+    window_start_time: Time,
+    window_wan: u64,
+    window_lan: u64,
+    window_wan_per_node: Vec<u64>,
+}
+
+fn build_topology(cfg: &ClusterConfig) -> Topology {
+    let sizes = &cfg.params.group_sizes;
+    let mut b = match cfg.region {
+        Region::Nationwide => TopologyBuilder::nationwide(sizes),
+        Region::Worldwide => TopologyBuilder::worldwide(sizes),
+    };
+    b = b.wan_bandwidth_mbps(cfg.wan_mbps);
+    for &(id, mbps) in &cfg.node_wan_mbps {
+        b = b.node_bandwidth_mbps(id, mbps);
+    }
+    b.build()
+}
+
+impl Cluster {
+    /// Builds and starts the cluster: binds one loopback listener per
+    /// node, then spawns acceptor and reactor threads. By the time this
+    /// returns, every node has run `on_start` (or is about to; peers
+    /// retry connects, so ordering is not load-bearing).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Self::new_hosted(cfg, None)
+    }
+
+    /// Multi-process entry point: host only `spec.hosted_groups` here,
+    /// with the deterministic port scheme shared by all processes.
+    pub fn new_hosted(cfg: ClusterConfig, spec: Option<HostSpec>) -> Self {
+        let topo = build_topology(&cfg);
+        let spec = spec.unwrap_or_else(|| HostSpec::all(topo.group_count()));
+        let registry = KeyRegistry::generate(cfg.params.seed, &cfg.params.group_sizes);
+
+        let local_ids: Vec<NodeId> = topo
+            .nodes()
+            .filter(|id| spec.hosted_groups.contains(&id.group))
+            .collect();
+
+        // Bind all local listeners first so the address table is
+        // complete before anything starts sending.
+        let mut listeners: Vec<(NodeId, TcpListener)> = Vec::with_capacity(local_ids.len());
+        let mut addrs: Vec<SocketAddr> = Vec::with_capacity(topo.node_count());
+        for (dense, id) in topo.nodes().enumerate() {
+            let addr: SocketAddr = match spec.port_base {
+                Some(base) => format!("127.0.0.1:{}", base as usize + dense)
+                    .parse()
+                    .expect("loopback addr"),
+                None => "127.0.0.1:0".parse().expect("loopback addr"),
+            };
+            if spec.hosted_groups.contains(&id.group) {
+                let l = TcpListener::bind(addr).expect("bind node listener");
+                addrs.push(l.local_addr().expect("listener addr"));
+                listeners.push((id, l));
+            } else {
+                addrs.push(addr);
+            }
+        }
+
+        let shared = Shared::new(topo, addrs);
+
+        // Desugar DelayAll adversaries into send-delay fault events,
+        // exactly like the simulator harness does.
+        let mut schedule = cfg.faults.clone();
+        for spec in &cfg.params.adversaries {
+            if let Strategy::DelayAll { delay_us } = spec.strategy {
+                schedule.push(spec.from_us, FaultEvent::SetSendDelay(spec.node, delay_us));
+                if let Some(until) = spec.until_us {
+                    schedule.push(until, FaultEvent::SetSendDelay(spec.node, 0));
+                }
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(local_ids.len());
+        let mut listeners = listeners.into_iter();
+        for id in local_ids {
+            let (lid, listener) = listeners.next().expect("listener per local node");
+            debug_assert_eq!(lid, id);
+            let (tx, rx) = mpsc::channel::<Event>();
+            spawn_acceptor(Arc::clone(&shared), id, listener, tx.clone());
+            let node = Arc::new(Mutex::new(Node::new(
+                id,
+                cfg.params.clone(),
+                registry.clone(),
+            )));
+            let reactor = {
+                let shared = Arc::clone(&shared);
+                let node = Arc::clone(&node);
+                let self_tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("reactor-{id}"))
+                    .spawn(move || reactor_loop(shared, id, node, rx, self_tx))
+                    .expect("spawn reactor")
+            };
+            nodes.push(LocalNode {
+                id,
+                node,
+                tx,
+                reactor: Some(reactor),
+            });
+        }
+
+        let wan_per_node = vec![0; shared.wan_out_per_node.len()];
+        Cluster {
+            shared,
+            cfg,
+            nodes,
+            schedule: schedule.events().to_vec(),
+            next_fault: 0,
+            window_start_txns: 0,
+            window_start_time: 0,
+            window_wan: 0,
+            window_lan: 0,
+            window_wan_per_node: wan_per_node,
+        }
+    }
+
+    /// Shared transport state (fault injection, byte counters).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// The observer node for throughput accounting — same choice as the
+    /// sim harness.
+    pub fn observer(&self) -> NodeId {
+        if self.cfg.params.group_sizes[0] > 1 {
+            NodeId::new(0, 1)
+        } else {
+            NodeId::new(0, 0)
+        }
+    }
+
+    fn local(&self, id: NodeId) -> &LocalNode {
+        self.nodes
+            .iter()
+            .find(|n| n.id == id)
+            .expect("node hosted in this process")
+    }
+
+    /// Runs `f` against a node's state (briefly blocking its reactor).
+    pub fn with_node<R>(&self, id: NodeId, f: impl FnOnce(&Node) -> R) -> R {
+        let n = self.local(id).node.lock().expect("node lock");
+        f(&n)
+    }
+
+    /// Runs `f` against a node's mutable state.
+    pub fn with_node_mut<R>(&self, id: NodeId, f: impl FnOnce(&mut Node) -> R) -> R {
+        let mut n = self.local(id).node.lock().expect("node lock");
+        f(&mut n)
+    }
+
+    fn apply_fault(&self, event: FaultEvent) {
+        let mut f = self.shared.faults.write().expect("faults lock");
+        match event {
+            FaultEvent::Crash(n) => {
+                f.crashed.insert(n);
+            }
+            FaultEvent::Recover(n) => {
+                f.crashed.remove(&n);
+            }
+            FaultEvent::CrashGroup(g) => {
+                for n in self.shared.topo.group_nodes(g) {
+                    f.crashed.insert(n);
+                }
+            }
+            FaultEvent::RecoverGroup(g) => {
+                for n in self.shared.topo.group_nodes(g) {
+                    f.crashed.remove(&n);
+                }
+            }
+            FaultEvent::PartitionGroups(a, b) => {
+                f.group_partitions.insert((a.min(b), a.max(b)));
+            }
+            FaultEvent::HealGroups(a, b) => {
+                f.group_partitions.remove(&(a.min(b), a.max(b)));
+            }
+            FaultEvent::PartitionNodes(a, b) => {
+                let p = if a <= b { (a, b) } else { (b, a) };
+                f.node_partitions.insert(p);
+            }
+            FaultEvent::HealNodes(a, b) => {
+                let p = if a <= b { (a, b) } else { (b, a) };
+                f.node_partitions.remove(&p);
+            }
+            FaultEvent::SetLinkFault(src, dst, Some(lf)) => {
+                f.link_faults.insert((src, dst), lf);
+            }
+            FaultEvent::SetLinkFault(src, dst, None) => {
+                f.link_faults.remove(&(src, dst));
+            }
+            FaultEvent::SetWanFault(lf) => {
+                f.wan_fault = lf;
+            }
+            FaultEvent::SetSendDelay(n, d) => {
+                if d == 0 {
+                    f.send_delay.remove(&n);
+                } else {
+                    f.send_delay.insert(n, d);
+                }
+            }
+        }
+    }
+
+    /// Crashes a node now (also available via the fault schedule).
+    pub fn crash(&self, id: NodeId) {
+        self.apply_fault(FaultEvent::Crash(id));
+    }
+
+    /// Recovers a crashed node (state retained, no `on_start` rerun).
+    pub fn recover(&self, id: NodeId) {
+        self.apply_fault(FaultEvent::Recover(id));
+    }
+
+    /// Crashes a whole group.
+    pub fn crash_group(&self, g: u32) {
+        self.apply_fault(FaultEvent::CrashGroup(g));
+    }
+
+    /// Severs WAN links between two groups.
+    pub fn partition(&self, a: u32, b: u32) {
+        self.apply_fault(FaultEvent::PartitionGroups(a, b));
+    }
+
+    /// Heals a group partition.
+    pub fn heal(&self, a: u32, b: u32) {
+        self.apply_fault(FaultEvent::HealGroups(a, b));
+    }
+
+    /// Wall-clock microseconds since the cluster started.
+    pub fn now(&self) -> Time {
+        self.shared.now_us()
+    }
+
+    fn sleep_until(&self, t: Time) {
+        loop {
+            let now = self.shared.now_us();
+            if now >= t {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(t - now));
+        }
+    }
+
+    /// Lets the cluster run until wall-clock instant `t` (µs since
+    /// start), applying scripted faults at their instants.
+    pub fn run_until(&mut self, t: Time) {
+        while self.next_fault < self.schedule.len() && self.schedule[self.next_fault].at <= t {
+            let ScheduledFault { at, event } = self.schedule[self.next_fault];
+            self.next_fault += 1;
+            self.sleep_until(at);
+            self.apply_fault(event);
+        }
+        self.sleep_until(t);
+    }
+
+    /// Opens a measurement window at the current instant.
+    pub fn open_window(&mut self) {
+        self.window_start_txns = self.with_node(self.observer(), |n| n.executed_txns());
+        self.window_start_time = self.shared.now_us();
+        self.window_wan = self.shared.wan_bytes.load(Ordering::Relaxed);
+        self.window_lan = self.shared.lan_bytes.load(Ordering::Relaxed);
+        for (i, c) in self.shared.wan_out_per_node.iter().enumerate() {
+            self.window_wan_per_node[i] = c.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Closes the window and produces the same [`Report`] the sim
+    /// harness produces (latency fields need the observer's group to be
+    /// hosted in this process).
+    pub fn close_window(&mut self) -> Report {
+        let now = self.shared.now_us();
+        let window_us = now - self.window_start_time;
+        let obs = self.observer();
+        let txns = self.with_node(obs, |n| n.executed_txns()) - self.window_start_txns;
+        let throughput = Throughput { txns, window_us };
+
+        let crashed = |id: NodeId| self.shared.is_crashed(id);
+        let hosted = |id: NodeId| self.nodes.iter().any(|n| n.id == id);
+        let ng = self.cfg.params.ng();
+        let mut all_lat: Vec<Time> = Vec::new();
+        for g in 0..ng as u32 {
+            let rep = self.cfg.params.leader_of(g);
+            if crashed(rep) || !hosted(rep) {
+                continue;
+            }
+            let (count, mean) =
+                self.with_node(rep, |n| (n.latency().count(), n.latency().mean_us()));
+            if count > 0 {
+                all_lat.push(mean as Time);
+            }
+        }
+        let mean_latency_ms = if all_lat.is_empty() {
+            0.0
+        } else {
+            all_lat.iter().sum::<u64>() as f64 / all_lat.len() as f64 / 1000.0
+        };
+        let mut p99 = 0u64;
+        let obs_rep = self.cfg.params.leader_of(0);
+        if !crashed(obs_rep) && hosted(obs_rep) {
+            p99 = self.with_node_mut(obs_rep, |n| n.latency_mut().percentile_us(99.0));
+        }
+
+        let wan_bytes = self.shared.wan_bytes.load(Ordering::Relaxed) - self.window_wan;
+        let lan_bytes = self.shared.lan_bytes.load(Ordering::Relaxed) - self.window_lan;
+        let max_node_wan_bytes = self
+            .shared
+            .wan_out_per_node
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.load(Ordering::Relaxed) - self.window_wan_per_node[i])
+            .max()
+            .unwrap_or(0);
+
+        let per_group_tps: Vec<f64> = self.with_node(obs, |n| {
+            n.executed_by_group()
+                .iter()
+                .map(|&t| t as f64 * 1_000_000.0 / window_us.max(1) as f64)
+                .collect()
+        });
+
+        Report {
+            protocol: self.cfg.params.protocol,
+            workload: self.cfg.params.workload,
+            throughput,
+            per_group_tps,
+            mean_latency_ms,
+            p99_latency_ms: p99 as f64 / 1000.0,
+            wan_bytes,
+            max_node_wan_bytes,
+            lan_bytes,
+            all_nodes_consistent: self.check_consistency(),
+            entries_executed: self.with_node(obs, |n| n.executed_entries()),
+        }
+    }
+
+    /// Convenience: 1 s wall-clock warmup, then measure `secs` seconds.
+    pub fn run_secs(&mut self, secs: u64) -> Report {
+        self.run_until(SECOND);
+        self.open_window();
+        let end = self.shared.now_us() + secs * SECOND;
+        self.run_until(end);
+        self.close_window()
+    }
+
+    /// Prefix-consistency across hosted, non-crashed nodes. Locks every
+    /// node, so reactors pause briefly; call between windows.
+    pub fn check_consistency(&self) -> bool {
+        let guards: Vec<_> = self
+            .nodes
+            .iter()
+            .filter(|n| !self.shared.is_crashed(n.id))
+            .map(|n| n.node.lock().expect("node lock"))
+            .collect();
+        for i in 0..guards.len() {
+            for j in (i + 1)..guards.len() {
+                let (a, b) = (guards[i].exec_log(), guards[j].exec_log());
+                let k = a.len().min(b.len());
+                if a[..k] != b[..k] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Node ids hosted in this process, dense order.
+    pub fn hosted_nodes(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id).collect()
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Unblock acceptors stuck in accept(2) with a throwaway connect
+        // to each hosted listener.
+        for n in &self.nodes {
+            let addr = self.shared.addrs[self.shared.idx(n.id)];
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(50));
+        }
+        // Reactors poll the flag at REACTOR_POLL_US; join them so node
+        // state can't be touched after drop. Writer/reader threads exit
+        // on the flag or on the EOF cascade from dropped connections.
+        for n in &mut self.nodes {
+            let _ = n.tx.send(Event::Msg {
+                // Self-addressed wakeup; the reactor sees shutdown first.
+                from: n.id,
+                msg: Msg::EpochClose { group: 0, epoch: 0 },
+            });
+            if let Some(h) = n.reactor.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn reactor_loop(
+    shared: Arc<Shared>,
+    id: NodeId,
+    node: Arc<Mutex<Node>>,
+    rx: Receiver<Event>,
+    self_tx: Sender<Event>,
+) {
+    let mut net = NetHandle::new(id, Arc::clone(&shared));
+    let mut wheel: TimerWheel<Pending> = TimerWheel::new(shared.now_us());
+    let mut ctx: Ctx<Msg> = Ctx::new_driver(shared.now_us(), id);
+    let mut fired: Vec<Pending> = Vec::new();
+
+    // on_start (the sim skips it for nodes crashed at t=0; schedules
+    // rarely do that, but mirror it anyway).
+    if !shared.is_crashed(id) {
+        let mut n = node.lock().expect("node lock");
+        ctx.set_now(shared.now_us());
+        n.on_start(&mut ctx);
+    }
+    apply_commands(&shared, id, &mut ctx, &mut net, &mut wheel, &self_tx);
+
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // Fire due timers and delayed sends.
+        let now = shared.now_us();
+        fired.clear();
+        wheel.advance(now, &mut fired);
+        if !fired.is_empty() {
+            let crashed = shared.is_crashed(id);
+            for p in fired.drain(..) {
+                match p {
+                    Pending::Timer(token) => {
+                        // Crashed: the timer is consumed silently, like
+                        // the sim dropping Timer events.
+                        if crashed {
+                            continue;
+                        }
+                        {
+                            let mut n = node.lock().expect("node lock");
+                            ctx.set_now(shared.now_us());
+                            n.on_timer(&mut ctx, token);
+                        }
+                        apply_commands(&shared, id, &mut ctx, &mut net, &mut wheel, &self_tx);
+                    }
+                    Pending::Send(dst, frame) => {
+                        // Route-time crash gating happens inside send.
+                        if dst == id {
+                            deliver_local(&shared, id, &frame, &self_tx);
+                        } else {
+                            net.send(dst, frame);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Sleep until the next deadline or an inbound message.
+        let now = shared.now_us();
+        let wait = wheel
+            .next_deadline()
+            .map(|d| d.saturating_sub(now))
+            .unwrap_or(REACTOR_POLL_US)
+            .clamp(100, REACTOR_POLL_US);
+        match rx.recv_timeout(Duration::from_micros(wait)) {
+            Ok(ev) => {
+                let mut batch = vec![ev];
+                while batch.len() < DRAIN_BATCH {
+                    match rx.try_recv() {
+                        Ok(ev) => batch.push(ev),
+                        Err(_) => break,
+                    }
+                }
+                if shared.is_crashed(id) {
+                    // Crashed receivers drop deliveries on the floor.
+                    continue;
+                }
+                {
+                    let mut n = node.lock().expect("node lock");
+                    for ev in batch {
+                        let Event::Msg { from, msg } = ev;
+                        ctx.set_now(shared.now_us());
+                        n.on_message(&mut ctx, from, msg);
+                    }
+                }
+                apply_commands(&shared, id, &mut ctx, &mut net, &mut wheel, &self_tx);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn deliver_local(shared: &Shared, id: NodeId, frame: &Bytes, self_tx: &Sender<Event>) {
+    if shared.is_crashed(id) {
+        return;
+    }
+    // Decode round-trips the frame; loopback traffic is rare (the
+    // protocol broadcasts exclude self) so the cost is negligible and
+    // the path stays uniform with remote delivery.
+    if let Ok(msg) = crate::frame::decode_msg(&frame.slice(crate::frame::FRAME_HEADER..)) {
+        let _ = self_tx.send(Event::Msg { from: id, msg });
+    }
+}
+
+fn apply_commands(
+    shared: &Arc<Shared>,
+    id: NodeId,
+    ctx: &mut Ctx<Msg>,
+    net: &mut NetHandle,
+    wheel: &mut TimerWheel<Pending>,
+    self_tx: &Sender<Event>,
+) {
+    for cmd in ctx.take_commands() {
+        match cmd {
+            Command::Send { dst, msg } => match encode_frame(&msg) {
+                Ok(frame) => {
+                    if dst == id {
+                        deliver_local(shared, id, &frame, self_tx);
+                    } else {
+                        net.send(dst, frame);
+                    }
+                }
+                Err(_) => debug_assert!(false, "protocol produced unencodable message"),
+            },
+            Command::SendMany { dsts, msg } => match encode_frame(&msg) {
+                Ok(frame) => {
+                    for dst in dsts {
+                        if dst == id {
+                            deliver_local(shared, id, &frame, self_tx);
+                        } else {
+                            net.send(dst, frame.clone());
+                        }
+                    }
+                }
+                Err(_) => debug_assert!(false, "protocol produced unencodable message"),
+            },
+            Command::SetTimer { delay, token } => {
+                wheel.insert(shared.now_us().saturating_add(delay), Pending::Timer(token));
+            }
+            // Real CPU is spent by actually running the handlers; the
+            // virtual cost model would double-count it.
+            Command::SpendCpu(_) => {}
+            Command::SendAfter { delay, dst, msg } => match encode_frame(&msg) {
+                Ok(frame) => {
+                    wheel.insert(
+                        shared.now_us().saturating_add(delay),
+                        Pending::Send(dst, frame),
+                    );
+                }
+                Err(_) => debug_assert!(false, "protocol produced unencodable message"),
+            },
+        }
+    }
+}

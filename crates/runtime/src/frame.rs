@@ -1,0 +1,805 @@
+//! Length-prefixed frame codec for the protocol's [`Msg`] enum.
+//!
+//! A frame on the wire is `[u32 LE body length][body]`. The body starts
+//! with a one-byte variant tag, followed by the variant's fields in
+//! little-endian order, followed by zero padding up to **exactly** the
+//! size the simulator's byte-accounting model assigns the message
+//! (`massbft_core::wire::msg_wire_size`). That identity is what makes
+//! wall-clock byte counts comparable with simulated `wan_bytes`, and a
+//! unit test here asserts it per variant.
+//!
+//! Layout rules:
+//! - natural fields first, one zero-pad run at the end of the body (the
+//!   model's per-part overheads are upper bounds on the natural field
+//!   encoding, so the pad length is always non-negative);
+//! - variable payloads (`Bytes`) are length-prefixed inline and, on
+//!   decode, returned as zero-copy [`Bytes::slice`] windows into the
+//!   frame buffer — chunk data travels from the socket to the
+//!   `ChunkAssembler` without another copy;
+//! - feed events pack their kind into the top bit of the first word so
+//!   one event occupies exactly the modeled 24 bytes.
+//!
+//! Robustness: `decode_msg` never panics on malformed input — every
+//! read is bounds-checked and length-prefixed counts are validated
+//! against the remaining frame bytes before allocating.
+
+use bytes::Bytes;
+use massbft_consensus::{pbft::PbftMsg, raft::LogEntry, RaftMsg};
+use massbft_core::protocol::{FeedEvent, GlobalCmd, Msg};
+use massbft_core::replication::ChunkMsg;
+use massbft_core::wire;
+use massbft_core::EntryId;
+use massbft_crypto::keys::NodeId;
+use massbft_crypto::merkle::ProofStep;
+use massbft_crypto::{Digest, MerkleProof, QuorumCert, Signature};
+
+/// Upper bound on a frame body; larger length prefixes are rejected
+/// before any allocation (a garbage or hostile peer cannot make us
+/// reserve gigabytes).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Frame header size: the u32 body-length prefix.
+pub const FRAME_HEADER: usize = 4;
+
+/// Why a frame could not be encoded or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeds [`MAX_FRAME`] (or is zero).
+    BadLength(usize),
+    /// The body ended before a field could be read.
+    Truncated,
+    /// An unknown variant or kind tag.
+    BadTag(u8),
+    /// A count or length field is inconsistent with the body size.
+    BadCount,
+    /// The message cannot be represented in the wire format (e.g. a
+    /// chunk certificate with no signatures, or a feed stamper id using
+    /// the reserved top bit).
+    Unencodable(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadLength(n) => write!(f, "bad frame length {n}"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadTag(t) => write!(f, "unknown tag {t}"),
+            FrameError::BadCount => write!(f, "count exceeds frame"),
+            FrameError::Unencodable(why) => write!(f, "unencodable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// Variant tags.
+const T_PREPREPARE: u8 = 0;
+const T_PREPARE: u8 = 1;
+const T_COMMIT: u8 = 2;
+const T_VIEWCHANGE: u8 = 3;
+const T_NEWVIEW: u8 = 4;
+const T_HEARTBEAT: u8 = 5;
+const T_CHUNK: u8 = 6;
+const T_ENTRY: u8 = 7;
+const T_RAFT: u8 = 8;
+const T_FEED: u8 = 9;
+const T_ENTRY_REQUEST: u8 = 10;
+const T_ACCEPT_NOTICE: u8 = 11;
+const T_EPOCH_CLOSE: u8 = 12;
+
+// Raft sub-tags.
+const R_REQUEST_VOTE: u8 = 0;
+const R_VOTE: u8 = 1;
+const R_APPEND: u8 = 2;
+const R_APPEND_RESP: u8 = 3;
+const R_TIMEOUT_NOW: u8 = 4;
+
+// ---------------------------------------------------------------- encode
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn digest(&mut self, d: &Digest) {
+        self.buf.extend_from_slice(&d.0);
+    }
+    fn node_id(&mut self, id: NodeId) {
+        self.u32(id.group);
+        self.u32(id.node);
+    }
+    fn entry_id(&mut self, id: EntryId) {
+        self.u32(id.gid);
+        self.u64(id.seq);
+    }
+    fn sig(&mut self, s: &Signature) {
+        self.node_id(s.signer);
+        self.buf.extend_from_slice(&s.tag);
+    }
+    fn cert(&mut self, c: &QuorumCert) {
+        self.digest(&c.digest);
+        self.u32(c.group);
+        self.u32(c.signatures.len() as u32);
+        for s in &c.signatures {
+            self.sig(s);
+        }
+    }
+    fn bytes(&mut self, b: &Bytes) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+    fn global_cmd(&mut self, cmd: &GlobalCmd) {
+        match &cmd.entry {
+            Some((id, d)) => {
+                self.u8(1);
+                self.entry_id(*id);
+                self.digest(d);
+            }
+            None => self.u8(0),
+        }
+        self.u32(cmd.stamps.len() as u32);
+        for (id, ts) in &cmd.stamps {
+            self.entry_id(*id);
+            self.u64(*ts);
+        }
+    }
+}
+
+/// Encodes `msg` as a complete frame (`[len][body]`), body padded to
+/// exactly `wire::msg_wire_size(msg)` bytes. The returned [`Bytes`] is
+/// ready to hand to per-peer send queues; broadcasting clones refcounts,
+/// not buffers.
+pub fn encode_frame(msg: &Msg) -> Result<Bytes, FrameError> {
+    let body_len = wire::msg_wire_size(msg);
+    if body_len > MAX_FRAME {
+        return Err(FrameError::BadLength(body_len));
+    }
+    let mut e = Enc {
+        buf: Vec::with_capacity(FRAME_HEADER + body_len),
+    };
+    e.u32(body_len as u32);
+    match msg {
+        Msg::Pbft(m) => match m {
+            PbftMsg::PrePrepare {
+                view,
+                seq,
+                payload,
+                digest,
+            } => {
+                e.u8(T_PREPREPARE);
+                e.u64(*view);
+                e.u64(*seq);
+                e.digest(digest);
+                e.bytes(payload);
+            }
+            PbftMsg::Prepare {
+                view,
+                seq,
+                digest,
+                sig,
+            } => {
+                e.u8(T_PREPARE);
+                e.u64(*view);
+                e.u64(*seq);
+                e.digest(digest);
+                e.sig(sig);
+            }
+            PbftMsg::Commit {
+                view,
+                seq,
+                digest,
+                sig,
+            } => {
+                e.u8(T_COMMIT);
+                e.u64(*view);
+                e.u64(*seq);
+                e.digest(digest);
+                e.sig(sig);
+            }
+            PbftMsg::ViewChange {
+                new_view,
+                last_exec,
+                prepared,
+                sig,
+            } => {
+                e.u8(T_VIEWCHANGE);
+                e.u64(*new_view);
+                e.u64(*last_exec);
+                e.sig(sig);
+                e.u32(prepared.len() as u32);
+                for (seq, digest, payload) in prepared {
+                    e.u64(*seq);
+                    e.digest(digest);
+                    e.bytes(payload);
+                }
+            }
+            PbftMsg::NewView { view, reproposals } => {
+                e.u8(T_NEWVIEW);
+                e.u64(*view);
+                e.u32(reproposals.len() as u32);
+                for (seq, payload) in reproposals {
+                    e.u64(*seq);
+                    e.bytes(payload);
+                }
+            }
+            PbftMsg::Heartbeat { view } => {
+                e.u8(T_HEARTBEAT);
+                e.u64(*view);
+            }
+        },
+        Msg::Chunk { chunk, cert } => {
+            // The chunk envelope's natural fields run one byte past the
+            // modeled 64-byte overhead; the certificate's 32 modeled pad
+            // bytes per signature absorb it, so a chunk must carry at
+            // least one signature (protocol certificates always do).
+            if cert.signatures.is_empty() {
+                return Err(FrameError::Unencodable("chunk cert without signatures"));
+            }
+            e.u8(T_CHUNK);
+            e.entry_id(chunk.entry);
+            e.u32(chunk.chunk_id);
+            e.digest(&chunk.root);
+            e.u32(chunk.proof.leaf_index as u32);
+            e.u32(chunk.proof.leaf_count as u32);
+            e.u16(chunk.proof.path.len() as u16);
+            for step in &chunk.proof.path {
+                e.digest(&step.sibling);
+                e.u8(step.sibling_on_left as u8);
+            }
+            e.cert(cert);
+            e.bytes(&chunk.data);
+        }
+        Msg::Entry { id, bytes, cert } => {
+            e.u8(T_ENTRY);
+            e.entry_id(*id);
+            e.cert(cert);
+            e.bytes(bytes);
+        }
+        Msg::Raft {
+            instance,
+            rmsg,
+            cert_bytes,
+        } => {
+            e.u8(T_RAFT);
+            e.u32(*instance);
+            e.u32(*cert_bytes as u32);
+            match rmsg {
+                RaftMsg::RequestVote {
+                    term,
+                    last_log_index,
+                    last_log_term,
+                } => {
+                    e.u8(R_REQUEST_VOTE);
+                    e.u64(*term);
+                    e.u64(*last_log_index);
+                    e.u64(*last_log_term);
+                }
+                RaftMsg::Vote { term, granted } => {
+                    e.u8(R_VOTE);
+                    e.u64(*term);
+                    e.u8(*granted as u8);
+                }
+                RaftMsg::AppendEntries {
+                    term,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit,
+                } => {
+                    e.u8(R_APPEND);
+                    e.u64(*term);
+                    e.u64(*prev_index);
+                    e.u64(*prev_term);
+                    e.u64(*leader_commit);
+                    e.u32(entries.len() as u32);
+                    for le in entries {
+                        e.u64(le.term);
+                        e.global_cmd(&le.data);
+                    }
+                }
+                RaftMsg::AppendResp {
+                    term,
+                    success,
+                    match_index,
+                } => {
+                    e.u8(R_APPEND_RESP);
+                    e.u64(*term);
+                    e.u8(*success as u8);
+                    e.u64(*match_index);
+                }
+                RaftMsg::TimeoutNow => e.u8(R_TIMEOUT_NOW),
+            }
+        }
+        Msg::Feed { events } => {
+            e.u8(T_FEED);
+            e.u32(events.len() as u32);
+            for ev in events {
+                match ev {
+                    FeedEvent::Committed(id) => {
+                        e.u32(1 << 31);
+                        e.entry_id(*id);
+                        e.u64(0);
+                    }
+                    FeedEvent::Stamp {
+                        stamper,
+                        target,
+                        ts,
+                    } => {
+                        if *stamper & (1 << 31) != 0 {
+                            return Err(FrameError::Unencodable("stamper id uses reserved bit"));
+                        }
+                        e.u32(*stamper);
+                        e.entry_id(*target);
+                        e.u64(*ts);
+                    }
+                }
+            }
+        }
+        Msg::EntryRequest { id } => {
+            e.u8(T_ENTRY_REQUEST);
+            e.entry_id(*id);
+        }
+        Msg::AcceptNotice {
+            from_group,
+            entries,
+        } => {
+            e.u8(T_ACCEPT_NOTICE);
+            e.u32(*from_group);
+            e.u32(entries.len() as u32);
+            for id in entries {
+                e.entry_id(*id);
+            }
+        }
+        Msg::EpochClose { group, epoch } => {
+            e.u8(T_EPOCH_CLOSE);
+            e.u32(*group);
+            e.u64(*epoch);
+        }
+    }
+    let natural = e.buf.len() - FRAME_HEADER;
+    debug_assert!(
+        natural <= body_len,
+        "natural encoding {natural} exceeds modeled size {body_len}"
+    );
+    if natural > body_len {
+        return Err(FrameError::Unencodable("model smaller than encoding"));
+    }
+    e.buf.resize(FRAME_HEADER + body_len, 0);
+    Ok(Bytes::from(e.buf))
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Dec<'a> {
+    frame: &'a Bytes,
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn remaining(&self) -> usize {
+        self.frame.len() - self.pos
+    }
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        if self.remaining() < 1 {
+            return Err(FrameError::Truncated);
+        }
+        let v = self.frame[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("len checked"),
+        ))
+    }
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("len checked"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("len checked"),
+        ))
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.frame.as_slice()[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn digest(&mut self) -> Result<Digest, FrameError> {
+        Ok(Digest(self.take(32)?.try_into().expect("len checked")))
+    }
+    fn node_id(&mut self) -> Result<NodeId, FrameError> {
+        let group = self.u32()?;
+        let node = self.u32()?;
+        Ok(NodeId { group, node })
+    }
+    fn entry_id(&mut self) -> Result<EntryId, FrameError> {
+        let gid = self.u32()?;
+        let seq = self.u64()?;
+        Ok(EntryId::new(gid, seq))
+    }
+    fn sig(&mut self) -> Result<Signature, FrameError> {
+        let signer = self.node_id()?;
+        let tag: [u8; 32] = self.take(32)?.try_into().expect("len checked");
+        Ok(Signature { signer, tag })
+    }
+    fn cert(&mut self) -> Result<QuorumCert, FrameError> {
+        let digest = self.digest()?;
+        let group = self.u32()?;
+        let count = self.u32()? as usize;
+        // Each signature needs 40 natural bytes; reject counts that
+        // cannot fit before allocating.
+        if count > self.remaining() / 40 {
+            return Err(FrameError::BadCount);
+        }
+        let mut signatures = Vec::with_capacity(count);
+        for _ in 0..count {
+            signatures.push(self.sig()?);
+        }
+        Ok(QuorumCert {
+            digest,
+            group,
+            signatures,
+        })
+    }
+    /// A length-prefixed payload as a zero-copy window into the frame.
+    fn bytes(&mut self) -> Result<Bytes, FrameError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(FrameError::Truncated);
+        }
+        let b = self.frame.slice(self.pos..self.pos + len);
+        self.pos += len;
+        Ok(b)
+    }
+    fn global_cmd(&mut self) -> Result<GlobalCmd, FrameError> {
+        let entry = match self.u8()? {
+            0 => None,
+            1 => {
+                let id = self.entry_id()?;
+                let d = self.digest()?;
+                Some((id, d))
+            }
+            t => return Err(FrameError::BadTag(t)),
+        };
+        let count = self.u32()? as usize;
+        if count > self.remaining() / 20 {
+            return Err(FrameError::BadCount);
+        }
+        let mut stamps = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = self.entry_id()?;
+            let ts = self.u64()?;
+            stamps.push((id, ts));
+        }
+        Ok(GlobalCmd { entry, stamps })
+    }
+}
+
+/// Decodes one frame body (everything after the length prefix). Payload
+/// fields are zero-copy slices of `body`. Trailing padding is ignored.
+pub fn decode_msg(body: &Bytes) -> Result<Msg, FrameError> {
+    let mut d = Dec {
+        frame: body,
+        pos: 0,
+    };
+    let tag = d.u8()?;
+    let msg = match tag {
+        T_PREPREPARE => {
+            let view = d.u64()?;
+            let seq = d.u64()?;
+            let digest = d.digest()?;
+            let payload = d.bytes()?;
+            Msg::Pbft(PbftMsg::PrePrepare {
+                view,
+                seq,
+                payload,
+                digest,
+            })
+        }
+        T_PREPARE | T_COMMIT => {
+            let view = d.u64()?;
+            let seq = d.u64()?;
+            let digest = d.digest()?;
+            let sig = d.sig()?;
+            Msg::Pbft(if tag == T_PREPARE {
+                PbftMsg::Prepare {
+                    view,
+                    seq,
+                    digest,
+                    sig,
+                }
+            } else {
+                PbftMsg::Commit {
+                    view,
+                    seq,
+                    digest,
+                    sig,
+                }
+            })
+        }
+        T_VIEWCHANGE => {
+            let new_view = d.u64()?;
+            let last_exec = d.u64()?;
+            let sig = d.sig()?;
+            let count = d.u32()? as usize;
+            if count > d.remaining() / 44 {
+                return Err(FrameError::BadCount);
+            }
+            let mut prepared = Vec::with_capacity(count);
+            for _ in 0..count {
+                let seq = d.u64()?;
+                let digest = d.digest()?;
+                let payload = d.bytes()?;
+                prepared.push((seq, digest, payload));
+            }
+            Msg::Pbft(PbftMsg::ViewChange {
+                new_view,
+                last_exec,
+                prepared,
+                sig,
+            })
+        }
+        T_NEWVIEW => {
+            let view = d.u64()?;
+            let count = d.u32()? as usize;
+            if count > d.remaining() / 12 {
+                return Err(FrameError::BadCount);
+            }
+            let mut reproposals = Vec::with_capacity(count);
+            for _ in 0..count {
+                let seq = d.u64()?;
+                let payload = d.bytes()?;
+                reproposals.push((seq, payload));
+            }
+            Msg::Pbft(PbftMsg::NewView { view, reproposals })
+        }
+        T_HEARTBEAT => Msg::Pbft(PbftMsg::Heartbeat { view: d.u64()? }),
+        T_CHUNK => {
+            let entry = d.entry_id()?;
+            let chunk_id = d.u32()?;
+            let root = d.digest()?;
+            let leaf_index = d.u32()? as usize;
+            let leaf_count = d.u32()? as usize;
+            let steps = d.u16()? as usize;
+            if steps > d.remaining() / 33 {
+                return Err(FrameError::BadCount);
+            }
+            let mut path = Vec::with_capacity(steps);
+            for _ in 0..steps {
+                let sibling = d.digest()?;
+                let sibling_on_left = d.u8()? != 0;
+                path.push(ProofStep {
+                    sibling,
+                    sibling_on_left,
+                });
+            }
+            let cert = d.cert()?;
+            let data = d.bytes()?;
+            Msg::Chunk {
+                chunk: ChunkMsg {
+                    entry,
+                    chunk_id,
+                    data,
+                    root,
+                    proof: MerkleProof {
+                        leaf_index,
+                        leaf_count,
+                        path,
+                    },
+                },
+                cert,
+            }
+        }
+        T_ENTRY => {
+            let id = d.entry_id()?;
+            let cert = d.cert()?;
+            let bytes = d.bytes()?;
+            Msg::Entry { id, bytes, cert }
+        }
+        T_RAFT => {
+            let instance = d.u32()?;
+            let cert_bytes = d.u32()? as usize;
+            let rmsg = match d.u8()? {
+                R_REQUEST_VOTE => RaftMsg::RequestVote {
+                    term: d.u64()?,
+                    last_log_index: d.u64()?,
+                    last_log_term: d.u64()?,
+                },
+                R_VOTE => RaftMsg::Vote {
+                    term: d.u64()?,
+                    granted: d.u8()? != 0,
+                },
+                R_APPEND => {
+                    let term = d.u64()?;
+                    let prev_index = d.u64()?;
+                    let prev_term = d.u64()?;
+                    let leader_commit = d.u64()?;
+                    let count = d.u32()? as usize;
+                    if count > d.remaining() / 13 {
+                        return Err(FrameError::BadCount);
+                    }
+                    let mut entries = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let term = d.u64()?;
+                        let data = d.global_cmd()?;
+                        entries.push(LogEntry { term, data });
+                    }
+                    RaftMsg::AppendEntries {
+                        term,
+                        prev_index,
+                        prev_term,
+                        entries,
+                        leader_commit,
+                    }
+                }
+                R_APPEND_RESP => RaftMsg::AppendResp {
+                    term: d.u64()?,
+                    success: d.u8()? != 0,
+                    match_index: d.u64()?,
+                },
+                R_TIMEOUT_NOW => RaftMsg::TimeoutNow,
+                t => return Err(FrameError::BadTag(t)),
+            };
+            Msg::Raft {
+                instance,
+                rmsg,
+                cert_bytes,
+            }
+        }
+        T_FEED => {
+            let count = d.u32()? as usize;
+            if count > d.remaining() / 24 {
+                return Err(FrameError::BadCount);
+            }
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                let word0 = d.u32()?;
+                let id = d.entry_id()?;
+                let ts = d.u64()?;
+                if word0 & (1 << 31) != 0 {
+                    events.push(FeedEvent::Committed(id));
+                } else {
+                    events.push(FeedEvent::Stamp {
+                        stamper: word0,
+                        target: id,
+                        ts,
+                    });
+                }
+            }
+            Msg::Feed { events }
+        }
+        T_ENTRY_REQUEST => Msg::EntryRequest { id: d.entry_id()? },
+        T_ACCEPT_NOTICE => {
+            let from_group = d.u32()?;
+            let count = d.u32()? as usize;
+            if count > d.remaining() / 12 {
+                return Err(FrameError::BadCount);
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(d.entry_id()?);
+            }
+            Msg::AcceptNotice {
+                from_group,
+                entries,
+            }
+        }
+        T_EPOCH_CLOSE => Msg::EpochClose {
+            group: d.u32()?,
+            epoch: d.u64()?,
+        },
+        t => return Err(FrameError::BadTag(t)),
+    };
+    Ok(msg)
+}
+
+// ------------------------------------------------------------ reassembly
+
+/// Incremental frame reassembly over arbitrary read boundaries: bytes go
+/// in via [`FrameBuffer::push`] (or [`FrameBuffer::fill_from`] straight
+/// off a socket), complete frame bodies come out of
+/// [`FrameBuffer::next_frame`]. Partial frames stay buffered; multiple
+/// frames arriving in one read drain one `next_frame` call at a time.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Reads once from `r` into the buffer tail (at most `max` bytes).
+    /// Returns the number of bytes read (0 = EOF).
+    pub fn fill_from<R: std::io::Read>(&mut self, r: &mut R, max: usize) -> std::io::Result<usize> {
+        self.compact();
+        let old = self.buf.len();
+        self.buf.resize(old + max, 0);
+        let n = r.read(&mut self.buf[old..]);
+        match n {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 && (self.start == self.buf.len() || self.start > 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Bytes currently buffered but not yet returned as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame body, if one is fully buffered.
+    /// The body is copied out of the reassembly buffer into its own
+    /// [`Bytes`] allocation exactly once; all payload fields decoded
+    /// from it are zero-copy slices of that allocation.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        let avail = self.buf.len() - self.start;
+        if avail < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.start..self.start + 4]
+                .try_into()
+                .expect("len checked"),
+        ) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(FrameError::BadLength(len));
+        }
+        if avail < FRAME_HEADER + len {
+            return Ok(None);
+        }
+        let body = Bytes::copy_from_slice(
+            &self.buf[self.start + FRAME_HEADER..self.start + FRAME_HEADER + len],
+        );
+        self.start += FRAME_HEADER + len;
+        self.compact();
+        Ok(Some(body))
+    }
+
+    /// Convenience: next complete frame, decoded.
+    pub fn next_msg(&mut self) -> Result<Option<Msg>, FrameError> {
+        match self.next_frame()? {
+            Some(body) => Ok(Some(decode_msg(&body)?)),
+            None => Ok(None),
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Wall-clock TCP runtime for the MassBFT node state machines.
+//!
+//! The simulator (`massbft-sim-net`) runs the sans-io [`Node`] actors
+//! over a virtual-time event heap; this crate runs the *same* actors
+//! over real `std::net` TCP connections with real threads and a real
+//! clock — the repo's first wall-clock throughput numbers come from
+//! here (`BENCH_wallclock.json`, see `crates/bench/src/bin/wallclock.rs`).
+//!
+//! Architecture (DESIGN.md §5f):
+//! - [`frame`]: length-prefixed codec whose body size equals the
+//!   simulator's byte-accounting model (`massbft_core::wire`) exactly,
+//!   with zero-copy [`bytes::Bytes`] payload paths.
+//! - [`wheel`]: hierarchical timer wheel driving protocol timers and
+//!   delayed sends per reactor thread.
+//! - [`net`]: connection manager — lazy per-peer writer threads with
+//!   write coalescing and byte-bounded backpressure, per-node acceptor
+//!   plus per-connection reader threads, and netem-style injected
+//!   latency/fault state shared across the cluster.
+//! - [`cluster`]: thread-per-node reactors and a [`cluster::Cluster`]
+//!   facade mirroring `massbft_core::cluster::Cluster`, so experiments
+//!   and fault schedules run unchanged on either driver.
+//!
+//! [`Node`]: massbft_core::protocol::Node
+
+pub mod cluster;
+pub mod frame;
+pub mod net;
+pub mod wheel;
+
+pub use cluster::{Cluster, HostSpec};
+pub use frame::{decode_msg, encode_frame, FrameBuffer, FrameError, MAX_FRAME};
+pub use wheel::TimerWheel;

@@ -1,0 +1,594 @@
+//! TCP connection manager: shared cluster state, per-peer outbound
+//! queues with write coalescing and backpressure, and inbound reader
+//! threads feeding decoded messages to the reactors.
+//!
+//! Latency injection happens at the *connection layer*, netem-style:
+//! every frame gets a due instant `now + topology latency (+ adversarial
+//! send delay + fault jitter)` when enqueued, and the peer's writer
+//! thread holds it back until then. Loopback TCP is effectively
+//! instantaneous, so the injected delay dominates exactly like a WAN
+//! round trip would. Partitions, crashes, and link faults are gated at
+//! send time from a cluster-wide [`FaultState`], mirroring the
+//! simulator's routing checks (`sim.rs::route`).
+
+use crate::frame::FRAME_HEADER;
+use bytes::Bytes;
+use massbft_core::protocol::Msg;
+use massbft_sim_net::{LinkFault, NodeId, Time, Topology};
+use massbft_telemetry::registry::{self, Counter, Gauge};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Per-peer outbound queue limit; senders block (backpressure) above it.
+const MAX_QUEUE_BYTES: usize = 32 << 20;
+/// Coalescing buffer: consecutive due frames are packed into one write
+/// up to this size.
+const COALESCE_BYTES: usize = 256 << 10;
+/// Frames at or above this size are written directly from their own
+/// buffer instead of being copied into the coalescing buffer.
+const LARGE_FRAME: usize = 64 << 10;
+/// Reader/acceptor poll granularity for shutdown checks.
+const POLL: Duration = Duration::from_millis(200);
+/// Stack size for I/O threads; a 4×8 cluster runs a few hundred of
+/// them, so the default 8 MiB reservation would be wasteful.
+const IO_STACK: usize = 256 << 10;
+
+/// What a reader thread delivers to a reactor.
+pub enum Event {
+    /// A decoded message from a peer (or a local loopback send).
+    Msg {
+        /// Sending node.
+        from: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+}
+
+/// Transport metrics, registered in the global telemetry registry.
+pub struct NetCounters {
+    /// Raw TCP bytes received (including frame headers and hellos).
+    pub tcp_bytes_in: Counter,
+    /// Raw TCP bytes written.
+    pub tcp_bytes_out: Counter,
+    /// Complete frames decoded from peers.
+    pub frames_in: Counter,
+    /// Frames enqueued for transmission.
+    pub frames_out: Counter,
+    /// Writes that packed 2+ frames into one syscall.
+    pub coalesced_writes: Counter,
+    /// `read(2)` calls issued by reader threads.
+    pub syscalls_read: Counter,
+    /// `write(2)` calls issued by writer threads.
+    pub syscalls_write: Counter,
+}
+
+impl NetCounters {
+    fn new() -> Self {
+        NetCounters {
+            tcp_bytes_in: registry::counter("net.tcp_bytes_in"),
+            tcp_bytes_out: registry::counter("net.tcp_bytes_out"),
+            frames_in: registry::counter("net.frames_in"),
+            frames_out: registry::counter("net.frames_out"),
+            coalesced_writes: registry::counter("net.coalesced_writes"),
+            syscalls_read: registry::counter("net.syscalls_read"),
+            syscalls_write: registry::counter("net.syscalls_write"),
+        }
+    }
+}
+
+/// Mutable fault state shared by every sender, mirroring the
+/// simulator's knobs ([`massbft_core::adversary::FaultEvent`]).
+#[derive(Default)]
+pub struct FaultState {
+    /// Crashed nodes: they neither send nor receive (their reactors
+    /// drop inbound events and timers), but state is retained.
+    pub crashed: HashSet<NodeId>,
+    /// Severed group pairs, normalized `(min, max)`.
+    pub group_partitions: HashSet<(u32, u32)>,
+    /// Severed node pairs, normalized.
+    pub node_partitions: HashSet<(NodeId, NodeId)>,
+    /// Per-directed-link fault overrides.
+    pub link_faults: HashMap<(NodeId, NodeId), LinkFault>,
+    /// WAN-wide default fault model.
+    pub wan_fault: Option<LinkFault>,
+    /// Adversarial fixed delay added to everything a node sends.
+    pub send_delay: HashMap<NodeId, Time>,
+}
+
+fn ordered(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn ordered_nodes(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl FaultState {
+    fn blocked(&self, src: NodeId, dst: NodeId) -> bool {
+        (!self.group_partitions.is_empty()
+            && self
+                .group_partitions
+                .contains(&ordered(src.group, dst.group)))
+            || (!self.node_partitions.is_empty()
+                && self.node_partitions.contains(&ordered_nodes(src, dst)))
+    }
+
+    fn link_fault(&self, src: NodeId, dst: NodeId, is_wan: bool) -> Option<LinkFault> {
+        let wan_default = if is_wan { self.wan_fault } else { None };
+        if self.link_faults.is_empty() {
+            wan_default
+        } else {
+            self.link_faults.get(&(src, dst)).copied().or(wan_default)
+        }
+    }
+}
+
+/// Cluster-wide immutable wiring plus the mutable fault state. One
+/// instance per [`crate::Cluster`], shared by every thread it spawns.
+pub struct Shared {
+    /// The latency/group layout (bandwidth fields unused: loopback TCP
+    /// is the real transport).
+    pub topo: Topology,
+    /// Listener address of every node, dense `(group, node)` order.
+    pub addrs: Vec<SocketAddr>,
+    /// Dense-index base of each group (prefix sums of group sizes).
+    offsets: Vec<usize>,
+    /// Scripted + runtime fault state.
+    pub faults: RwLock<FaultState>,
+    /// Set once at teardown; all threads poll it and exit.
+    pub shutdown: AtomicBool,
+    start: Instant,
+    /// Transport metrics (global telemetry registry).
+    pub counters: NetCounters,
+    /// WAN bytes sent per node (modeled body sizes), for the
+    /// leader-bottleneck probe in reports.
+    pub wan_out_per_node: Vec<AtomicU64>,
+    /// Total WAN bytes (modeled body sizes, comparable to the sim's
+    /// `wan_bytes`).
+    pub wan_bytes: AtomicU64,
+    /// Total LAN bytes (modeled body sizes).
+    pub lan_bytes: AtomicU64,
+}
+
+impl Shared {
+    /// Builds the shared state. `addrs` must be in dense node order.
+    pub fn new(topo: Topology, addrs: Vec<SocketAddr>) -> Arc<Self> {
+        let mut offsets = Vec::with_capacity(topo.group_sizes.len());
+        let mut acc = 0usize;
+        for &s in &topo.group_sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        assert_eq!(addrs.len(), acc, "one address per node");
+        Arc::new(Shared {
+            addrs,
+            offsets,
+            faults: RwLock::new(FaultState::default()),
+            shutdown: AtomicBool::new(false),
+            start: Instant::now(),
+            counters: NetCounters::new(),
+            wan_out_per_node: (0..acc).map(|_| AtomicU64::new(0)).collect(),
+            wan_bytes: AtomicU64::new(0),
+            lan_bytes: AtomicU64::new(0),
+            topo,
+        })
+    }
+
+    /// Microseconds of wall clock since the cluster was built. This is
+    /// the `Ctx::now` the actors see, so telemetry spans and latency
+    /// samples are real durations.
+    pub fn now_us(&self) -> Time {
+        self.start.elapsed().as_micros() as Time
+    }
+
+    /// Dense index of a node.
+    pub fn idx(&self, id: NodeId) -> usize {
+        self.offsets[id.group as usize] + id.node as usize
+    }
+
+    /// Whether `id` is currently crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.faults
+            .read()
+            .expect("faults lock")
+            .crashed
+            .contains(&id)
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+}
+
+struct QueueInner {
+    q: VecDeque<(Time, Bytes)>,
+    bytes: usize,
+    /// Set when the writer gave up (connect failure or peer gone);
+    /// senders then drop instead of blocking.
+    closed: bool,
+}
+
+/// One outbound connection: a due-time-ordered frame queue drained by a
+/// dedicated writer thread.
+pub struct PeerConn {
+    inner: Mutex<QueueInner>,
+    cond: Condvar,
+    depth: Gauge,
+}
+
+impl PeerConn {
+    fn enqueue(&self, due: Time, frame: Bytes) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        // Backpressure: block the sending reactor while the peer's
+        // queue is over budget (a slow or delayed peer throttles its
+        // producers instead of ballooning memory).
+        while inner.bytes > MAX_QUEUE_BYTES && !inner.closed {
+            inner = self.cond.wait(inner).expect("queue lock");
+        }
+        if inner.closed {
+            return;
+        }
+        inner.bytes += frame.len();
+        // Frames to one peer carry identical injected latency, so FIFO
+        // push keeps the queue due-ordered like the sim's link FIFO.
+        inner.q.push_back((due, frame));
+        self.depth.set(inner.q.len() as u64);
+        self.cond.notify_all();
+    }
+}
+
+/// Per-reactor handle for outbound traffic: owns the lazy map of peer
+/// connections and the sender-side fault RNG.
+pub struct NetHandle {
+    src: NodeId,
+    shared: Arc<Shared>,
+    peers: HashMap<NodeId, Arc<PeerConn>>,
+    rng: u64,
+}
+
+impl NetHandle {
+    /// A handle for node `src`. The RNG seed differs per node so fault
+    /// draws are independent streams.
+    pub fn new(src: NodeId, shared: Arc<Shared>) -> Self {
+        let seed = 0x9E37_79B9_7F4A_7C15u64
+            ^ ((src.group as u64) << 32 | src.node as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        NetHandle {
+            src,
+            shared,
+            peers: HashMap::new(),
+            rng: seed | 1,
+        }
+    }
+
+    fn next_rng(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn rng_unit(&mut self) -> f64 {
+        (self.next_rng() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Sends an encoded frame to `dst`, applying crash/partition gating,
+    /// link-fault drop/dup/jitter, and injected latency. `dst` must not
+    /// be `src` (reactors loop local sends back through their own
+    /// channel, like the sim's immediate loopback delivery).
+    pub fn send(&mut self, dst: NodeId, frame: Bytes) {
+        debug_assert_ne!(dst, self.src, "loopback handled by the reactor");
+        let shared = Arc::clone(&self.shared);
+        if shared.shutting_down() {
+            return;
+        }
+        let is_wan = shared.topo.is_wan(self.src, dst);
+        let fault = {
+            let f = shared.faults.read().expect("faults lock");
+            if f.crashed.contains(&self.src) || f.blocked(self.src, dst) {
+                return;
+            }
+            let lf = f.link_fault(self.src, dst, is_wan);
+            let delay = f.send_delay.get(&self.src).copied().unwrap_or(0);
+            (lf, delay)
+        };
+        let (lf, delay) = fault;
+        let mut duplicate = false;
+        let mut jitter = 0;
+        if let Some(lf) = lf {
+            if lf.drop_prob > 0.0 && self.rng_unit() < lf.drop_prob {
+                return;
+            }
+            duplicate = lf.dup_prob > 0.0 && self.rng_unit() < lf.dup_prob;
+            if lf.extra_jitter_us > 0 {
+                jitter = self.next_rng() % (lf.extra_jitter_us + 1);
+            }
+        }
+        let now = shared.now_us();
+        let due = now + shared.topo.latency(self.src, dst) + jitter + delay;
+        // Byte accounting uses the modeled body size so wall-clock
+        // reports stay comparable with the simulator's `wan_bytes`.
+        let body = (frame.len() - FRAME_HEADER) as u64;
+        if is_wan {
+            shared.wan_bytes.fetch_add(body, Ordering::Relaxed);
+            shared.wan_out_per_node[shared.idx(self.src)].fetch_add(body, Ordering::Relaxed);
+        } else {
+            shared.lan_bytes.fetch_add(body, Ordering::Relaxed);
+        }
+        shared.counters.frames_out.inc();
+        let conn = self.peer(dst);
+        if duplicate {
+            shared.counters.frames_out.inc();
+            conn.enqueue(due, frame.clone());
+        }
+        conn.enqueue(due, frame);
+    }
+
+    fn peer(&mut self, dst: NodeId) -> Arc<PeerConn> {
+        if let Some(c) = self.peers.get(&dst) {
+            return Arc::clone(c);
+        }
+        let src = self.src;
+        let depth = registry::gauge(&format!(
+            "net.queue.g{}n{}-g{}n{}",
+            src.group, src.node, dst.group, dst.node
+        ));
+        let conn = Arc::new(PeerConn {
+            inner: Mutex::new(QueueInner {
+                q: VecDeque::new(),
+                bytes: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            depth,
+        });
+        let shared = Arc::clone(&self.shared);
+        let writer_conn = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name(format!("w-{src}-{dst}"))
+            .stack_size(IO_STACK)
+            .spawn(move || writer_loop(shared, src, dst, writer_conn))
+            .expect("spawn writer");
+        self.peers.insert(dst, Arc::clone(&conn));
+        conn
+    }
+}
+
+fn connect_retry(shared: &Shared, addr: SocketAddr) -> Option<TcpStream> {
+    // Peers bind their listeners before reactors start in-process, but
+    // multi-process clusters start children at slightly different
+    // times; retry for ~5 s.
+    for _ in 0..50 {
+        if shared.shutting_down() {
+            return None;
+        }
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Ok(s) => return Some(s),
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    None
+}
+
+fn write_counted(stream: &mut TcpStream, mut buf: &[u8], c: &NetCounters) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        let n = stream.write(buf)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        c.syscalls_write.inc();
+        c.tcp_bytes_out.add(n as u64);
+        buf = &buf[n..];
+    }
+    Ok(())
+}
+
+fn close_queue(conn: &PeerConn) {
+    let mut inner = conn.inner.lock().expect("queue lock");
+    inner.closed = true;
+    inner.q.clear();
+    inner.bytes = 0;
+    conn.depth.set(0);
+    conn.cond.notify_all();
+}
+
+fn writer_loop(shared: Arc<Shared>, src: NodeId, dst: NodeId, conn: Arc<PeerConn>) {
+    let Some(mut stream) = connect_retry(&shared, shared.addrs[shared.idx(dst)]) else {
+        close_queue(&conn);
+        return;
+    };
+    let _ = stream.set_nodelay(true);
+    // Hello: identify the sending node to the reader side.
+    let mut hello = [0u8; 8];
+    hello[..4].copy_from_slice(&src.group.to_le_bytes());
+    hello[4..].copy_from_slice(&src.node.to_le_bytes());
+    if write_counted(&mut stream, &hello, &shared.counters).is_err() {
+        close_queue(&conn);
+        return;
+    }
+    let mut coalesce: Vec<u8> = Vec::with_capacity(COALESCE_BYTES);
+    let mut due_now: Vec<Bytes> = Vec::new();
+    loop {
+        // Wait for a due frame (or shutdown).
+        {
+            let mut inner = conn.inner.lock().expect("queue lock");
+            loop {
+                if shared.shutting_down() {
+                    drop(inner);
+                    close_queue(&conn);
+                    return;
+                }
+                match inner.q.front() {
+                    Some(&(due, _)) => {
+                        let now = shared.now_us();
+                        if due <= now {
+                            break;
+                        }
+                        let wait = Duration::from_micros((due - now).min(50_000));
+                        let (g, _) = conn.cond.wait_timeout(inner, wait).expect("queue lock");
+                        inner = g;
+                    }
+                    None => {
+                        let (g, _) = conn
+                            .cond
+                            .wait_timeout(inner, Duration::from_millis(100))
+                            .expect("queue lock");
+                        inner = g;
+                    }
+                }
+            }
+            let now = shared.now_us();
+            while let Some(&(due, _)) = inner.q.front() {
+                if due > now {
+                    break;
+                }
+                let (_, frame) = inner.q.pop_front().expect("front checked");
+                inner.bytes -= frame.len();
+                due_now.push(frame);
+            }
+            conn.depth.set(inner.q.len() as u64);
+            // Wake senders blocked on backpressure.
+            conn.cond.notify_all();
+        }
+        // Write outside the lock: coalesce small frames, stream large
+        // ones straight from their refcounted buffers.
+        let mut batched = 0usize;
+        for frame in due_now.drain(..) {
+            if frame.len() >= LARGE_FRAME {
+                if !coalesce.is_empty() {
+                    if batched >= 2 {
+                        shared.counters.coalesced_writes.inc();
+                    }
+                    if write_counted(&mut stream, &coalesce, &shared.counters).is_err() {
+                        close_queue(&conn);
+                        return;
+                    }
+                    coalesce.clear();
+                    batched = 0;
+                }
+                if write_counted(&mut stream, &frame, &shared.counters).is_err() {
+                    close_queue(&conn);
+                    return;
+                }
+            } else {
+                if coalesce.len() + frame.len() > COALESCE_BYTES && !coalesce.is_empty() {
+                    if batched >= 2 {
+                        shared.counters.coalesced_writes.inc();
+                    }
+                    if write_counted(&mut stream, &coalesce, &shared.counters).is_err() {
+                        close_queue(&conn);
+                        return;
+                    }
+                    coalesce.clear();
+                    batched = 0;
+                }
+                coalesce.extend_from_slice(&frame);
+                batched += 1;
+            }
+        }
+        if !coalesce.is_empty() {
+            if batched >= 2 {
+                shared.counters.coalesced_writes.inc();
+            }
+            if write_counted(&mut stream, &coalesce, &shared.counters).is_err() {
+                close_queue(&conn);
+                return;
+            }
+            coalesce.clear();
+        }
+    }
+}
+
+/// Spawns the acceptor thread for one node's listener. Each accepted
+/// connection gets its own reader thread feeding `tx`.
+pub fn spawn_acceptor(
+    shared: Arc<Shared>,
+    id: NodeId,
+    listener: TcpListener,
+    tx: Sender<Event>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("acc-{id}"))
+        .stack_size(IO_STACK)
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if shared.shutting_down() {
+                    return;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                let _ = std::thread::Builder::new()
+                    .name(format!("r-{id}"))
+                    .stack_size(IO_STACK)
+                    .spawn(move || reader_loop(shared, stream, tx));
+            }
+        })
+        .expect("spawn acceptor")
+}
+
+fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream, tx: Sender<Event>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    // Hello: who is talking.
+    let mut hello = [0u8; 8];
+    if stream.read_exact(&mut hello).is_err() {
+        return;
+    }
+    shared.counters.syscalls_read.inc();
+    shared.counters.tcp_bytes_in.add(8);
+    let from = NodeId::new(
+        u32::from_le_bytes(hello[..4].try_into().expect("len")),
+        u32::from_le_bytes(hello[4..].try_into().expect("len")),
+    );
+    let mut fb = crate::frame::FrameBuffer::new();
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match fb.fill_from(&mut stream, COALESCE_BYTES) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                shared.counters.syscalls_read.inc();
+                shared.counters.tcp_bytes_in.add(n as u64);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        loop {
+            match fb.next_msg() {
+                Ok(Some(msg)) => {
+                    shared.counters.frames_in.inc();
+                    if tx.send(Event::Msg { from, msg }).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                // A mis-framed stream is unrecoverable: drop the
+                // connection (the sim's equivalent is a dropped
+                // message; a Byzantine-garbage peer loses its link).
+                Err(_) => return,
+            }
+        }
+    }
+}

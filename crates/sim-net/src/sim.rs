@@ -201,6 +201,32 @@ impl<M> Ctx<M> {
     pub fn send_after(&mut self, delay: Time, dst: NodeId, msg: M) {
         self.out.push(Command::SendAfter { delay, dst, msg });
     }
+
+    /// Builds a context for an external driver (e.g. the wall-clock TCP
+    /// runtime in `massbft-runtime`). The simulation constructs its own
+    /// contexts internally; drivers that run the same [`Actor`] state
+    /// machines over a real transport use this constructor plus
+    /// [`Ctx::take_commands`] to collect the handler's side effects.
+    pub fn new_driver(now: Time, self_id: NodeId) -> Self {
+        Ctx {
+            now,
+            self_id,
+            out: Vec::new(),
+        }
+    }
+
+    /// Drains the commands queued by the handler, leaving the context
+    /// reusable (drivers typically keep one per node and reset `now`
+    /// before each handler call via [`Ctx::set_now`]).
+    pub fn take_commands(&mut self) -> Vec<Command<M>> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Advances the context clock (driver-side use only; the simulation
+    /// rebuilds contexts per event instead).
+    pub fn set_now(&mut self, now: Time) {
+        self.now = now;
+    }
 }
 
 #[derive(Debug)]

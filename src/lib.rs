@@ -4,5 +4,6 @@ pub use massbft_consensus as consensus;
 pub use massbft_core as core;
 pub use massbft_crypto as crypto;
 pub use massbft_db as db;
+pub use massbft_runtime as runtime;
 pub use massbft_sim_net as sim_net;
 pub use massbft_workloads as workloads;

@@ -1,0 +1,113 @@
+//! Cross-driver equivalence: the virtual-time simulator and the
+//! wall-clock TCP runtime drive the *same* sans-io node state machines,
+//! so on a workload whose content is timing-independent the two drivers
+//! must build byte-identical ledgers.
+//!
+//! Timing independence requires two things:
+//!
+//! 1. **Saturated arrivals.** Batches are cut only on the fixed 20 ms
+//!    batch timer and take `min(pending, max_batch)` items; the
+//!    workload stream position is preserved when the pool sheds. With
+//!    `arrival_tps ≥ 50 × max_batch` every batch is full, so batch `k`
+//!    is exactly stream items `[k·B, (k+1)·B)` — entry bytes are a pure
+//!    function of `(gid, seq)` on both drivers.
+//! 2. **Timing-independent ordering.** Round-based ordering (EBR,
+//!    GeoBFT) releases entries in `(round, gid)` lexicographic order.
+//!    MassBFT's vector-timestamp order depends on *when* stamps are
+//!    taken — except with a single group, where VTS collapses to the
+//!    proposer's own seq and the order is again deterministic.
+//!
+//! Under those conditions the ledger block hash at height `h` covers
+//! the entire executed prefix (hash chain), so comparing the two
+//! drivers' hashes at their minimum common height proves the runtime
+//! executes the same transactions in the same order as the simulator —
+//! the property that makes wall-clock benchmark numbers meaningful.
+
+use massbft::core::adversary::FaultEvent;
+use massbft::core::cluster::ClusterConfig;
+use massbft::core::protocol::Protocol;
+use massbft::crypto::Digest;
+use massbft::sim_net::{NodeId, SECOND};
+use massbft::workloads::WorkloadKind;
+
+/// Runs `cfg` for `secs` on both drivers and returns
+/// `(min common height, sim hash, runtime hash)` at that height,
+/// observed at the shared observer node.
+fn run_both(cfg: ClusterConfig, secs: u64) -> (u64, Digest, Digest) {
+    let mut sim = massbft::core::cluster::Cluster::new(cfg.clone());
+    sim.run_until(secs * SECOND);
+    let obs = sim.observer();
+    let sim_blocks: Vec<(u64, Digest)> = sim
+        .node(obs)
+        .ledger()
+        .blocks()
+        .iter()
+        .map(|b| (b.height, b.hash))
+        .collect();
+    assert!(sim.check_consistency(), "simulator replicas diverged");
+
+    let mut rt = massbft::runtime::Cluster::new(cfg);
+    rt.run_until(secs * SECOND);
+    assert_eq!(rt.observer(), obs, "drivers disagree on the observer");
+    let rt_blocks: Vec<(u64, Digest)> = rt.with_node(obs, |n| {
+        n.ledger()
+            .blocks()
+            .iter()
+            .map(|b| (b.height, b.hash))
+            .collect()
+    });
+    assert!(rt.check_consistency(), "runtime replicas diverged");
+
+    let h = sim_blocks.len().min(rt_blocks.len());
+    assert!(h > 0, "a driver committed no blocks at all");
+    let (sh, shash) = sim_blocks[h - 1];
+    let (rh, rhash) = rt_blocks[h - 1];
+    assert_eq!(sh, rh, "block heights not contiguous across drivers");
+    (sh, shash, rhash)
+}
+
+/// Saturating config: every 20 ms batch is full (`tps ≥ 50 × batch`),
+/// making entry content a pure function of `(gid, seq)`.
+fn saturated(protocol: Protocol, sizes: &[usize]) -> ClusterConfig {
+    ClusterConfig::nationwide(sizes, protocol)
+        .workload(WorkloadKind::YcsbA)
+        .seed(42)
+        .arrival_tps(2500.0)
+        .max_batch(40)
+}
+
+/// MassBFT, single group: VTS ordering degenerates to seq order, so
+/// the flagship protocol is cross-driver deterministic end to end.
+#[test]
+fn massbft_single_group_ledgers_match() {
+    let cfg = saturated(Protocol::MassBft, &[4]).pipeline_window(1);
+    let (h, sim, rt) = run_both(cfg, 4);
+    assert!(h >= 30, "too few blocks to be meaningful: {h}");
+    assert_eq!(sim, rt, "ledger hashes diverge at height {h}");
+}
+
+/// EBR, two groups: round-based ordering interleaves the groups
+/// `(round, gid)`-lexicographically on both drivers.
+#[test]
+fn ebr_two_group_ledgers_match() {
+    let cfg = saturated(Protocol::EncodedBijective, &[4, 4]);
+    let (h, sim, rt) = run_both(cfg, 4);
+    assert!(h >= 30, "too few blocks to be meaningful: {h}");
+    assert_eq!(sim, rt, "ledger hashes diverge at height {h}");
+}
+
+/// The fault machinery must not break equivalence: crashing (and later
+/// recovering) a non-representative follower and partitioning/healing
+/// the WAN perturbs *timing* arbitrarily on both drivers, but the
+/// committed content stays a pure function of `(gid, seq)`.
+#[test]
+fn faults_perturb_timing_but_not_content() {
+    let cfg = saturated(Protocol::EncodedBijective, &[4, 4])
+        .fault_at(SECOND, FaultEvent::Crash(NodeId::new(0, 3)))
+        .fault_at(2 * SECOND, FaultEvent::PartitionGroups(0, 1))
+        .fault_at(3 * SECOND, FaultEvent::HealGroups(0, 1))
+        .fault_at(4 * SECOND, FaultEvent::Recover(NodeId::new(0, 3)));
+    let (h, sim, rt) = run_both(cfg, 6);
+    assert!(h >= 20, "too few blocks across the fault schedule: {h}");
+    assert_eq!(sim, rt, "ledger hashes diverge at height {h}");
+}
